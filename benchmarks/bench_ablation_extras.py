@@ -1,0 +1,49 @@
+"""Extra ablations of design choices DESIGN.md §6 calls out (not in the
+paper's tables, but implied by its design decisions):
+
+1. Normalization of A^t (Eq. 11 says "e.g., the softmax function").
+2. Scalar vs per-edge (vector) trend factor.
+3. Saturation factor α of the periodic discriminant (paper fixes 0.3).
+4. Chebyshev support depth K of the GCGRU convolution.
+"""
+
+from __future__ import annotations
+
+from bench_utils import report, scale, tgcrn_kwargs
+
+from repro.data import load_task
+from repro.training import TrainingConfig, run_experiment
+
+
+def _row(task, config, s, label, **model_overrides):
+    kwargs = dict(tgcrn_kwargs(s))
+    kwargs.update(model_overrides)
+    result = run_experiment("tgcrn", task, config, hidden_dim=s.hidden_dim, model_kwargs=kwargs)
+    return (
+        f"{label:<28} | {result.overall.mae:7.2f} {result.overall.rmse:8.2f} "
+        f"{result.num_parameters:9,d}"
+    )
+
+
+def _run() -> str:
+    s = scale()
+    task = load_task("hzmetro", num_nodes=s.metro_nodes, num_days=s.metro_days, seed=0)
+    config = TrainingConfig(epochs=s.epochs, batch_size=16, seed=0)
+    lines = [f"{'configuration':<28} | {'MAE':>7} {'RMSE':>8} {'#params':>9}", "-" * 60]
+    lines.append(_row(task, config, s, "baseline (softmax, scalar)"))
+    lines.append(_row(task, config, s, "norm = sym-laplacian", norm="sym"))
+    lines.append(_row(task, config, s, "norm = random-walk", norm="random_walk"))
+    lines.append(_row(task, config, s, "trend = vector (per-edge)", trend_mode="vector"))
+    for alpha in (0.0, 0.1, 0.6):
+        lines.append(_row(task, config, s, f"alpha = {alpha}", alpha=alpha))
+    lines.append(_row(task, config, s, "cheb_k = 1 (no graph hop)", cheb_k=1))
+    lines.append(_row(task, config, s, "cheb_k = 3", cheb_k=3))
+    half = max(2, s.metro_nodes // 2)
+    lines.append(_row(task, config, s, f"top_k = {half} (sparse graph)", top_k=half))
+    lines.append(_row(task, config, s, "graph_update_interval = 2", graph_update_interval=2))
+    return "\n".join(lines)
+
+
+def test_ablation_extras(benchmark):
+    out = benchmark.pedantic(_run, rounds=1, iterations=1)
+    report("ablation_extras", out)

@@ -1,0 +1,35 @@
+"""Extension: methods beyond the paper's Table IV on the metro task.
+
+CCRNN and GTS appear only in the paper's Table V; XGBoost only in the
+demand setup; MTGNN (the paper's reference [28]) in none of the tables.
+This bench completes the cross-product on HZMetro so every implemented
+method has at least one metro-task reading.
+"""
+
+from __future__ import annotations
+
+from bench_utils import report, scale, tgcrn_kwargs
+
+from repro.data import load_task
+from repro.training import TrainingConfig, format_demand_table, run_experiment
+
+METHODS = ("xgboost", "ccrnn", "gts", "mtgnn", "tgcrn")
+
+
+def _run() -> str:
+    s = scale()
+    task = load_task("hzmetro", num_nodes=s.metro_nodes, num_days=s.metro_days, seed=0)
+    config = TrainingConfig(epochs=s.epochs, batch_size=16, seed=0)
+    results = []
+    for method in METHODS:
+        kwargs = dict(model_kwargs=tgcrn_kwargs(s)) if method == "tgcrn" else {}
+        results.append(
+            run_experiment(method, task, config, hidden_dim=s.hidden_dim,
+                           num_layers=s.num_layers, **kwargs)
+        )
+    return format_demand_table(results)
+
+
+def test_extra_baselines_hzmetro(benchmark):
+    out = benchmark.pedantic(_run, rounds=1, iterations=1)
+    report("extra_baselines_hzmetro", out)

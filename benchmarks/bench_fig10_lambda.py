@@ -1,0 +1,36 @@
+"""Fig. 10: sensitivity to the joint-loss weight λ (Eq. 17).
+
+Sweeps λ over the paper's range.  Expected shape (paper): a turning point
+around λ ≈ 0.1 — a moderate amount of time-discrepancy regularization
+helps, a dominant auxiliary loss hurts.
+"""
+
+from __future__ import annotations
+
+from bench_utils import report, scale, tgcrn_kwargs
+
+from repro.data import load_task
+from repro.training import TrainingConfig, run_experiment
+
+LAMBDAS = (0.0, 0.01, 0.1, 0.5, 1.0)
+
+
+def _run() -> str:
+    s = scale()
+    task = load_task("hzmetro", num_nodes=s.metro_nodes, num_days=s.metro_days, seed=0)
+    lines = [f"{'lambda':>7} | {'MAE':>7} {'RMSE':>8} {'MAPE%':>7}", "-" * 36]
+    for lam in LAMBDAS:
+        config = TrainingConfig(epochs=s.epochs, batch_size=16, seed=0, lambda_time=lam)
+        result = run_experiment(
+            "tgcrn", task, config, hidden_dim=s.hidden_dim, model_kwargs=tgcrn_kwargs(s)
+        )
+        lines.append(
+            f"{lam:>7.2f} | {result.overall.mae:7.2f} "
+            f"{result.overall.rmse:8.2f} {result.overall.mape:7.2f}"
+        )
+    return "\n".join(lines)
+
+
+def test_fig10_lambda(benchmark):
+    out = benchmark.pedantic(_run, rounds=1, iterations=1)
+    report("fig10_lambda", out)

@@ -1,0 +1,47 @@
+"""Fig. 8: multi-step MAE relative to the FC-LSTM benchmark.
+
+Regenerates the horizon-wise curves: each method's MAE at every horizon,
+normalized by FC-LSTM's MAE at the same horizon.  Expected shape (paper):
+TGCRN's ratio is lowest and *decreases* (or degrades slowest) with the
+horizon — its advantage grows with the forecasting distance.
+"""
+
+from __future__ import annotations
+
+from bench_utils import report, scale, tgcrn_kwargs
+
+from repro.data import load_task
+from repro.training import TrainingConfig, format_relative_series, run_experiment
+
+METHODS = ("fclstm", "dcrnn", "agcrn", "esg", "tgcrn")
+
+
+def _run(dataset: str) -> str:
+    s = scale()
+    if dataset in ("hzmetro", "shmetro"):
+        task = load_task(dataset, num_nodes=s.metro_nodes, num_days=s.metro_days, seed=0)
+    else:
+        task = load_task(dataset, num_nodes=s.demand_nodes, num_days=s.demand_days, seed=0)
+    config = TrainingConfig(epochs=s.epochs, batch_size=16, seed=0)
+    curves = {}
+    for method in METHODS:
+        kwargs = dict(model_kwargs=tgcrn_kwargs(s)) if method == "tgcrn" else {}
+        result = run_experiment(method, task, config, hidden_dim=s.hidden_dim,
+                                num_layers=s.num_layers, **kwargs)
+        curves[method] = result.horizon_metric("mae")
+    benchmark_curve = curves["fclstm"]
+    horizons = " ".join(f"  t+{q+1:<3}" for q in range(task.horizon))
+    lines = [f"MAE relative to FC-LSTM ({dataset}); horizons: {horizons}"]
+    for method in METHODS:
+        lines.append(format_relative_series(method, curves[method], benchmark_curve))
+    return "\n".join(lines)
+
+
+def test_fig8_hzmetro(benchmark):
+    out = benchmark.pedantic(lambda: _run("hzmetro"), rounds=1, iterations=1)
+    report("fig8_multistep_hzmetro", out)
+
+
+def test_fig8_nyc_bike(benchmark):
+    out = benchmark.pedantic(lambda: _run("nyc_bike"), rounds=1, iterations=1)
+    report("fig8_multistep_nyc_bike", out)

@@ -1,0 +1,41 @@
+"""Fig. 9: sensitivity to the node (d_ν) and time (d_τ) embedding sizes.
+
+Sweeps both dimensionalities on HZMetro.  Expected shape (paper):
+performance improves as either dimensionality grows, with diminishing
+returns / slight fluctuation at the top end — alongside a parameter-count
+growth that motivates the Table VIII trade-off discussion.
+"""
+
+from __future__ import annotations
+
+from bench_utils import report, scale
+
+from repro.data import load_task
+from repro.training import TrainingConfig, run_experiment
+
+NODE_DIMS = (4, 8, 16, 32)
+TIME_DIMS = (4, 8, 16)
+
+
+def _run() -> str:
+    s = scale()
+    task = load_task("hzmetro", num_nodes=s.metro_nodes, num_days=s.metro_days, seed=0)
+    config = TrainingConfig(epochs=s.epochs, batch_size=16, seed=0)
+    lines = [f"{'d_v':>5} {'d_t':>5} | {'MAE':>7} {'RMSE':>8} {'#params':>9}"]
+    lines.append("-" * 42)
+    for dv in NODE_DIMS:
+        for dt in TIME_DIMS:
+            result = run_experiment(
+                "tgcrn", task, config, hidden_dim=s.hidden_dim,
+                model_kwargs=dict(node_dim=dv, time_dim=dt, num_layers=s.num_layers),
+            )
+            lines.append(
+                f"{dv:>5} {dt:>5} | {result.overall.mae:7.2f} "
+                f"{result.overall.rmse:8.2f} {result.num_parameters:9,d}"
+            )
+    return "\n".join(lines)
+
+
+def test_fig9_embedding_dims(benchmark):
+    out = benchmark.pedantic(_run, rounds=1, iterations=1)
+    report("fig9_embedding_dims", out)

@@ -1,0 +1,71 @@
+"""Extension experiment (not in the paper): robustness to disruptions.
+
+Injects station closures and demand surges into the *test* period of an
+HZMetro-style dataset, then reports each model's MAE separately on
+regular and disrupted windows.  Expected shape: every model degrades on
+disrupted windows; models leaning on calendar regularity (HA) degrade
+most; models reading the recent frames (TGCRN and graph baselines)
+recover faster.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from bench_utils import report, scale, tgcrn_kwargs
+
+from repro.data import load_task
+from repro.data.events import inject_events, split_regular_disrupted
+from repro.metrics import evaluate
+from repro.training import TrainingConfig, run_experiment
+
+METHODS = ("ha", "dcrnn", "agcrn", "tgcrn")
+
+
+def _run() -> str:
+    s = scale()
+    task = load_task("hzmetro", num_nodes=s.metro_nodes, num_days=s.metro_days, seed=0)
+    # Events hit only the test range so training stays regular.
+    test_start = int(task.test.time_indices[0, 0])
+    total = task.dataset.num_steps
+    rng = np.random.default_rng(1)
+    log = inject_events(
+        task.dataset, rng, num_closures=2, num_surges=2, duration=6,
+        start_range=(test_start + task.history, total - 6),
+    )
+    # Rebuild the test windows from the mutated raw series.
+    from repro.data.windows import make_windows
+
+    scaled = task.scaler.transform(task.dataset.values[test_start:])
+    task.test = make_windows(
+        scaled, task.dataset.time_index[test_start:], task.history, task.horizon,
+        target_dim=task.out_dim,
+    )
+
+    config = TrainingConfig(epochs=s.epochs, batch_size=16, seed=0)
+    lines = [f"{'model':<8} | {'regular MAE':>12} | {'disrupted MAE':>14} | {'degradation':>11}"]
+    lines.append("-" * 56)
+    for method in METHODS:
+        kwargs = dict(model_kwargs=tgcrn_kwargs(s)) if method == "tgcrn" else {}
+        result = run_experiment(method, task, config, hidden_dim=s.hidden_dim,
+                                num_layers=s.num_layers, keep_model=True, **kwargs)
+        if method in ("ha",):
+            prediction, target = result.model.evaluate(task, "test")
+        else:
+            from repro.training import Trainer
+
+            prediction, target = Trainer(config).predict(result.model, task, "test")
+        (reg_p, reg_t), (dis_p, dis_t) = split_regular_disrupted(
+            prediction, target, task.test.time_indices, log
+        )
+        regular_mae = evaluate(reg_p, reg_t).mae if len(reg_p) else float("nan")
+        disrupted_mae = evaluate(dis_p, dis_t).mae if len(dis_p) else float("nan")
+        ratio = disrupted_mae / regular_mae if regular_mae and len(dis_p) else float("nan")
+        lines.append(f"{method:<8} | {regular_mae:12.2f} | {disrupted_mae:14.2f} | {ratio:10.2f}x")
+    lines.append(f"\ninjected events in test range: {len(log.events)}")
+    return "\n".join(lines)
+
+
+def test_robustness_events(benchmark):
+    out = benchmark.pedantic(_run, rounds=1, iterations=1)
+    report("robustness_events", out)

@@ -1,0 +1,65 @@
+"""Extension: run-to-run variance of the headline comparison.
+
+Trains TGCRN and the strongest ablation pair on three seeds and reports
+mean ± std of the test MAE, plus a Wilcoxon significance test between
+TGCRN and the w/o-tagsl variant over per-window errors.  This quantifies
+which Table VII deltas are real at the quick scale and which are noise —
+the basis for EXPERIMENTS.md's "within noise" statements.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from bench_utils import report, scale, tgcrn_kwargs
+
+from repro.data import load_task
+from repro.training import Trainer, TrainingConfig, paired_significance, run_experiment
+
+MODELS = ("tgcrn", "wo_tagsl", "wo_pdf")
+SEEDS = (0, 1, 2)
+
+
+def _run() -> str:
+    s = scale()
+    task = load_task("hzmetro", num_nodes=s.metro_nodes, num_days=s.metro_days, seed=0)
+    maes: dict[str, list[float]] = {m: [] for m in MODELS}
+    predictions: dict[tuple[str, int], np.ndarray] = {}
+    target = None
+    for seed in SEEDS:
+        config = TrainingConfig(epochs=s.epochs, batch_size=16, seed=seed)
+        for model_name in MODELS:
+            result = run_experiment(
+                model_name, task, config, hidden_dim=s.hidden_dim,
+                model_kwargs=tgcrn_kwargs(s), seed=seed, keep_model=True,
+            )
+            maes[model_name].append(result.overall.mae)
+            prediction, target = Trainer(config).predict(result.model, task, "test")
+            predictions[(model_name, seed)] = prediction
+
+    lines = [f"{'model':<10} | {'MAE mean':>9} | {'MAE std':>8} | seeds={list(SEEDS)}", "-" * 50]
+    for model_name in MODELS:
+        values = maes[model_name]
+        lines.append(f"{model_name:<10} | {np.mean(values):9.3f} | {np.std(values):8.3f} |")
+    sig = paired_significance(
+        predictions[("tgcrn", 0)], predictions[("wo_tagsl", 0)], target
+    )
+    lines.append(
+        f"\nWilcoxon tgcrn vs wo_tagsl (seed 0): p = {sig.p_value:.2e}, "
+        f"median per-window error delta = {sig.median_delta:+.3f} "
+        f"({'significant' if sig.significant else 'not significant'})"
+    )
+    sig2 = paired_significance(
+        predictions[("tgcrn", 0)], predictions[("wo_pdf", 0)], target
+    )
+    lines.append(
+        f"Wilcoxon tgcrn vs wo_pdf   (seed 0): p = {sig2.p_value:.2e}, "
+        f"median per-window error delta = {sig2.median_delta:+.3f} "
+        f"({'significant' if sig2.significant else 'not significant'})"
+    )
+    return "\n".join(lines)
+
+
+def test_seed_variance(benchmark):
+    out = benchmark.pedantic(_run, rounds=1, iterations=1)
+    report("seed_variance", out)

@@ -1,0 +1,42 @@
+"""Table V: demand forecasting on NYC-Bike and NYC-Taxi.
+
+Regenerates the overall MAE/RMSE/PCC comparison.  Expected shape (paper):
+HA worst, XGBoost/FC-LSTM behind the graph models, CCRNN/ESG the
+strongest baselines, TGCRN best with the highest PCC.
+"""
+
+from __future__ import annotations
+
+from bench_utils import report, scale, tgcrn_kwargs
+
+from repro.data import load_task
+from repro.training import TrainingConfig, format_demand_table, run_experiment
+
+METHODS = (
+    "ha", "xgboost", "fclstm", "informer", "crossformer",
+    "dcrnn", "gwnet", "ccrnn", "gts", "esg", "tgcrn",
+)
+
+
+def _run_dataset(dataset: str) -> str:
+    s = scale()
+    task = load_task(dataset, num_nodes=s.demand_nodes, num_days=s.demand_days, seed=0)
+    config = TrainingConfig(epochs=max(3, s.epochs // 2), batch_size=16, seed=0)
+    results = []
+    for method in METHODS:
+        kwargs = dict(model_kwargs=tgcrn_kwargs(s)) if method == "tgcrn" else {}
+        results.append(
+            run_experiment(method, task, config, hidden_dim=s.hidden_dim,
+                           num_layers=s.num_layers, **kwargs)
+        )
+    return format_demand_table(results)
+
+
+def test_table5_nyc_bike(benchmark):
+    table = benchmark.pedantic(lambda: _run_dataset("nyc_bike"), rounds=1, iterations=1)
+    report("table5_nyc_bike", table)
+
+
+def test_table5_nyc_taxi(benchmark):
+    table = benchmark.pedantic(lambda: _run_dataset("nyc_taxi"), rounds=1, iterations=1)
+    report("table5_nyc_taxi", table)

@@ -1,0 +1,35 @@
+"""Table VI: MSE/MAE on the Electricity dataset.
+
+Expected shape (paper): Informer and Graph WaveNet weakest, AGCRN/ESG/
+Crossformer close, TGCRN best on both metrics.
+"""
+
+from __future__ import annotations
+
+from bench_utils import report, scale, tgcrn_kwargs
+
+from repro.data import load_task
+from repro.training import TrainingConfig, format_electricity_table, run_experiment
+
+METHODS = ("gwnet", "agcrn", "informer", "crossformer", "esg", "tgcrn")
+
+
+def _run() -> str:
+    s = scale()
+    task = load_task(
+        "electricity", num_nodes=s.electricity_nodes, num_days=s.electricity_days, seed=0
+    )
+    config = TrainingConfig(epochs=max(3, s.epochs // 2), batch_size=16, seed=0)
+    results = []
+    for method in METHODS:
+        kwargs = dict(model_kwargs=tgcrn_kwargs(s)) if method == "tgcrn" else {}
+        results.append(
+            run_experiment(method, task, config, hidden_dim=s.hidden_dim,
+                           num_layers=s.num_layers, **kwargs)
+        )
+    return format_electricity_table(results)
+
+
+def test_table6_electricity(benchmark):
+    table = benchmark.pedantic(_run, rounds=1, iterations=1)
+    report("table6_electricity", table)

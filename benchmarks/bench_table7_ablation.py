@@ -1,0 +1,37 @@
+"""Table VII: ablation study of TGCRN's components on HZMetro/SHMetro.
+
+Expected shape (paper): *w/o tagsl* suffers the largest drop; *w/ TE*,
+*w/o TDL*, *w/o PDF*, *Time2vec*, *CTR*, and *w/o enc-dec* all trail the
+full model by smaller but consistent margins.
+"""
+
+from __future__ import annotations
+
+from bench_utils import report, scale, tgcrn_kwargs
+
+from repro.data import load_task
+from repro.training import TrainingConfig, format_ablation_table, run_experiment
+
+VARIANTS = ("tgcrn", "wo_tagsl", "w_te", "wo_tdl", "wo_pdf", "time2vec", "ctr", "wo_encdec")
+
+
+def _run(dataset: str) -> str:
+    s = scale()
+    task = load_task(dataset, num_nodes=s.metro_nodes, num_days=s.metro_days, seed=0)
+    config = TrainingConfig(epochs=s.epochs, batch_size=16, seed=0)
+    results = [
+        run_experiment(name, task, config, hidden_dim=s.hidden_dim,
+                       model_kwargs=tgcrn_kwargs(s))
+        for name in VARIANTS
+    ]
+    return format_ablation_table(results)
+
+
+def test_table7_ablation_hzmetro(benchmark):
+    table = benchmark.pedantic(lambda: _run("hzmetro"), rounds=1, iterations=1)
+    report("table7_ablation_hzmetro", table)
+
+
+def test_table7_ablation_shmetro(benchmark):
+    table = benchmark.pedantic(lambda: _run("shmetro"), rounds=1, iterations=1)
+    report("table7_ablation_shmetro", table)

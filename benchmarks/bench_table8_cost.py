@@ -1,0 +1,69 @@
+"""Table VIII: parameter counts and training time per epoch.
+
+Parameter counts are computed at the *paper's* HZMetro configuration
+(N = 80, hidden 64, two layers, TGCRN at (d_ν, d_τ) = (16,16) and
+(64,32)) so the ordering matches the published table:
+DCRNN/GWNet < AGCRN < ESG < TGCRN(16,16) < TGCRN(64,32) < PVCGN.
+Per-epoch time is measured on the quick-scale training config, where the
+expected shape is static-graph models cheapest, dynamic-graph models
+(ESG, TGCRN) costlier, multi-graph PVCGN the most expensive recurrent.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from bench_utils import report, scale, tgcrn_kwargs
+
+from repro.baselines import build_baseline
+from repro.core import TGCRN
+from repro.data import load_task
+from repro.training import TrainingConfig, format_cost_table, run_experiment
+
+GRAPH_MODELS = ("dcrnn", "agcrn", "gwnet", "pvcgn", "esg")
+
+
+def _paper_scale_parameters() -> list[tuple[str, int]]:
+    """Instantiate each graph model at HZMetro scale and count weights."""
+    task = load_task("hzmetro", num_nodes=80, num_days=3, seed=0)
+    rows = []
+    for name in GRAPH_MODELS:
+        model = build_baseline(name, task, hidden_dim=64, num_layers=2, seed=0)
+        rows.append((name, model.num_parameters()))
+    common = dict(
+        num_nodes=80, in_dim=2, out_dim=2, horizon=4, hidden_dim=64,
+        num_layers=2, steps_per_day=task.steps_per_day,
+    )
+    for dv, dt in ((16, 16), (64, 32)):
+        model = TGCRN(**common, node_dim=dv, time_dim=dt, rng=np.random.default_rng(0))
+        rows.append((f"tgcrn (dv={dv},dt={dt})", model.num_parameters()))
+    return rows
+
+
+def _timed_epochs() -> dict[str, float]:
+    """Seconds per epoch on the quick config (relative ordering matters)."""
+    s = scale()
+    task = load_task("hzmetro", num_nodes=s.metro_nodes, num_days=s.metro_days, seed=0)
+    config = TrainingConfig(epochs=2, batch_size=16, seed=0)
+    seconds = {}
+    for name in GRAPH_MODELS + ("tgcrn",):
+        kwargs = dict(model_kwargs=tgcrn_kwargs(s)) if name == "tgcrn" else {}
+        result = run_experiment(name, task, config, hidden_dim=s.hidden_dim,
+                                num_layers=s.num_layers, **kwargs)
+        seconds[name] = result.seconds_per_epoch
+    return seconds
+
+
+def _run() -> str:
+    params = dict(_paper_scale_parameters())
+    seconds = _timed_epochs()
+    rows = []
+    for name, count in params.items():
+        timing_key = name.split(" ")[0]
+        rows.append((name, count, seconds.get(timing_key, float("nan"))))
+    return format_cost_table(rows)
+
+
+def test_table8_cost(benchmark):
+    table = benchmark.pedantic(_run, rounds=1, iterations=1)
+    report("table8_cost", table)

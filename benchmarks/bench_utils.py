@@ -1,0 +1,82 @@
+"""Shared configuration for the benchmark harness.
+
+Every bench regenerates one table or figure of the paper.  Scale is
+controlled by ``REPRO_BENCH_SCALE``:
+
+* ``quick`` (default) — CPU-sized configs: scaled-down node counts and
+  calendars, few epochs.  Absolute numbers differ from the paper; the
+  *shapes* (method ordering, ablation deltas, crossovers) are the
+  reproduction target (see DESIGN.md §4).
+* ``full`` — larger configs approaching Table III sizes; hours on CPU.
+
+Rendered tables are printed and archived under ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@dataclass(frozen=True)
+class BenchScale:
+    """Knobs resolved from the REPRO_BENCH_SCALE environment variable."""
+
+    name: str
+    metro_nodes: int
+    metro_days: int
+    demand_nodes: int
+    demand_days: int
+    electricity_nodes: int
+    electricity_days: int
+    epochs: int
+    hidden_dim: int
+    node_dim: int
+    time_dim: int
+    num_layers: int
+
+
+_SCALES = {
+    "quick": BenchScale(
+        name="quick", metro_nodes=12, metro_days=10, demand_nodes=10, demand_days=8,
+        electricity_nodes=10, electricity_days=20, epochs=8, hidden_dim=16,
+        node_dim=16, time_dim=8, num_layers=1,
+    ),
+    "full": BenchScale(
+        name="full", metro_nodes=40, metro_days=25, demand_nodes=32, demand_days=28,
+        electricity_nodes=24, electricity_days=60, epochs=30, hidden_dim=64,
+        node_dim=32, time_dim=16, num_layers=2,
+    ),
+}
+
+
+def scale() -> BenchScale:
+    key = os.environ.get("REPRO_BENCH_SCALE", "quick")
+    try:
+        return _SCALES[key]
+    except KeyError:
+        raise ValueError(f"REPRO_BENCH_SCALE must be one of {sorted(_SCALES)}") from None
+
+
+def tgcrn_kwargs(s: BenchScale) -> dict:
+    return dict(node_dim=s.node_dim, time_dim=s.time_dim, num_layers=s.num_layers)
+
+
+def report(name: str, text: str) -> None:
+    """Print a rendered table and archive it under benchmarks/results/.
+
+    Printing goes to the *real* stdout so the tables appear in the
+    terminal / tee output even when pytest captures test output (i.e.
+    without ``-s``).
+    """
+    import sys
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    banner = f"\n{'=' * 72}\n{name}\n{'=' * 72}\n"
+    stream = getattr(sys, "__stdout__", None) or sys.stdout
+    stream.write(banner + text + "\n")
+    stream.flush()
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")

@@ -1,0 +1,20 @@
+"""Benchmark-suite plumbing.
+
+* Makes ``bench_utils`` importable when pytest runs from the repo root.
+* Disables output capture for every bench so the rendered paper tables
+  stream to the terminal (and into ``tee bench_output.txt``) even without
+  ``-s`` — they are the point of the harness, not debug noise.
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+
+@pytest.fixture(autouse=True)
+def _stream_tables(capfd):
+    with capfd.disabled():
+        yield

@@ -1,0 +1,83 @@
+"""Bring your own data: forecasting a custom spatially-correlated series.
+
+Run:  python examples/custom_dataset.py
+
+Shows the lower-level API for users with their own (T, N, d) array:
+windowing, scaling, batching, model construction, and a manual training
+loop with the joint loss of Eq. 17 — everything `load_task`/`Trainer`
+otherwise do for you.
+"""
+
+import numpy as np
+
+from repro.autodiff import Tensor, mae_loss, no_grad
+from repro.core import TGCRN, TimeDiscrepancyLearner
+from repro.data import DataLoader, StandardScaler, make_windows
+from repro.metrics import evaluate
+from repro.nn import Adam, MultiStepLR, clip_grad_norm
+
+
+def synthesize_custom_series(num_steps=600, num_nodes=6, seed=0):
+    """Any (T, N, d) array works; here, coupled noisy oscillators whose
+    coupling strength varies with the time of day."""
+    rng = np.random.default_rng(seed)
+    steps_per_day = 24
+    t = np.arange(num_steps)
+    phase = 2 * np.pi * (t % steps_per_day) / steps_per_day
+    base = 5.0 + 2.0 * np.sin(phase)[:, None] + rng.normal(scale=0.3, size=(num_steps, num_nodes))
+    coupling = 0.5 * (1 + np.sin(phase))  # stronger coupling mid-day
+    mixed = base.copy()
+    for k in range(1, num_steps):
+        neighbours = np.roll(base[k - 1], 1)
+        mixed[k] += coupling[k] * 0.3 * neighbours
+    return mixed[:, :, None], t, steps_per_day
+
+
+def main():
+    values, time_index, steps_per_day = synthesize_custom_series()
+    history, horizon = 6, 3
+
+    # Train/test split on the raw series, then window each side.
+    split = int(0.8 * len(values))
+    scaler = StandardScaler().fit(values[:split])
+    train_ws = make_windows(scaler.transform(values[:split]), time_index[:split], history, horizon)
+    test_ws = make_windows(scaler.transform(values[split:]), time_index[split:], history, horizon)
+    print(f"train windows: {len(train_ws)}, test windows: {len(test_ws)}")
+
+    rng = np.random.default_rng(0)
+    model = TGCRN(
+        num_nodes=values.shape[1], in_dim=1, out_dim=1, horizon=horizon,
+        hidden_dim=12, num_layers=1, node_dim=6, time_dim=6,
+        steps_per_day=steps_per_day, rng=rng,
+    )
+    optimizer = Adam(model.parameters(), lr=1e-3, weight_decay=1e-4)
+    scheduler = MultiStepLR(optimizer, milestones=[5, 20], gamma=0.3)
+    discrepancy = TimeDiscrepancyLearner(model.time_encoder, rng, adjacent_range=history // 2)
+    loader = DataLoader(train_ws, batch_size=16, shuffle=True, seed=0)
+
+    for epoch in range(8):
+        model.train()
+        total, batches = 0.0, 0
+        for x, y, t in loader:
+            optimizer.zero_grad()
+            prediction = model(Tensor(x), t)
+            loss = mae_loss(prediction, Tensor(y)) + 0.1 * discrepancy(t)  # Eq. 17
+            loss.backward()
+            clip_grad_norm(model.parameters(), 5.0)
+            optimizer.step()
+            total += loss.item()
+            batches += 1
+        scheduler.step()
+        print(f"epoch {epoch}: joint loss {total / batches:.4f}")
+
+    model.eval()
+    with no_grad():
+        prediction = model(Tensor(test_ws.inputs), test_ws.time_indices).numpy()
+    report = evaluate(
+        scaler.inverse_transform(prediction), scaler.inverse_transform(test_ws.targets)
+    )
+    print(f"\ntest: {report}")
+
+
+if __name__ == "__main__":
+    main()

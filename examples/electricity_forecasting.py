@@ -1,0 +1,49 @@
+"""Electricity consumption forecasting (Table VI's scenario).
+
+Run:  python examples/electricity_forecasting.py
+
+Hourly consumption with latent-factor spatial correlation: clients in
+the same functional area share demand shocks, so graph-based models can
+exploit neighbours' recent usage.  Compares TGCRN with AGCRN and
+Crossformer-lite on MSE/MAE (the Table VI metrics), and shows how to
+swap the time encoder (Time2Vec) through the ablation machinery.
+"""
+
+import numpy as np
+
+from repro import load_task
+from repro.training import TrainingConfig, run_experiment
+
+
+def main():
+    # Hourly data: 24 slots/day, P = Q = 12 hours.
+    task = load_task("electricity", num_nodes=10, num_days=24, seed=0)
+    print(f"{task.name}: {task.num_nodes} clients, "
+          f"{len(task.train)}/{len(task.val)}/{len(task.test)} windows")
+
+    config = TrainingConfig(epochs=6, batch_size=16)
+    rows = []
+    for name in ("agcrn", "crossformer", "tgcrn"):
+        kwargs = (
+            dict(model_kwargs=dict(node_dim=8, time_dim=8, num_layers=1))
+            if name == "tgcrn" else {}
+        )
+        result = run_experiment(name, task, config, hidden_dim=16, num_layers=1, **kwargs)
+        rows.append((name, result.overall))
+
+    # Ablation-style swap: TGCRN with Time2Vec instead of the learned
+    # discrete embedding (a Table VII row, usable on any dataset).
+    t2v = run_experiment(
+        "time2vec", task, config, hidden_dim=16,
+        model_kwargs=dict(node_dim=8, time_dim=8, num_layers=1),
+    )
+    rows.append(("tgcrn+t2v", t2v.overall))
+
+    print(f"\n{'model':<12} {'MSE':>10} {'MAE':>8}")
+    for name, overall in rows:
+        print(f"{name:<12} {overall.mse:10.3f} {overall.mae:8.3f}")
+    print("\n(Table VI reports MSE/MAE; lower is better.)")
+
+
+if __name__ == "__main__":
+    main()

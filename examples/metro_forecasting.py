@@ -1,0 +1,87 @@
+"""Metro passenger-flow forecasting with time-aware graph inspection.
+
+Run:  python examples/metro_forecasting.py
+
+The scenario of the paper's introduction: stations in residential,
+business, and shopping areas exchange passengers with daily trends and
+weekday/weekend periodicity.  This example
+
+1. inspects the ground-truth OD dynamics the generator plants (Fig. 2),
+2. trains TGCRN and two graph baselines,
+3. extracts the learned time-aware adjacency at several times of day and
+   compares it against the true OD matrices (Fig. 11's analysis).
+"""
+
+import numpy as np
+
+from repro import TGCRN, Trainer, TrainingConfig, load_task
+from repro.autodiff import Tensor, no_grad
+from repro.training import default_tgcrn_kwargs, run_experiment
+from repro.viz import matrix_correlation, render_heatmap, side_by_side
+
+
+def inspect_ground_truth(task):
+    """Show the planted OD periodicity/trend (the paper's Fig. 2)."""
+    spd = task.steps_per_day
+    morning = spd // 6
+    monday = task.dataset.od_matrix(0 * spd + morning)
+    saturday = task.dataset.od_matrix(5 * spd + morning)
+    print("Ground-truth OD transfer, same morning slot:")
+    print(side_by_side(
+        render_heatmap(monday, title="Monday"),
+        render_heatmap(saturday, title="Saturday"),
+    ))
+    drift = [np.abs(task.dataset.od_matrix(morning + k) - monday).mean() for k in range(4)]
+    print("mean |OD(t+k) - OD(t)| over consecutive spans:",
+          " ".join(f"{d:.3f}" for d in drift))
+
+
+def learned_adjacency(model, task, step):
+    frame = task.scaler.transform(task.dataset.values[step : step + 1])
+    with no_grad():
+        adjacency = model.tagsl.normalized(Tensor(frame), np.array([step]))
+    out = adjacency.data[0].copy()
+    np.fill_diagonal(out, 0.0)
+    return out
+
+
+def main():
+    task = load_task("hzmetro", num_nodes=12, num_days=10, seed=0)
+    inspect_ground_truth(task)
+
+    config = TrainingConfig(epochs=10, batch_size=16)
+    print("\nTraining TGCRN and graph baselines (DCRNN pre-defined graph, "
+          "AGCRN static self-learning graph)...")
+    results = {}
+    for name in ("dcrnn", "agcrn"):
+        results[name] = run_experiment(name, task, config, hidden_dim=16, num_layers=1)
+
+    model = TGCRN(
+        **default_tgcrn_kwargs(task, hidden_dim=16, node_dim=8, time_dim=8, num_layers=1),
+        rng=np.random.default_rng(0),
+    )
+    trainer = Trainer(config)
+    trainer.fit(model, task)
+    overall, _ = trainer.test_report(model, task)
+
+    print(f"\n{'model':<8} {'MAE':>8} {'RMSE':>8}")
+    for name, r in results.items():
+        print(f"{name:<8} {r.overall.mae:8.2f} {r.overall.rmse:8.2f}")
+    print(f"{'tgcrn':<8} {overall.mae:8.2f} {overall.rmse:8.2f}")
+
+    print("\nLearned time-aware adjacency vs ground-truth OD (weekday morning):")
+    spd = task.steps_per_day
+    step = 1 * spd + spd // 6
+    learned = learned_adjacency(model, task, step)
+    truth = task.dataset.od_matrix(step)
+    print(side_by_side(
+        render_heatmap(learned, title="learned A^t"),
+        render_heatmap(truth, title=f"true OD (corr={matrix_correlation(learned, truth):+.3f})"),
+    ))
+    weekend = learned_adjacency(model, task, 5 * spd + spd // 6)
+    print(f"\nmean |A_weekday - A_weekend| = {np.abs(learned - weekend).mean():.4f} "
+          "(nonzero -> the graph is period-aware)")
+
+
+if __name__ == "__main__":
+    main()

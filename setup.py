@@ -1,0 +1,21 @@
+"""Legacy setup shim.
+
+The sandboxed environment ships setuptools without the ``wheel`` package,
+so PEP 660 editable installs fail; this shim lets
+``pip install -e . --no-use-pep517`` work offline.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of TGCRN: Learning Time-aware Graph Structures for "
+        "Spatially Correlated Time Series Forecasting (ICDE 2024)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.23", "scipy>=1.9", "networkx>=2.8"],
+)

@@ -1,0 +1,48 @@
+"""repro — reproduction of "Learning Time-aware Graph Structures for
+Spatially Correlated Time Series Forecasting" (TGCRN, ICDE 2024).
+
+Public API tour
+---------------
+``repro.core``       TagSL, GCGRU, TGCRN and ablation variants.
+``repro.baselines``  the paper's thirteen comparison methods.
+``repro.data``       synthetic Table III datasets with ground-truth
+                     dynamic OD correlations.
+``repro.training``   Trainer (paper protocol) + experiment runner.
+``repro.metrics``    MAE/RMSE/MAPE/MSE/PCC.
+``repro.autodiff``   the numpy autodiff engine everything runs on.
+``repro.nn``         layers, RNNs, attention, optimizers.
+``repro.graph``      adjacency normalizations and pre-defined builders.
+``repro.viz``        heat maps and t-SNE for Figs. 11-12.
+
+Quickstart
+----------
+>>> from repro import load_task, TGCRN, Trainer, TrainingConfig
+>>> import numpy as np
+>>> task = load_task("hzmetro", num_nodes=10, num_days=8)
+>>> model = TGCRN(num_nodes=task.num_nodes, in_dim=task.in_dim,
+...               out_dim=task.out_dim, horizon=task.horizon,
+...               hidden_dim=16, num_layers=1, node_dim=8, time_dim=4,
+...               steps_per_day=task.steps_per_day,
+...               rng=np.random.default_rng(0))
+>>> history = Trainer(TrainingConfig(epochs=2)).fit(model, task)
+"""
+
+from .core import TGCRN, TagSL, GCGRUCell
+from .data import load_task
+from .training import Trainer, TrainingConfig, run_experiment
+from .metrics import evaluate, horizon_report
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "GCGRUCell",
+    "TGCRN",
+    "TagSL",
+    "Trainer",
+    "TrainingConfig",
+    "evaluate",
+    "horizon_report",
+    "load_task",
+    "run_experiment",
+    "__version__",
+]

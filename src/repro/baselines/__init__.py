@@ -1,0 +1,51 @@
+"""Thirteen comparison methods re-implemented on the autodiff substrate."""
+
+from .agcrn import AGCRN
+from .boosting import BoostingForecaster, GradientBoosting, RegressionTree, xgboost_model
+from .ccrnn import CCRNN
+from .dcrnn import DCRNN
+from .esg import ESG
+from .fclstm import FCLSTM
+from .gts import GTS
+from .gwnet import GraphWaveNet
+from .historical import HistoricalAverage
+from .mtgnn import MTGNN, MixHopPropagation
+from .pvcgn import PVCGN
+from .registry import ALL_BASELINES, NEURAL_BASELINES, STATISTICAL_BASELINES, build_baseline
+from .transformers import Crossformer, Informer
+from .cells import (
+    DynamicGraphConv,
+    DynamicGraphGRUCell,
+    FixedGraphGRUCell,
+    MultiGraphGRUCell,
+    SupportGraphConv,
+)
+
+__all__ = [
+    "AGCRN",
+    "ALL_BASELINES",
+    "BoostingForecaster",
+    "CCRNN",
+    "Crossformer",
+    "DCRNN",
+    "DynamicGraphConv",
+    "DynamicGraphGRUCell",
+    "ESG",
+    "FCLSTM",
+    "FixedGraphGRUCell",
+    "GTS",
+    "GradientBoosting",
+    "GraphWaveNet",
+    "HistoricalAverage",
+    "Informer",
+    "MTGNN",
+    "MixHopPropagation",
+    "MultiGraphGRUCell",
+    "NEURAL_BASELINES",
+    "PVCGN",
+    "RegressionTree",
+    "STATISTICAL_BASELINES",
+    "SupportGraphConv",
+    "build_baseline",
+    "xgboost_model",
+]

@@ -1,0 +1,68 @@
+"""AGCRN (Bai et al., NeurIPS 2020): adaptive graph convolutional
+recurrent network.
+
+A *static self-learning* graph softmax(relu(E Eᵀ)) over learnable node
+embeddings drives node-adaptive graph-conv GRUs — exactly the mechanism
+TGCRN generalizes (our GCGRU with a time-invariant adjacency), making
+this both a baseline and the *w/o tagsl* ablation's reference.  Output
+is AGCRN's direct multi-horizon head on the final hidden state.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autodiff import Tensor, softmax, zeros
+from ..core.gcgru import GCGRUCell
+from ..nn import Linear, Module, ModuleList, Parameter, init
+
+
+class AGCRN(Module):
+    """forward(x: (B,P,N,d), time_indices ignored) -> (B,Q,N,d_out)."""
+
+    def __init__(
+        self,
+        num_nodes: int,
+        in_dim: int,
+        out_dim: int,
+        horizon: int,
+        hidden_dim: int = 64,
+        num_layers: int = 2,
+        embed_dim: int = 10,
+        cheb_k: int = 2,
+        *,
+        rng: np.random.Generator,
+    ):
+        super().__init__()
+        self.num_nodes = num_nodes
+        self.out_dim = out_dim
+        self.horizon = horizon
+        self.hidden_dim = hidden_dim
+        self.num_layers = num_layers
+        self.node_embedding = Parameter(init.normal((num_nodes, embed_dim), rng, std=1.0 / np.sqrt(embed_dim)))
+        dims = [in_dim] + [hidden_dim] * (num_layers - 1)
+        self.cells = ModuleList([GCGRUCell(d, hidden_dim, embed_dim, cheb_k, rng=rng) for d in dims])
+        self.head = Linear(hidden_dim, horizon * out_dim, rng=rng)
+
+    def adaptive_adjacency(self, batch: int) -> Tensor:
+        logits = (self.node_embedding @ self.node_embedding.T).relu()
+        adjacency = softmax(logits, axis=-1)
+        return adjacency.unsqueeze(0).broadcast_to((batch, self.num_nodes, self.num_nodes))
+
+    def forward(self, x: Tensor, time_indices: np.ndarray | None = None) -> Tensor:
+        batch, history, _, _ = x.shape
+        adjacency = self.adaptive_adjacency(batch)
+        embed = self.node_embedding.unsqueeze(0).broadcast_to(
+            (batch, self.num_nodes, self.node_embedding.shape[1])
+        )
+        hiddens = [zeros(batch, self.num_nodes, self.hidden_dim) for _ in range(self.num_layers)]
+        for t in range(history):
+            layer_input = x[:, t]
+            new_hiddens = []
+            for cell, hidden in zip(self.cells, hiddens):
+                layer_input = cell(layer_input, hidden, adjacency, embed)
+                new_hiddens.append(layer_input)
+            hiddens = new_hiddens
+        flat = self.head(hiddens[-1])  # (B, N, Q*d_out)
+        out = flat.reshape(batch, self.num_nodes, self.horizon, self.out_dim)
+        return out.transpose(0, 2, 1, 3)

@@ -1,0 +1,74 @@
+"""CCRNN (Ye et al., AAAI 2021): coupled layer-wise graph convolution.
+
+Each recurrent layer learns its *own* adjacency from per-layer node
+embeddings; a coupling transform ties layer l+1's embedding to layer l's
+(the layer-wise coupling mechanism bridging upper/lower adjacency
+matrices).  Direct multi-horizon head, as in the original demand setup.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autodiff import Tensor, softmax, zeros
+from ..nn import Linear, Module, ModuleList, Parameter, init
+from .cells import DynamicGraphGRUCell
+
+
+class CCRNN(Module):
+    """forward(x: (B,P,N,d), time_indices ignored) -> (B,Q,N,d_out)."""
+
+    def __init__(
+        self,
+        num_nodes: int,
+        in_dim: int,
+        out_dim: int,
+        horizon: int,
+        hidden_dim: int = 64,
+        num_layers: int = 2,
+        embed_dim: int = 10,
+        *,
+        rng: np.random.Generator,
+    ):
+        super().__init__()
+        self.num_nodes = num_nodes
+        self.out_dim = out_dim
+        self.horizon = horizon
+        self.hidden_dim = hidden_dim
+        self.num_layers = num_layers
+        self.base_embedding = Parameter(init.normal((num_nodes, embed_dim), rng, std=1.0 / np.sqrt(embed_dim)))
+        # Coupling maps deriving deeper-layer embeddings from the base.
+        self.couplings = ModuleList(
+            [Linear(embed_dim, embed_dim, rng=rng) for _ in range(num_layers - 1)]
+        )
+        dims = [in_dim] + [hidden_dim] * (num_layers - 1)
+        self.cells = ModuleList([DynamicGraphGRUCell(d, hidden_dim, hops=1, rng=rng) for d in dims])
+        self.head = Linear(hidden_dim, horizon * out_dim, rng=rng)
+
+    def layer_adjacencies(self, batch: int) -> list[Tensor]:
+        adjacencies = []
+        embedding = self.base_embedding
+        for layer in range(self.num_layers):
+            logits = (embedding @ embedding.T).relu()
+            adjacency = softmax(logits, axis=-1)
+            adjacencies.append(
+                adjacency.unsqueeze(0).broadcast_to((batch, self.num_nodes, self.num_nodes))
+            )
+            if layer < self.num_layers - 1:
+                embedding = self.couplings[layer](embedding).tanh()
+        return adjacencies
+
+    def forward(self, x: Tensor, time_indices: np.ndarray | None = None) -> Tensor:
+        batch, history, _, _ = x.shape
+        adjacencies = self.layer_adjacencies(batch)
+        hiddens = [zeros(batch, self.num_nodes, self.hidden_dim) for _ in range(self.num_layers)]
+        for t in range(history):
+            layer_input = x[:, t]
+            new_hiddens = []
+            for cell, hidden, adjacency in zip(self.cells, hiddens, adjacencies):
+                layer_input = cell(layer_input, hidden, adjacency)
+                new_hiddens.append(layer_input)
+            hiddens = new_hiddens
+        flat = self.head(hiddens[-1])
+        out = flat.reshape(batch, self.num_nodes, self.horizon, self.out_dim)
+        return out.transpose(0, 2, 1, 3)

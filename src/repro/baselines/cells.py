@@ -1,0 +1,128 @@
+"""Shared recurrent graph-convolution machinery for the baselines.
+
+DCRNN, PVCGN, GTS, CCRNN, and ESG all wrap a GRU whose gates apply some
+form of graph convolution; they differ only in where the adjacency comes
+from (pre-defined, multi-graph, sampled, layer-wise learned, evolving).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autodiff import Tensor, concat
+from ..nn import Module, ModuleList, Parameter, init
+
+
+class SupportGraphConv(Module):
+    """y = Σ_k S_k x W_k + b with *fixed* numpy supports (DCRNN-style).
+
+    Weights are shared across nodes; supports are constants so gradients
+    only flow through the features.
+    """
+
+    def __init__(self, supports: list[np.ndarray], in_dim: int, out_dim: int, *, rng: np.random.Generator):
+        super().__init__()
+        self._supports = [Tensor(s) for s in supports]
+        self.in_dim = in_dim
+        self.out_dim = out_dim
+        self.weight = Parameter(init.xavier_uniform(((len(supports) + 1) * in_dim, out_dim), rng))
+        self.bias = Parameter(init.zeros((out_dim,)))
+
+    def forward(self, x: Tensor) -> Tensor:
+        """x: (B, N, C_in) -> (B, N, C_out); includes the identity hop."""
+        terms = [x] + [support @ x for support in self._supports]
+        return concat(terms, axis=-1) @ self.weight + self.bias
+
+
+class DynamicGraphConv(Module):
+    """y = Σ_k A^k x W_k + b where A is supplied per forward call.
+
+    ``hops`` counts powers of the (batch of) adjacency applied, plus the
+    identity term.
+    """
+
+    def __init__(self, in_dim: int, out_dim: int, hops: int = 1, *, rng: np.random.Generator):
+        super().__init__()
+        self.in_dim = in_dim
+        self.out_dim = out_dim
+        self.hops = hops
+        self.weight = Parameter(init.xavier_uniform(((hops + 1) * in_dim, out_dim), rng))
+        self.bias = Parameter(init.zeros((out_dim,)))
+
+    def forward(self, x: Tensor, adjacency: Tensor) -> Tensor:
+        terms = [x]
+        for _ in range(self.hops):
+            terms.append(adjacency @ terms[-1])
+        return concat(terms, axis=-1) @ self.weight + self.bias
+
+
+class FixedGraphGRUCell(Module):
+    """GRU cell whose gates convolve over fixed supports."""
+
+    def __init__(self, supports: list[np.ndarray], in_dim: int, hidden_dim: int, *, rng: np.random.Generator):
+        super().__init__()
+        self.hidden_dim = hidden_dim
+        self.gate_conv = SupportGraphConv(supports, in_dim + hidden_dim, 2 * hidden_dim, rng=rng)
+        self.candidate_conv = SupportGraphConv(supports, in_dim + hidden_dim, hidden_dim, rng=rng)
+
+    def forward(self, x: Tensor, h: Tensor) -> Tensor:
+        gates = self.gate_conv(concat([x, h], axis=-1)).sigmoid()
+        z = gates[:, :, : self.hidden_dim]
+        r = gates[:, :, self.hidden_dim :]
+        candidate = self.candidate_conv(concat([x, r * h], axis=-1)).tanh()
+        return (1.0 - z) * h + z * candidate
+
+
+class DynamicGraphGRUCell(Module):
+    """GRU cell whose gates convolve over a per-step adjacency batch."""
+
+    def __init__(self, in_dim: int, hidden_dim: int, hops: int = 1, *, rng: np.random.Generator):
+        super().__init__()
+        self.hidden_dim = hidden_dim
+        self.gate_conv = DynamicGraphConv(in_dim + hidden_dim, 2 * hidden_dim, hops, rng=rng)
+        self.candidate_conv = DynamicGraphConv(in_dim + hidden_dim, hidden_dim, hops, rng=rng)
+
+    def forward(self, x: Tensor, h: Tensor, adjacency: Tensor) -> Tensor:
+        gates = self.gate_conv(concat([x, h], axis=-1), adjacency).sigmoid()
+        z = gates[:, :, : self.hidden_dim]
+        r = gates[:, :, self.hidden_dim :]
+        candidate = self.candidate_conv(concat([x, r * h], axis=-1), adjacency).tanh()
+        return (1.0 - z) * h + z * candidate
+
+
+class MultiGraphGRUCell(Module):
+    """GRU cell summing convolutions over several fixed graphs (PVCGN).
+
+    Each graph contributes its own :class:`SupportGraphConv`; gate
+    pre-activations are summed before the nonlinearity, which is the
+    collaboration mechanism of physical-virtual graph fusion.
+    """
+
+    def __init__(
+        self, graphs: list[list[np.ndarray]], in_dim: int, hidden_dim: int, *, rng: np.random.Generator
+    ):
+        super().__init__()
+        self.hidden_dim = hidden_dim
+        self.gate_convs = ModuleList(
+            [SupportGraphConv(g, in_dim + hidden_dim, 2 * hidden_dim, rng=rng) for g in graphs]
+        )
+        self.candidate_convs = ModuleList(
+            [SupportGraphConv(g, in_dim + hidden_dim, hidden_dim, rng=rng) for g in graphs]
+        )
+
+    def forward(self, x: Tensor, h: Tensor) -> Tensor:
+        xh = concat([x, h], axis=-1)
+        gate_sum = None
+        for conv in self.gate_convs:
+            term = conv(xh)
+            gate_sum = term if gate_sum is None else gate_sum + term
+        gates = gate_sum.sigmoid()
+        z = gates[:, :, : self.hidden_dim]
+        r = gates[:, :, self.hidden_dim :]
+        xrh = concat([x, r * h], axis=-1)
+        cand_sum = None
+        for conv in self.candidate_convs:
+            term = conv(xrh)
+            cand_sum = term if cand_sum is None else cand_sum + term
+        candidate = cand_sum.tanh()
+        return (1.0 - z) * h + z * candidate

@@ -1,0 +1,72 @@
+"""DCRNN (Li et al., ICLR 2018): diffusion-convolutional recurrent
+network on a *pre-defined* distance graph.
+
+Gates convolve over bidirectional random-walk diffusion supports of the
+fixed graph; encoder-decoder with autoregressive decoding, as in the
+original (scheduled sampling omitted — it mainly matters at much longer
+training budgets).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autodiff import Tensor, stack, zeros
+from ..graph.cheb import diffusion_supports
+from ..nn import Linear, Module, ModuleList
+from .cells import FixedGraphGRUCell
+
+
+class DCRNN(Module):
+    """forward(x: (B,P,N,d), time_indices ignored) -> (B,Q,N,d_out)."""
+
+    def __init__(
+        self,
+        adjacency: np.ndarray,
+        in_dim: int,
+        out_dim: int,
+        horizon: int,
+        hidden_dim: int = 64,
+        num_layers: int = 2,
+        max_diffusion_step: int = 2,
+        *,
+        rng: np.random.Generator,
+    ):
+        super().__init__()
+        self.num_nodes = adjacency.shape[0]
+        self.out_dim = out_dim
+        self.horizon = horizon
+        self.hidden_dim = hidden_dim
+        self.num_layers = num_layers
+        supports = diffusion_supports(adjacency, max_step=max_diffusion_step)
+        enc_dims = [in_dim] + [hidden_dim] * (num_layers - 1)
+        dec_dims = [out_dim] + [hidden_dim] * (num_layers - 1)
+        self.encoder_cells = ModuleList(
+            [FixedGraphGRUCell(supports, d, hidden_dim, rng=rng) for d in enc_dims]
+        )
+        self.decoder_cells = ModuleList(
+            [FixedGraphGRUCell(supports, d, hidden_dim, rng=rng) for d in dec_dims]
+        )
+        self.head = Linear(hidden_dim, out_dim, rng=rng)
+
+    def _run_layers(self, cells: ModuleList, x: Tensor, hiddens: list[Tensor]) -> list[Tensor]:
+        new_hiddens = []
+        layer_input = x
+        for cell, hidden in zip(cells, hiddens):
+            layer_input = cell(layer_input, hidden)
+            new_hiddens.append(layer_input)
+        return new_hiddens
+
+    def forward(self, x: Tensor, time_indices: np.ndarray | None = None) -> Tensor:
+        batch, history, _, _ = x.shape
+        hiddens = [zeros(batch, self.num_nodes, self.hidden_dim) for _ in range(self.num_layers)]
+        for t in range(history):
+            hiddens = self._run_layers(self.encoder_cells, x[:, t], hiddens)
+        decoder_input = x[:, history - 1, :, : self.out_dim]
+        outputs = []
+        for _ in range(self.horizon):
+            hiddens = self._run_layers(self.decoder_cells, decoder_input, hiddens)
+            prediction = self.head(hiddens[-1])
+            outputs.append(prediction)
+            decoder_input = prediction
+        return stack(outputs, axis=1)

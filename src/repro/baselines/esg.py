@@ -1,0 +1,75 @@
+"""ESG (Ye et al., KDD 2022): evolving graph structure learning.
+
+A dedicated GRU evolves per-node embeddings across time from the current
+input; at each step the embeddings define an *evolving* adjacency
+softmax(relu(e_t e_tᵀ)) driving a graph-conv GRU — a dynamic graph that
+reacts to the hidden state but (unlike TagSL) has no explicit notion of
+time, trend, or periodicity.  Multi-scale stacking is reduced to the
+single scale that matters at the paper's short horizons.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autodiff import Tensor, softmax, zeros
+from ..nn import GRUCell, Linear, Module, ModuleList, Parameter, init
+from .cells import DynamicGraphGRUCell
+
+
+class ESG(Module):
+    """forward(x: (B,P,N,d), time_indices ignored) -> (B,Q,N,d_out)."""
+
+    def __init__(
+        self,
+        num_nodes: int,
+        in_dim: int,
+        out_dim: int,
+        horizon: int,
+        hidden_dim: int = 64,
+        num_layers: int = 1,
+        embed_dim: int = 16,
+        *,
+        rng: np.random.Generator,
+    ):
+        super().__init__()
+        self.num_nodes = num_nodes
+        self.out_dim = out_dim
+        self.horizon = horizon
+        self.hidden_dim = hidden_dim
+        self.num_layers = num_layers
+        self.embed_dim = embed_dim
+        self.initial_embedding = Parameter(init.normal((num_nodes, embed_dim), rng, std=1.0 / np.sqrt(embed_dim)))
+        # The graph-evolution GRU consumes each node's current features.
+        self.evolver = GRUCell(in_dim, embed_dim, rng=rng)
+        dims = [in_dim] + [hidden_dim] * (num_layers - 1)
+        self.cells = ModuleList([DynamicGraphGRUCell(d, hidden_dim, hops=1, rng=rng) for d in dims])
+        self.head = Linear(hidden_dim, horizon * out_dim, rng=rng)
+
+    def _evolve(self, frame: Tensor, embedding: Tensor) -> Tensor:
+        """One step of embedding evolution; shapes fold nodes into batch."""
+        batch, num_nodes, in_dim = frame.shape
+        flat_x = frame.reshape(batch * num_nodes, in_dim)
+        flat_e = embedding.reshape(batch * num_nodes, self.embed_dim)
+        return self.evolver(flat_x, flat_e).reshape(batch, num_nodes, self.embed_dim)
+
+    def forward(self, x: Tensor, time_indices: np.ndarray | None = None) -> Tensor:
+        batch, history, _, _ = x.shape
+        embedding = self.initial_embedding.unsqueeze(0).broadcast_to(
+            (batch, self.num_nodes, self.embed_dim)
+        )
+        hiddens = [zeros(batch, self.num_nodes, self.hidden_dim) for _ in range(self.num_layers)]
+        for t in range(history):
+            frame = x[:, t]
+            embedding = self._evolve(frame, embedding)
+            logits = (embedding @ embedding.swapaxes(-1, -2)).relu()
+            adjacency = softmax(logits, axis=-1)
+            layer_input = frame
+            new_hiddens = []
+            for cell, hidden in zip(self.cells, hiddens):
+                layer_input = cell(layer_input, hidden, adjacency)
+                new_hiddens.append(layer_input)
+            hiddens = new_hiddens
+        flat = self.head(hiddens[-1])
+        out = flat.reshape(batch, self.num_nodes, self.horizon, self.out_dim)
+        return out.transpose(0, 2, 1, 3)

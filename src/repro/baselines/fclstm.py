@@ -1,0 +1,53 @@
+"""FC-LSTM: fully-connected LSTM encoder-decoder (Sutskever et al. 2014).
+
+The node dimension is flattened into the feature vector, so the model
+captures temporal dependencies only — the paper's reference point for
+"no explicit spatial modeling" (and the benchmark of Fig. 8).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autodiff import Tensor, stack
+from ..nn import LSTM, Linear, Module
+
+
+class FCLSTM(Module):
+    """Seq2seq LSTM over node-flattened inputs.
+
+    forward(x: (B, P, N, d), time_indices ignored) -> (B, Q, N, d_out).
+    """
+
+    def __init__(
+        self,
+        num_nodes: int,
+        in_dim: int,
+        out_dim: int,
+        horizon: int,
+        hidden_dim: int = 64,
+        num_layers: int = 2,
+        *,
+        rng: np.random.Generator,
+    ):
+        super().__init__()
+        self.num_nodes = num_nodes
+        self.in_dim = in_dim
+        self.out_dim = out_dim
+        self.horizon = horizon
+        self.encoder = LSTM(num_nodes * in_dim, hidden_dim, num_layers, rng=rng)
+        self.decoder = LSTM(num_nodes * out_dim, hidden_dim, num_layers, rng=rng)
+        self.head = Linear(hidden_dim, num_nodes * out_dim, rng=rng)
+
+    def forward(self, x: Tensor, time_indices: np.ndarray | None = None) -> Tensor:
+        batch, history, _, _ = x.shape
+        flat = x.reshape(batch, history, self.num_nodes * self.in_dim)
+        _, states = self.encoder(flat)
+        decoder_input = x[:, history - 1, :, : self.out_dim].reshape(batch, 1, -1)
+        outputs = []
+        for _ in range(self.horizon):
+            out, states = self.decoder(decoder_input, states)
+            frame = self.head(out[:, 0, :])
+            outputs.append(frame.reshape(batch, self.num_nodes, self.out_dim))
+            decoder_input = frame.reshape(batch, 1, -1)
+        return stack(outputs, axis=1)

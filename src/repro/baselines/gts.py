@@ -1,0 +1,88 @@
+"""GTS (Shang et al., ICLR 2021): discrete graph structure learning.
+
+A feature extractor summarizes each node's *training series* into a
+static representation; pairwise MLP scores parameterize Bernoulli edge
+probabilities, sampled with the Gumbel straight-through trick during
+training and thresholded at evaluation.  The sampled graph drives a
+recurrent forecaster.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autodiff import Tensor, concat, gumbel_softmax, stack, zeros
+from ..nn import Linear, Module, ModuleList
+from .cells import DynamicGraphGRUCell
+
+
+class GTS(Module):
+    """forward(x: (B,P,N,d), time_indices ignored) -> (B,Q,N,d_out)."""
+
+    def __init__(
+        self,
+        node_features: np.ndarray,
+        in_dim: int,
+        out_dim: int,
+        horizon: int,
+        hidden_dim: int = 64,
+        num_layers: int = 1,
+        feature_dim: int = 16,
+        temperature: float = 0.5,
+        *,
+        rng: np.random.Generator,
+    ):
+        super().__init__()
+        self.num_nodes = node_features.shape[0]
+        self.out_dim = out_dim
+        self.horizon = horizon
+        self.hidden_dim = hidden_dim
+        self.num_layers = num_layers
+        self.temperature = temperature
+        self._rng = rng
+        # Static per-node summary of the training series (mean/std pooling
+        # of the raw history stands in for GTS's conv feature extractor).
+        self._node_summary = Tensor(node_features)
+        self.feature_proj = Linear(node_features.shape[1], feature_dim, rng=rng)
+        self.edge_scorer = Linear(2 * feature_dim, 2, rng=rng)
+        dims = [in_dim] + [hidden_dim] * (num_layers - 1)
+        self.cells = ModuleList([DynamicGraphGRUCell(d, hidden_dim, hops=1, rng=rng) for d in dims])
+        self.head = Linear(hidden_dim, horizon * out_dim, rng=rng)
+
+    @staticmethod
+    def summarize_series(series: np.ndarray) -> np.ndarray:
+        """(T, N, d) training series -> (N, 2*d) mean/std node features."""
+        return np.concatenate([series.mean(axis=0), series.std(axis=0)], axis=-1)
+
+    def edge_logits(self) -> Tensor:
+        features = self.feature_proj(self._node_summary).relu()  # (N, F)
+        n = self.num_nodes
+        left = features.unsqueeze(1).broadcast_to((n, n, features.shape[-1]))
+        right = features.unsqueeze(0).broadcast_to((n, n, features.shape[-1]))
+        return self.edge_scorer(concat([left, right], axis=-1))  # (N, N, 2)
+
+    def sample_adjacency(self, batch: int) -> Tensor:
+        logits = self.edge_logits()
+        if self.training:
+            edges = gumbel_softmax(logits, self.temperature, self._rng, hard=True, axis=-1)
+            adjacency = edges[:, :, 0]
+        else:
+            adjacency = Tensor((logits.data[:, :, 0] > logits.data[:, :, 1]).astype(float))
+        row_sum = adjacency.sum(axis=-1, keepdims=True) + 1e-6
+        adjacency = adjacency / row_sum
+        return adjacency.unsqueeze(0).broadcast_to((batch, self.num_nodes, self.num_nodes))
+
+    def forward(self, x: Tensor, time_indices: np.ndarray | None = None) -> Tensor:
+        batch, history, _, _ = x.shape
+        adjacency = self.sample_adjacency(batch)
+        hiddens = [zeros(batch, self.num_nodes, self.hidden_dim) for _ in range(self.num_layers)]
+        for t in range(history):
+            layer_input = x[:, t]
+            new_hiddens = []
+            for cell, hidden in zip(self.cells, hiddens):
+                layer_input = cell(layer_input, hidden, adjacency)
+                new_hiddens.append(layer_input)
+            hiddens = new_hiddens
+        flat = self.head(hiddens[-1])
+        out = flat.reshape(batch, self.num_nodes, self.horizon, self.out_dim)
+        return out.transpose(0, 2, 1, 3)

@@ -1,0 +1,72 @@
+"""Graph WaveNet (Wu et al., IJCAI 2019): self-adaptive adjacency plus
+stacked dilated temporal convolutions.
+
+Each block applies a gated causal TCN over time followed by graph
+convolution over the learned adjacency softmax(relu(E₁E₂ᵀ)); skip
+connections feed an MLP that emits all Q horizons at once.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autodiff import Tensor, softmax
+from ..nn import GatedTCNBlock, Linear, Module, ModuleList, Parameter, init
+
+
+class GraphWaveNet(Module):
+    """forward(x: (B,P,N,d), time_indices ignored) -> (B,Q,N,d_out)."""
+
+    def __init__(
+        self,
+        num_nodes: int,
+        in_dim: int,
+        out_dim: int,
+        horizon: int,
+        channels: int = 32,
+        num_blocks: int = 2,
+        embed_dim: int = 10,
+        *,
+        rng: np.random.Generator,
+    ):
+        super().__init__()
+        self.num_nodes = num_nodes
+        self.out_dim = out_dim
+        self.horizon = horizon
+        self.channels = channels
+        self.input_proj = Linear(in_dim, channels, rng=rng)
+        self.source_embedding = Parameter(init.normal((num_nodes, embed_dim), rng, std=0.3))
+        self.target_embedding = Parameter(init.normal((num_nodes, embed_dim), rng, std=0.3))
+        self.tcn_blocks = ModuleList(
+            [GatedTCNBlock(channels, kernel_size=2, dilation=2 ** i, rng=rng) for i in range(num_blocks)]
+        )
+        self.graph_projs = ModuleList(
+            [Linear(channels, channels, rng=rng) for _ in range(num_blocks)]
+        )
+        self.skip_proj = Linear(channels, channels, rng=rng)
+        self.head = Linear(channels, horizon * out_dim, rng=rng)
+
+    def adaptive_adjacency(self) -> Tensor:
+        logits = (self.source_embedding @ self.target_embedding.T).relu()
+        return softmax(logits, axis=-1)
+
+    def forward(self, x: Tensor, time_indices: np.ndarray | None = None) -> Tensor:
+        batch, history, num_nodes, _ = x.shape
+        adjacency = self.adaptive_adjacency()
+        # Fold nodes into the batch for the temporal convolutions.
+        h = self.input_proj(x)  # (B, P, N, C)
+        h = h.transpose(0, 2, 1, 3).reshape(batch * num_nodes, history, self.channels)
+        skip = None
+        for tcn, gconv in zip(self.tcn_blocks, self.graph_projs):
+            residual = h
+            h = tcn(h)
+            # Unfold for spatial mixing: (B, P, N, C), convolve over nodes.
+            spatial = h.reshape(batch, num_nodes, history, self.channels).transpose(0, 2, 1, 3)
+            spatial = gconv(adjacency @ spatial)
+            h = spatial.transpose(0, 2, 1, 3).reshape(batch * num_nodes, history, self.channels)
+            h = h + residual
+            contribution = self.skip_proj(h[:, -1, :])
+            skip = contribution if skip is None else skip + contribution
+        flat = self.head(skip.relu())  # (B*N, Q*d_out)
+        out = flat.reshape(batch, num_nodes, self.horizon, self.out_dim)
+        return out.transpose(0, 2, 1, 3)

@@ -1,0 +1,74 @@
+"""Historical Average (HA): forecast the mean of corresponding periods.
+
+The statistical baseline of Table IV/V — for a future frame at slot *s*
+of a weekday/weekend day, predict the training-set average of that slot
+and day type for each node.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.datasets import ForecastingTask
+
+
+class HistoricalAverage:
+    """Non-parametric baseline with the same predict contract as Trainer.
+
+    ``fit`` aggregates the training windows by (slot-of-day, day-type);
+    ``predict_windows`` looks the table up for every target frame.
+    """
+
+    def __init__(self, steps_per_day: int, start_weekday: int = 0):
+        self.steps_per_day = steps_per_day
+        self.start_weekday = start_weekday
+        self._table: np.ndarray | None = None        # (2, slots, N, d)
+        self._global_mean: np.ndarray | None = None  # (N, d)
+
+    # ------------------------------------------------------------------ #
+
+    def _slot_and_type(self, time_index: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        slot = time_index % self.steps_per_day
+        day = time_index // self.steps_per_day
+        weekend = ((self.start_weekday + day) % 7 >= 5).astype(np.int64)
+        return slot, weekend
+
+    def fit(self, task: ForecastingTask) -> "HistoricalAverage":
+        """Aggregate all frames appearing in training inputs and targets."""
+        inputs = task.train.inputs          # (S, P, N, d) — scaled
+        times = task.train.time_indices[:, : task.history]
+        frames = inputs.reshape(-1, *inputs.shape[2:])
+        flat_times = times.reshape(-1)
+        slots, weekends = self._slot_and_type(flat_times)
+
+        num_nodes, dim = frames.shape[1], frames.shape[2]
+        sums = np.zeros((2, self.steps_per_day, num_nodes, dim))
+        counts = np.zeros((2, self.steps_per_day, 1, 1))
+        np.add.at(sums, (weekends, slots), frames)
+        np.add.at(counts, (weekends, slots), 1.0)
+        self._global_mean = frames.mean(axis=0)
+        with np.errstate(invalid="ignore"):
+            table = sums / counts
+        missing = counts[..., 0, 0] == 0
+        table[missing] = self._global_mean
+        self._table = table
+        return self
+
+    def predict_windows(self, time_indices: np.ndarray, history: int, out_dim: int) -> np.ndarray:
+        """Predict scaled targets for windows given their time indices.
+
+        Returns (S, Q, N, out_dim) matching the target layout.
+        """
+        if self._table is None:
+            raise RuntimeError("fit() must run before predict")
+        future = time_indices[:, history:]
+        slots, weekends = self._slot_and_type(future)
+        return self._table[weekends, slots][..., :out_dim]
+
+    def evaluate(self, task: ForecastingTask, split: str = "test") -> tuple[np.ndarray, np.ndarray]:
+        """Unscaled (prediction, target) for a split, Trainer-compatible."""
+        windows = {"train": task.train, "val": task.val, "test": task.test}[split]
+        scaled = self.predict_windows(windows.time_indices, task.history, task.out_dim)
+        prediction = task.inverse_targets(scaled)
+        target = task.inverse_targets(windows.targets)
+        return prediction, target

@@ -1,0 +1,102 @@
+"""MTGNN-lite (Wu et al., KDD 2020 — the paper's reference [28]).
+
+"Connecting the dots": a *directed* self-learning graph built from two
+node-embedding banks through the tanh-difference construction
+``A = ReLU(tanh(α(M₁M₂ᵀ − M₂M₁ᵀ)))`` with top-k row pruning, combined
+with mix-hop graph propagation and dilated temporal convolutions.  The
+paper's Table II groups it with the self-learning methods; we include it
+as an extra baseline beyond the published tables.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autodiff import Tensor, softmax
+from ..nn import GatedTCNBlock, Linear, Module, ModuleList, Parameter, init
+
+
+class MixHopPropagation(Module):
+    """Mix-hop: h^{(k)} = β·x + (1-β)·Ã h^{(k-1)}, outputs concatenated."""
+
+    def __init__(self, channels: int, depth: int = 2, beta: float = 0.05, *, rng: np.random.Generator):
+        super().__init__()
+        self.depth = depth
+        self.beta = beta
+        self.out_proj = Linear((depth + 1) * channels, channels, rng=rng)
+
+    def forward(self, x: Tensor, adjacency: Tensor) -> Tensor:
+        """x: (B, T, N, C); adjacency: (N, N) row-normalized."""
+        from ..autodiff import concat
+
+        hops = [x]
+        h = x
+        for _ in range(self.depth):
+            h = self.beta * x + (1.0 - self.beta) * (adjacency @ h)
+            hops.append(h)
+        return self.out_proj(concat(hops, axis=-1))
+
+
+class MTGNN(Module):
+    """forward(x: (B,P,N,d), time_indices ignored) -> (B,Q,N,d_out)."""
+
+    def __init__(
+        self,
+        num_nodes: int,
+        in_dim: int,
+        out_dim: int,
+        horizon: int,
+        channels: int = 32,
+        num_blocks: int = 2,
+        embed_dim: int = 10,
+        top_k: int | None = None,
+        alpha: float = 3.0,
+        *,
+        rng: np.random.Generator,
+    ):
+        super().__init__()
+        self.num_nodes = num_nodes
+        self.out_dim = out_dim
+        self.horizon = horizon
+        self.channels = channels
+        self.top_k = top_k if top_k is not None else max(2, num_nodes // 2)
+        self.alpha = alpha
+        self.source_bank = Parameter(init.normal((num_nodes, embed_dim), rng, std=0.3))
+        self.target_bank = Parameter(init.normal((num_nodes, embed_dim), rng, std=0.3))
+        self.input_proj = Linear(in_dim, channels, rng=rng)
+        self.tcn_blocks = ModuleList(
+            [GatedTCNBlock(channels, kernel_size=2, dilation=2 ** i, rng=rng) for i in range(num_blocks)]
+        )
+        self.mixhops = ModuleList(
+            [MixHopPropagation(channels, depth=2, rng=rng) for _ in range(num_blocks)]
+        )
+        self.skip_proj = Linear(channels, channels, rng=rng)
+        self.head = Linear(channels, horizon * out_dim, rng=rng)
+
+    def learned_adjacency(self) -> Tensor:
+        """Directed self-learning graph with top-k pruning, row-normalized."""
+        m1, m2 = self.source_bank, self.target_bank
+        asym = m1 @ m2.T - m2 @ m1.T
+        raw = (self.alpha * asym).tanh().relu()
+        if self.top_k < self.num_nodes:
+            threshold = np.partition(raw.data, -self.top_k, axis=-1)[:, -self.top_k : -self.top_k + 1]
+            mask = Tensor(np.where(raw.data >= threshold, 0.0, -1e9))
+            return softmax(raw + mask, axis=-1)
+        return softmax(raw, axis=-1)
+
+    def forward(self, x: Tensor, time_indices: np.ndarray | None = None) -> Tensor:
+        batch, history, num_nodes, _ = x.shape
+        adjacency = self.learned_adjacency()
+        h = self.input_proj(x)  # (B, P, N, C)
+        skip = None
+        for tcn, mixhop in zip(self.tcn_blocks, self.mixhops):
+            residual = h
+            temporal = h.transpose(0, 2, 1, 3).reshape(batch * num_nodes, history, self.channels)
+            temporal = tcn(temporal)
+            h = temporal.reshape(batch, num_nodes, history, self.channels).transpose(0, 2, 1, 3)
+            h = mixhop(h, adjacency) + residual
+            contribution = self.skip_proj(h[:, -1])  # (B, N, C)
+            skip = contribution if skip is None else skip + contribution
+        flat = self.head(skip.relu())
+        out = flat.reshape(batch, num_nodes, self.horizon, self.out_dim)
+        return out.transpose(0, 2, 1, 3)

@@ -1,0 +1,74 @@
+"""PVCGN-lite (Liu et al. 2020): physical-virtual collaboration graphs.
+
+Three *pre-defined* graphs — the physical line topology, a similarity
+(correlation) graph, and a proximity (distance) graph standing in for the
+OD-correlation virtual graph — are fused inside multi-graph GC-GRU cells.
+This is the heavyweight multi-graph baseline of Table VIII.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autodiff import Tensor, stack, zeros
+from ..graph.adjacency import sym_laplacian_np
+from ..nn import Linear, Module, ModuleList
+from .cells import MultiGraphGRUCell
+
+
+class PVCGN(Module):
+    """forward(x: (B,P,N,d), time_indices ignored) -> (B,Q,N,d_out)."""
+
+    def __init__(
+        self,
+        graphs: list[np.ndarray],
+        in_dim: int,
+        out_dim: int,
+        horizon: int,
+        hidden_dim: int = 64,
+        num_layers: int = 2,
+        *,
+        rng: np.random.Generator,
+    ):
+        super().__init__()
+        if not graphs:
+            raise ValueError("PVCGN needs at least one pre-defined graph")
+        self.num_nodes = graphs[0].shape[0]
+        self.out_dim = out_dim
+        self.horizon = horizon
+        self.hidden_dim = hidden_dim
+        self.num_layers = num_layers
+        supports = [[sym_laplacian_np(g)] for g in graphs]
+        enc_dims = [in_dim] + [hidden_dim] * (num_layers - 1)
+        dec_dims = [out_dim] + [hidden_dim] * (num_layers - 1)
+        self.encoder_cells = ModuleList(
+            [MultiGraphGRUCell(supports, d, hidden_dim, rng=rng) for d in enc_dims]
+        )
+        self.decoder_cells = ModuleList(
+            [MultiGraphGRUCell(supports, d, hidden_dim, rng=rng) for d in dec_dims]
+        )
+        self.head = Linear(hidden_dim, out_dim, rng=rng)
+
+    def forward(self, x: Tensor, time_indices: np.ndarray | None = None) -> Tensor:
+        batch, history, _, _ = x.shape
+        hiddens = [zeros(batch, self.num_nodes, self.hidden_dim) for _ in range(self.num_layers)]
+        for t in range(history):
+            layer_input = x[:, t]
+            new_hiddens = []
+            for cell, hidden in zip(self.encoder_cells, hiddens):
+                layer_input = cell(layer_input, hidden)
+                new_hiddens.append(layer_input)
+            hiddens = new_hiddens
+        decoder_input = x[:, history - 1, :, : self.out_dim]
+        outputs = []
+        for _ in range(self.horizon):
+            layer_input = decoder_input
+            new_hiddens = []
+            for cell, hidden in zip(self.decoder_cells, hiddens):
+                layer_input = cell(layer_input, hidden)
+                new_hiddens.append(layer_input)
+            hiddens = new_hiddens
+            prediction = self.head(hiddens[-1])
+            outputs.append(prediction)
+            decoder_input = prediction
+        return stack(outputs, axis=1)

@@ -1,0 +1,104 @@
+"""Baseline registry: build any of the paper's thirteen comparison
+methods from a :class:`~repro.data.datasets.ForecastingTask`.
+
+Neural models share the ``forward(x, time_indices)`` contract and train
+through :class:`~repro.training.trainer.Trainer`; the statistical models
+(``ha``, ``gbdt``, ``xgboost``) expose ``fit(task)`` /
+``evaluate(task, split)`` instead (see ``training.experiment`` which
+handles both).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..data.datasets import ForecastingTask
+from ..graph.builders import correlation_graph, distance_graph, line_graph
+from .agcrn import AGCRN
+from .boosting import BoostingForecaster, GradientBoosting, xgboost_model
+from .ccrnn import CCRNN
+from .dcrnn import DCRNN
+from .esg import ESG
+from .fclstm import FCLSTM
+from .gts import GTS
+from .gwnet import GraphWaveNet
+from .historical import HistoricalAverage
+from .mtgnn import MTGNN
+from .pvcgn import PVCGN
+from .transformers import Crossformer, Informer
+
+#: Baselines trained with gradient descent (Trainer) vs fitted directly.
+NEURAL_BASELINES = (
+    "fclstm", "informer", "crossformer", "dcrnn", "gwnet",
+    "agcrn", "pvcgn", "ccrnn", "gts", "esg", "mtgnn",
+)
+STATISTICAL_BASELINES = ("ha", "gbdt", "xgboost")
+ALL_BASELINES = STATISTICAL_BASELINES + NEURAL_BASELINES
+
+
+def _train_series(task: ForecastingTask) -> np.ndarray:
+    """Scaled training-range series (T_train, N, d) for graph builders."""
+    # Reconstruct from the train windows' first frames plus the last window.
+    inputs = task.train.inputs
+    frames = [inputs[i, 0] for i in range(len(task.train))]
+    frames.extend(inputs[-1, 1:])
+    return np.stack(frames)
+
+
+def build_baseline(
+    name: str,
+    task: ForecastingTask,
+    hidden_dim: int = 32,
+    num_layers: int = 2,
+    seed: int = 0,
+):
+    """Instantiate a baseline sized for the given task.
+
+    ``hidden_dim``/``num_layers`` default to CPU-friendly values; pass 64/2
+    to match the paper's capacity.
+    """
+    rng = np.random.default_rng(seed)
+    common = dict(
+        in_dim=task.in_dim,
+        out_dim=task.out_dim,
+        horizon=task.horizon,
+    )
+    if name == "ha":
+        return HistoricalAverage(task.steps_per_day).fit(task)
+    if name == "gbdt":
+        return BoostingForecaster(GradientBoosting(seed=seed), task.steps_per_day).fit(task)
+    if name == "xgboost":
+        return BoostingForecaster(xgboost_model(seed=seed), task.steps_per_day).fit(task)
+    if name == "fclstm":
+        return FCLSTM(task.num_nodes, hidden_dim=hidden_dim, num_layers=num_layers, rng=rng, **common)
+    if name == "informer":
+        return Informer(task.num_nodes, model_dim=2 * hidden_dim, rng=rng, **common)
+    if name == "crossformer":
+        return Crossformer(task.num_nodes, model_dim=hidden_dim, rng=rng, **common)
+    if name == "dcrnn":
+        adjacency = distance_graph(task.dataset.coordinates)
+        return DCRNN(adjacency, hidden_dim=hidden_dim, num_layers=num_layers, rng=rng, **common)
+    if name == "gwnet":
+        return GraphWaveNet(task.num_nodes, channels=hidden_dim, rng=rng, **common)
+    if name == "agcrn":
+        return AGCRN(task.num_nodes, hidden_dim=hidden_dim, num_layers=num_layers, rng=rng, **common)
+    if name == "pvcgn":
+        series = _train_series(task)
+        graphs = [
+            line_graph(task.dataset.line_edges, task.num_nodes),
+            correlation_graph(series[..., 0]),
+            distance_graph(task.dataset.coordinates),
+        ]
+        return PVCGN(graphs, hidden_dim=hidden_dim, num_layers=num_layers, rng=rng, **common)
+    if name == "ccrnn":
+        return CCRNN(task.num_nodes, hidden_dim=hidden_dim, num_layers=num_layers, rng=rng, **common)
+    if name == "gts":
+        features = GTS.summarize_series(_train_series(task))
+        return GTS(features, hidden_dim=hidden_dim, rng=rng, **common)
+    if name == "esg":
+        return ESG(task.num_nodes, hidden_dim=hidden_dim, rng=rng, **common)
+    if name == "mtgnn":
+        return MTGNN(task.num_nodes, channels=hidden_dim, rng=rng, **common)
+    raise ValueError(f"unknown baseline {name!r}; choose from {ALL_BASELINES}")

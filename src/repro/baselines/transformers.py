@@ -1,0 +1,114 @@
+"""Transformer baselines: Informer-lite and Crossformer-lite.
+
+Both keep the defining mechanism of their namesakes at a size a CPU can
+train: Informer encodes the node-flattened sequence with full attention
+and emits all horizons in one shot (the "generative decoder"); Crossformer
+alternates attention across *time* (per node) and across *dimensions/
+nodes* (per step) — its two-stage attention — before the forecasting head.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autodiff import Tensor
+from ..nn import Linear, Module, ModuleList, Parameter, TransformerBlock, init
+
+
+def _positional_encoding(length: int, dim: int) -> np.ndarray:
+    """Sinusoidal position table (length, dim)."""
+    position = np.arange(length)[:, None]
+    div = np.exp(np.arange(0, dim, 2) * (-np.log(10000.0) / dim))
+    table = np.zeros((length, dim))
+    table[:, 0::2] = np.sin(position * div)
+    table[:, 1::2] = np.cos(position * div[: table[:, 1::2].shape[1]])
+    return table
+
+
+class Informer(Module):
+    """forward(x: (B,P,N,d), time_indices ignored) -> (B,Q,N,d_out)."""
+
+    def __init__(
+        self,
+        num_nodes: int,
+        in_dim: int,
+        out_dim: int,
+        horizon: int,
+        model_dim: int = 64,
+        num_heads: int = 4,
+        num_blocks: int = 2,
+        *,
+        rng: np.random.Generator,
+    ):
+        super().__init__()
+        self.num_nodes = num_nodes
+        self.out_dim = out_dim
+        self.horizon = horizon
+        self.embed = Linear(num_nodes * in_dim, model_dim, rng=rng)
+        self.blocks = ModuleList(
+            [TransformerBlock(model_dim, num_heads, 2 * model_dim, rng=rng) for _ in range(num_blocks)]
+        )
+        self.head = Linear(model_dim, horizon * num_nodes * out_dim, rng=rng)
+
+    def forward(self, x: Tensor, time_indices: np.ndarray | None = None) -> Tensor:
+        batch, history, num_nodes, in_dim = x.shape
+        tokens = x.reshape(batch, history, num_nodes * in_dim)
+        h = self.embed(tokens)
+        h = h + Tensor(_positional_encoding(history, h.shape[-1]))
+        for block in self.blocks:
+            h = block(h)
+        pooled = h.mean(axis=1)  # (B, D)
+        flat = self.head(pooled)
+        out = flat.reshape(batch, self.horizon, self.num_nodes, self.out_dim)
+        return out
+
+
+class Crossformer(Module):
+    """Two-stage attention: temporal per node, then cross-node per step.
+
+    forward(x: (B,P,N,d), time_indices ignored) -> (B,Q,N,d_out).
+    """
+
+    def __init__(
+        self,
+        num_nodes: int,
+        in_dim: int,
+        out_dim: int,
+        horizon: int,
+        model_dim: int = 32,
+        num_heads: int = 4,
+        num_blocks: int = 1,
+        *,
+        rng: np.random.Generator,
+    ):
+        super().__init__()
+        self.num_nodes = num_nodes
+        self.out_dim = out_dim
+        self.horizon = horizon
+        self.model_dim = model_dim
+        self.embed = Linear(in_dim, model_dim, rng=rng)
+        self.time_blocks = ModuleList(
+            [TransformerBlock(model_dim, num_heads, 2 * model_dim, rng=rng) for _ in range(num_blocks)]
+        )
+        self.node_blocks = ModuleList(
+            [TransformerBlock(model_dim, num_heads, 2 * model_dim, rng=rng) for _ in range(num_blocks)]
+        )
+        self.head = Linear(model_dim, horizon * out_dim, rng=rng)
+
+    def forward(self, x: Tensor, time_indices: np.ndarray | None = None) -> Tensor:
+        batch, history, num_nodes, _ = x.shape
+        h = self.embed(x)  # (B, P, N, D)
+        h = h + Tensor(_positional_encoding(history, self.model_dim)[None, :, None, :])
+        for time_block, node_block in zip(self.time_blocks, self.node_blocks):
+            # Stage 1: attention along time, nodes folded into batch.
+            temporal = h.transpose(0, 2, 1, 3).reshape(batch * num_nodes, history, self.model_dim)
+            temporal = time_block(temporal)
+            h = temporal.reshape(batch, num_nodes, history, self.model_dim).transpose(0, 2, 1, 3)
+            # Stage 2: attention across nodes, steps folded into batch.
+            spatial = h.reshape(batch * history, num_nodes, self.model_dim)
+            spatial = node_block(spatial)
+            h = spatial.reshape(batch, history, num_nodes, self.model_dim)
+        pooled = h.mean(axis=1)  # (B, N, D)
+        flat = self.head(pooled)
+        out = flat.reshape(batch, num_nodes, self.horizon, self.out_dim)
+        return out.transpose(0, 2, 1, 3)

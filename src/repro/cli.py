@@ -1,0 +1,221 @@
+"""Command-line interface: train, evaluate, compare, and inspect.
+
+Usage::
+
+    python -m repro.cli train --dataset hzmetro --model tgcrn --epochs 10
+    python -m repro.cli compare --dataset hzmetro --models ha,agcrn,tgcrn
+    python -m repro.cli inspect --dataset hzmetro
+    python -m repro.cli evaluate --dataset hzmetro --checkpoint model.npz
+
+Every command accepts ``--nodes/--days/--seed`` to control the synthetic
+dataset scale, so quick experiments stay quick.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from .baselines.registry import ALL_BASELINES
+from .core import TGCRN
+from .core.variants import VARIANTS
+from .data import load_task
+from .data.datasets import SPECS
+from .nn.serialization import load_checkpoint, save_checkpoint
+from .training import Trainer, TrainingConfig, default_tgcrn_kwargs, run_experiment
+from .training.analysis import horizon_curve_text, improvement_table
+from .viz import render_heatmap, side_by_side
+
+
+def _add_dataset_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--dataset", choices=sorted(SPECS), default="hzmetro")
+    parser.add_argument("--nodes", type=int, default=None, help="override node count")
+    parser.add_argument("--days", type=int, default=None, help="override calendar length")
+    parser.add_argument("--size", choices=("small", "paper"), default="small")
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _add_training_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--epochs", type=int, default=10)
+    parser.add_argument("--batch-size", type=int, default=16)
+    parser.add_argument("--hidden", type=int, default=16)
+    parser.add_argument("--layers", type=int, default=1)
+    parser.add_argument("--node-dim", type=int, default=8)
+    parser.add_argument("--time-dim", type=int, default=8)
+    parser.add_argument("--lambda-time", type=float, default=0.1)
+
+
+def _load(args) -> "ForecastingTask":
+    return load_task(args.dataset, size=args.size, seed=args.seed,
+                     num_nodes=args.nodes, num_days=args.days)
+
+
+def _config(args) -> TrainingConfig:
+    return TrainingConfig(
+        epochs=args.epochs, batch_size=args.batch_size,
+        lambda_time=args.lambda_time, seed=args.seed, verbose=True,
+    )
+
+
+def cmd_train(args) -> int:
+    task = _load(args)
+    if args.model == "tgcrn" or args.model in VARIANTS:
+        result = run_experiment(
+            args.model, task, _config(args), hidden_dim=args.hidden,
+            model_kwargs=dict(node_dim=args.node_dim, time_dim=args.time_dim,
+                              num_layers=args.layers),
+            keep_model=True,
+        )
+    else:
+        result = run_experiment(
+            args.model, task, _config(args), hidden_dim=args.hidden,
+            num_layers=args.layers, keep_model=True,
+        )
+    print(f"\n{args.model} on {args.dataset}: {result.overall}")
+    print(f"parameters: {result.num_parameters:,}  time/epoch: {result.seconds_per_epoch:.2f}s")
+    if args.summary and hasattr(result.model, "summary"):
+        print()
+        print(result.model.summary())
+    if result.history is not None and result.history.val_maes:
+        from .viz import training_curve
+
+        print()
+        print(training_curve(result.history.train_losses, result.history.val_maes))
+    if args.save and hasattr(result.model, "state_dict"):
+        save_checkpoint(args.save, result.model, metadata={
+            "model": args.model, "dataset": args.dataset,
+            "hidden": args.hidden, "layers": args.layers,
+            "node_dim": args.node_dim, "time_dim": args.time_dim,
+            "nodes": task.num_nodes, "test_mae": result.overall.mae,
+        })
+        print(f"checkpoint written to {args.save}")
+    return 0
+
+
+def cmd_evaluate(args) -> int:
+    task = _load(args)
+    model = TGCRN(
+        **default_tgcrn_kwargs(task, hidden_dim=args.hidden, node_dim=args.node_dim,
+                               time_dim=args.time_dim, num_layers=args.layers),
+        rng=np.random.default_rng(args.seed),
+    )
+    metadata = load_checkpoint(args.checkpoint, model)
+    trainer = Trainer(TrainingConfig(batch_size=args.batch_size))
+    overall, per_horizon = trainer.test_report(model, task)
+    print(f"checkpoint metadata: {metadata}")
+    print(f"test: {overall}")
+    for q, report in enumerate(per_horizon, start=1):
+        print(f"  t+{q}: MAE {report.mae:.3f}  RMSE {report.rmse:.3f}")
+    return 0
+
+
+def cmd_compare(args) -> int:
+    task = _load(args)
+    config = _config(args)
+    config.verbose = False
+    results = []
+    for name in args.models.split(","):
+        name = name.strip()
+        kwargs = {}
+        if name == "tgcrn" or name in VARIANTS:
+            kwargs["model_kwargs"] = dict(
+                node_dim=args.node_dim, time_dim=args.time_dim, num_layers=args.layers
+            )
+        else:
+            kwargs["num_layers"] = args.layers
+        print(f"running {name}...", flush=True)
+        results.append(run_experiment(name, task, config, hidden_dim=args.hidden, **kwargs))
+    print(f"\n{'model':<14} {'MAE':>8} {'RMSE':>8} {'MAPE%':>7} {'PCC':>7} {'#params':>10}")
+    for r in results:
+        o = r.overall
+        print(f"{r.model_name:<14} {o.mae:8.3f} {o.rmse:8.3f} {o.mape:7.2f} {o.pcc:7.4f} "
+              f"{r.num_parameters:10,d}")
+    print()
+    print(horizon_curve_text(results))
+    if any(r.model_name == "tgcrn" for r in results) and len(results) > 1:
+        print()
+        print(improvement_table(results))
+    return 0
+
+
+def cmd_inspect(args) -> int:
+    task = _load(args)
+    ds = task.dataset
+    print(f"{args.dataset}: {task.num_nodes} nodes, {ds.num_steps} steps "
+          f"({task.steps_per_day}/day), P={task.history} Q={task.horizon}")
+    print(f"windows: train {len(task.train)}, val {len(task.val)}, test {len(task.test)}")
+    areas = {0: "residential", 1: "business", 2: "shopping"}
+    counts = {areas[a]: int((ds.areas == a).sum()) for a in np.unique(ds.areas)}
+    print(f"functional areas: {counts}")
+    spd = task.steps_per_day
+    slot = spd // 6
+    print("\nGround-truth OD transfer (weekday vs weekend, same morning slot):")
+    print(side_by_side(
+        render_heatmap(ds.od_matrix(0 * spd + slot), title="Monday"),
+        render_heatmap(ds.od_matrix(5 * spd + slot), title="Saturday"),
+    ))
+    return 0
+
+
+def cmd_experiments(args) -> int:
+    from .experiments import SMOKE, list_experiments, run
+
+    if args.name is None:
+        print("available experiments:")
+        for name in list_experiments():
+            print(f"  {name}")
+        return 0
+    print(run(args.name, SMOKE if args.smoke else None))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    train = sub.add_parser("train", help="train one model and report test metrics")
+    _add_dataset_args(train)
+    _add_training_args(train)
+    train.add_argument("--model", default="tgcrn",
+                       help=f"tgcrn, a variant {sorted(VARIANTS)}, or one of {ALL_BASELINES}")
+    train.add_argument("--save", default=None, help="write a .npz checkpoint")
+    train.add_argument("--summary", action="store_true",
+                       help="print a per-module parameter table")
+    train.set_defaults(fn=cmd_train)
+
+    evaluate = sub.add_parser("evaluate", help="evaluate a saved TGCRN checkpoint")
+    _add_dataset_args(evaluate)
+    _add_training_args(evaluate)
+    evaluate.add_argument("--checkpoint", required=True)
+    evaluate.set_defaults(fn=cmd_evaluate)
+
+    compare = sub.add_parser("compare", help="train several models and rank them")
+    _add_dataset_args(compare)
+    _add_training_args(compare)
+    compare.add_argument("--models", default="ha,agcrn,tgcrn", help="comma-separated names")
+    compare.set_defaults(fn=cmd_compare)
+
+    inspect = sub.add_parser("inspect", help="describe a dataset and its OD dynamics")
+    _add_dataset_args(inspect)
+    inspect.set_defaults(fn=cmd_inspect)
+
+    experiments = sub.add_parser(
+        "experiments", help="regenerate a paper table/figure (or list them)"
+    )
+    experiments.add_argument("name", nargs="?", default=None,
+                             help="experiment id, e.g. table6 or fig8; omit to list")
+    experiments.add_argument("--smoke", action="store_true",
+                             help="run at smoke-test scale (1 epoch, 6 nodes)")
+    experiments.set_defaults(fn=cmd_experiments)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

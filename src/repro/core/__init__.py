@@ -1,0 +1,34 @@
+"""The paper's primary contribution: TagSL + GCGRU + TGCRN."""
+
+from .time_encoding import (
+    ContinuousTimeRepresentation,
+    DiscreteTimeEmbedding,
+    Time2Vec,
+    TimeEncoder,
+    make_time_encoder,
+)
+from .sampling import TimeDistanceSamples, sample_time_distances
+from .discrepancy import TimeDiscrepancyLearner, discrepancy_loss
+from .tagsl import TagSL
+from .gcgru import GCGRUCell, NodeAdaptiveGraphConv
+from .tgcrn import TGCRN
+from .variants import VARIANTS, VariantSpec, build_variant
+
+__all__ = [
+    "VARIANTS",
+    "ContinuousTimeRepresentation",
+    "DiscreteTimeEmbedding",
+    "GCGRUCell",
+    "NodeAdaptiveGraphConv",
+    "TGCRN",
+    "TagSL",
+    "Time2Vec",
+    "TimeDiscrepancyLearner",
+    "TimeDistanceSamples",
+    "TimeEncoder",
+    "VariantSpec",
+    "build_variant",
+    "discrepancy_loss",
+    "make_time_encoder",
+    "sample_time_distances",
+]

@@ -1,0 +1,113 @@
+"""Algorithm 1: Time-distance Sampling.
+
+Given a batch of discretized time windows ``X_τ ∈ Z^{B×T}`` (row *i* holds
+the consecutive slot indices covered by sample *i*), draw for every row an
+anchor slot, an *adjacent* slot (within ±γ_Δ of the anchor in the same
+row), a *mid-distance* slot (same row, outside the adjacent band), and a
+*distant* slot (random position in a different row).  The paper sets
+γ_Δ to half the input window length.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class TimeDistanceSamples:
+    """Output of Algorithm 1 (all arrays have shape (B,)).
+
+    ``*_values`` hold slot indices (inputs for the time encoder);
+    ``*_positions`` hold absolute in-window offsets used for F_dist.
+    """
+
+    anchor_values: np.ndarray
+    adjacent_values: np.ndarray
+    mid_values: np.ndarray
+    distant_values: np.ndarray
+    anchor_positions: np.ndarray
+    adjacent_positions: np.ndarray
+    mid_positions: np.ndarray
+    distant_positions: np.ndarray
+    distant_rows: np.ndarray
+
+
+def sample_time_distances(
+    time_windows: np.ndarray,
+    rng: np.random.Generator,
+    adjacent_range: int | None = None,
+    mid_range: int | None = None,
+) -> TimeDistanceSamples:
+    """Run Algorithm 1 on a batch of time windows.
+
+    Parameters
+    ----------
+    time_windows:
+        Integer array (B, T) of consecutive slot indices per sample.
+    rng:
+        Random generator (determinism in tests/benchmarks).
+    adjacent_range:
+        γ_Δ; defaults to max(1, T // 2) per the paper ("half of the length
+        of the input time steps").
+    mid_range:
+        γ_◇; defaults to T (the full window).  Mid-distance picks are
+        constrained to lie *outside* the adjacent band.
+
+    Notes
+    -----
+    With B == 1 there is no "other row" to draw a distant sample from; the
+    farthest in-row slot is used instead so the loss stays defined.
+    """
+    windows = np.asarray(time_windows)
+    if windows.ndim != 2:
+        raise ValueError(f"time_windows must be 2-D (B, T), got shape {windows.shape}")
+    batch, length = windows.shape
+    if length < 2:
+        raise ValueError("windows must cover at least two time steps")
+    gamma_adj = adjacent_range if adjacent_range is not None else max(1, length // 2)
+    gamma_adj = min(gamma_adj, length - 1)
+    gamma_mid = mid_range if mid_range is not None else length
+    if gamma_mid <= gamma_adj:
+        gamma_mid = gamma_adj + 1
+
+    anchor_pos = rng.integers(0, length, size=batch)
+
+    adjacent_pos = np.empty(batch, dtype=np.int64)
+    mid_pos = np.empty(batch, dtype=np.int64)
+    distant_pos = np.empty(batch, dtype=np.int64)
+    distant_row = np.empty(batch, dtype=np.int64)
+
+    columns = np.arange(length)
+    for i in range(batch):
+        a = anchor_pos[i]
+        # adjacent: within ±γ_Δ, excluding the anchor itself
+        band = columns[(np.abs(columns - a) <= gamma_adj) & (columns != a)]
+        adjacent_pos[i] = rng.choice(band)
+        # mid-distance: outside the adjacent band, within ±γ_◇
+        outside = columns[(np.abs(columns - a) > gamma_adj) & (np.abs(columns - a) <= gamma_mid)]
+        if outside.size == 0:
+            # Degenerate window (band covers everything): farthest column.
+            mid_pos[i] = int(np.argmax(np.abs(columns - a)))
+        else:
+            mid_pos[i] = rng.choice(outside)
+        # distant: any slot of a different sample
+        if batch > 1:
+            row = rng.integers(0, batch - 1)
+            distant_row[i] = row if row < i else row + 1
+        else:
+            distant_row[i] = i
+        distant_pos[i] = rng.integers(0, length)
+
+    return TimeDistanceSamples(
+        anchor_values=windows[np.arange(batch), anchor_pos],
+        adjacent_values=windows[np.arange(batch), adjacent_pos],
+        mid_values=windows[np.arange(batch), mid_pos],
+        distant_values=windows[distant_row, distant_pos],
+        anchor_positions=anchor_pos,
+        adjacent_positions=adjacent_pos,
+        mid_positions=mid_pos,
+        distant_positions=distant_pos,
+        distant_rows=distant_row,
+    )

@@ -1,0 +1,117 @@
+"""Time representation functions Φ(t) (§III-A-2 and ablations of Table VII).
+
+Three encoders share one interface — map integer time-slot indices to
+``d_T``-dimensional vectors:
+
+* :class:`DiscreteTimeEmbedding` — the paper's choice: a learnable table
+  over the discretized day, regularized by time-discrepancy learning.
+* :class:`Time2Vec` — Kazemi et al. 2019 (ablation row "Time2vec").
+* :class:`ContinuousTimeRepresentation` — TGAT-style functional encoding,
+  Xu et al. 2019 (ablation row "CTR").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autodiff import Tensor, concat, gather_rows
+from ..nn import Module, Parameter, init
+
+
+class TimeEncoder(Module):
+    """Interface: integer slot indices -> (..., dim) embedding tensor."""
+
+    #: dimensionality of the produced representation
+    dim: int
+    #: number of discrete slots in one period (e.g. 96 for 15-min days)
+    num_slots: int
+
+    def forward(self, time_indices: np.ndarray) -> Tensor:
+        raise NotImplementedError
+
+    def table(self) -> Tensor:
+        """Representation of every slot, shape (num_slots, dim)."""
+        return self.forward(np.arange(self.num_slots))
+
+
+class DiscreteTimeEmbedding(TimeEncoder):
+    """Learnable per-slot vectors E_τ ∈ R^{|T| × d_T} (the paper's Φ).
+
+    The day is discretized into ``num_slots`` timestamps; indices are taken
+    modulo ``num_slots``, so a window crossing midnight wraps around.
+    """
+
+    def __init__(self, num_slots: int, dim: int, *, rng: np.random.Generator):
+        super().__init__()
+        if num_slots < 2:
+            raise ValueError("need at least two slots per period")
+        self.num_slots = num_slots
+        self.dim = dim
+        self.weight = Parameter(init.normal((num_slots, dim), rng, std=1.0 / np.sqrt(dim)))
+
+    def forward(self, time_indices: np.ndarray) -> Tensor:
+        idx = np.asarray(time_indices, dtype=np.int64) % self.num_slots
+        return gather_rows(self.weight, idx)
+
+
+class Time2Vec(TimeEncoder):
+    """t2v(τ) = [ω₀τ + φ₀, sin(ω₁τ + φ₁), ..., sin(ω_{d-1}τ + φ_{d-1})]."""
+
+    def __init__(self, num_slots: int, dim: int, *, rng: np.random.Generator):
+        super().__init__()
+        if dim < 2:
+            raise ValueError("Time2Vec needs dim >= 2 (one linear + periodic terms)")
+        self.num_slots = num_slots
+        self.dim = dim
+        self.omega = Parameter(init.normal((dim,), rng, std=1.0))
+        self.phi = Parameter(init.normal((dim,), rng, std=1.0))
+
+    def forward(self, time_indices: np.ndarray) -> Tensor:
+        # Scale slots into [0, 2π) so learned frequencies start well-posed.
+        t = np.asarray(time_indices, dtype=float) * (2.0 * np.pi / self.num_slots)
+        phase = Tensor(t[..., None]) * self.omega + self.phi
+        linear = phase[..., 0:1]
+        periodic = _sin(phase[..., 1:])
+        return concat([linear, periodic], axis=-1)
+
+
+class ContinuousTimeRepresentation(TimeEncoder):
+    """TGAT functional encoding Φ(t) = sqrt(1/d)[cos(ω₁t), ..., cos(ω_d t)].
+
+    Frequencies are learnable and initialized geometrically, as in the
+    original self-attention-with-time paper.
+    """
+
+    def __init__(self, num_slots: int, dim: int, *, rng: np.random.Generator):
+        super().__init__()
+        self.num_slots = num_slots
+        self.dim = dim
+        base = 1.0 / (10.0 ** np.linspace(0, 2, dim))
+        self.omega = Parameter(base + rng.normal(scale=1e-3, size=dim))
+
+    def forward(self, time_indices: np.ndarray) -> Tensor:
+        t = np.asarray(time_indices, dtype=float) * (2.0 * np.pi / self.num_slots)
+        phase = Tensor(t[..., None]) * self.omega
+        return _cos(phase) * (1.0 / np.sqrt(self.dim))
+
+
+def make_time_encoder(kind: str, num_slots: int, dim: int, *, rng: np.random.Generator) -> TimeEncoder:
+    """Factory used by the ablation harness (Table VII rows)."""
+    kinds = {
+        "embedding": DiscreteTimeEmbedding,
+        "time2vec": Time2Vec,
+        "ctr": ContinuousTimeRepresentation,
+    }
+    try:
+        cls = kinds[kind]
+    except KeyError:
+        raise ValueError(f"unknown time encoder {kind!r}; choose from {sorted(kinds)}") from None
+    return cls(num_slots, dim, rng=rng)
+
+
+def _sin(x: Tensor) -> Tensor:
+    return x.sin()
+
+
+def _cos(x: Tensor) -> Tensor:
+    return x.cos()

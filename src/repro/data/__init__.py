@@ -1,0 +1,43 @@
+"""Datasets: synthetic generators, windowing, scaling, batching."""
+
+from .synthetic import (
+    ElectricityGenerator,
+    SpatioTemporalGenerator,
+    SyntheticConfig,
+    SyntheticDataset,
+)
+from .scalers import IdentityScaler, MinMaxScaler, StandardScaler
+from .windows import WindowSet, chronological_split, make_windows, split_series_by_steps
+from .loader import DataLoader
+from .datasets import SPECS, DatasetSpec, ForecastingTask, load_task
+from .io import export_csv, load_dataset, save_dataset
+from .augmentation import AugmentationConfig, WindowAugmenter
+from .real import load_electricity_txt, load_metro_pickles, load_raw_series, task_from_series
+
+__all__ = [
+    "AugmentationConfig",
+    "DataLoader",
+    "DatasetSpec",
+    "ElectricityGenerator",
+    "ForecastingTask",
+    "IdentityScaler",
+    "MinMaxScaler",
+    "SPECS",
+    "SpatioTemporalGenerator",
+    "StandardScaler",
+    "SyntheticConfig",
+    "SyntheticDataset",
+    "WindowAugmenter",
+    "WindowSet",
+    "chronological_split",
+    "export_csv",
+    "load_electricity_txt",
+    "load_metro_pickles",
+    "load_raw_series",
+    "load_dataset",
+    "save_dataset",
+    "task_from_series",
+    "load_task",
+    "make_windows",
+    "split_series_by_steps",
+]

@@ -1,0 +1,59 @@
+"""Training-time augmentation for spatially correlated windows.
+
+Optional regularizers a practitioner would reach for on small traffic
+datasets: additive jitter, per-node magnitude scaling, and window
+cropping with re-padding.  All operate on *scaled* window batches and
+leave targets untouched (the forecast problem stays the same; only the
+observed history is perturbed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class AugmentationConfig:
+    """Strengths of each augmentation; 0 disables an augmentation."""
+
+    jitter_std: float = 0.0
+    scale_std: float = 0.0
+    crop_probability: float = 0.0
+    min_crop_fraction: float = 0.5
+
+
+class WindowAugmenter:
+    """Apply the configured augmentations to (B, P, N, d) input batches."""
+
+    def __init__(self, config: AugmentationConfig, rng: np.random.Generator):
+        if not 0 < config.min_crop_fraction <= 1:
+            raise ValueError("min_crop_fraction must lie in (0, 1]")
+        self.config = config
+        self._rng = rng
+
+    def __call__(self, inputs: np.ndarray) -> np.ndarray:
+        out = inputs
+        cfg = self.config
+        if cfg.jitter_std > 0:
+            out = out + self._rng.normal(scale=cfg.jitter_std, size=out.shape)
+        if cfg.scale_std > 0:
+            batch, _, nodes, _ = out.shape
+            factors = np.exp(self._rng.normal(scale=cfg.scale_std, size=(batch, 1, nodes, 1)))
+            out = out * factors
+        if cfg.crop_probability > 0:
+            out = self._crop(np.array(out, copy=True))
+        return out
+
+    def _crop(self, inputs: np.ndarray) -> np.ndarray:
+        """Randomly blank a leading prefix of the history (simulates a
+        sensor coming online mid-window); kept frames stay aligned to the
+        forecast origin."""
+        batch, history, _, _ = inputs.shape
+        min_keep = max(1, int(np.ceil(self.config.min_crop_fraction * history)))
+        for b in range(batch):
+            if self._rng.random() < self.config.crop_probability:
+                keep = int(self._rng.integers(min_keep, history + 1))
+                inputs[b, : history - keep] = 0.0
+        return inputs

@@ -1,0 +1,103 @@
+"""Event injection: disruptions and demand surges on generated datasets.
+
+CPS operators care how a forecaster behaves around *irregular* events —
+station closures, concerts, partial outages — which break the trend/
+periodicity regularities TGCRN exploits.  These helpers inject such
+events into an already-generated dataset (post-hoc, so the ground-truth
+OD machinery stays intact) and record where they happened so evaluation
+can split regular vs. disrupted windows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .synthetic import SyntheticDataset
+
+
+@dataclass(frozen=True)
+class Event:
+    """One injected event.
+
+    ``kind`` is "closure" (flows forced toward zero) or "surge" (flows
+    multiplied up); ``nodes`` lists affected stations; the event spans
+    absolute steps [start, stop).
+    """
+
+    kind: str
+    nodes: tuple[int, ...]
+    start: int
+    stop: int
+    magnitude: float
+
+    def overlaps(self, start: int, stop: int) -> bool:
+        return self.start < stop and start < self.stop
+
+
+@dataclass
+class EventLog:
+    """All injected events, queryable by window."""
+
+    events: list[Event] = field(default_factory=list)
+
+    def disturbed_mask(self, time_indices: np.ndarray) -> np.ndarray:
+        """Boolean (S,) mask: does window s overlap any event?"""
+        starts = time_indices[:, 0]
+        stops = time_indices[:, -1] + 1
+        mask = np.zeros(len(time_indices), dtype=bool)
+        for event in self.events:
+            mask |= (starts < event.stop) & (event.start < stops)
+        return mask
+
+
+def inject_events(
+    dataset: SyntheticDataset,
+    rng: np.random.Generator,
+    num_closures: int = 2,
+    num_surges: int = 2,
+    duration: int = 8,
+    surge_magnitude: float = 2.5,
+    closure_floor: float = 0.05,
+    start_range: tuple[int, int] | None = None,
+) -> EventLog:
+    """Mutate ``dataset.values`` in place with random events; return the log.
+
+    Closures scale the affected nodes' flows down to ``closure_floor``;
+    surges multiply them by ``surge_magnitude``.  ``start_range``
+    restricts event start steps to [lo, hi) — e.g. the test period only;
+    by default events never start inside the first duration-sized prefix.
+    """
+    total, num_nodes, _ = dataset.values.shape
+    if total <= 2 * duration:
+        raise ValueError("dataset too short for the requested event duration")
+    lo, hi = start_range if start_range is not None else (duration, total - duration)
+    if not 0 <= lo < hi <= total - duration:
+        raise ValueError(f"invalid start_range {start_range} for length {total}")
+    log = EventLog()
+    for kind, count, factor in (
+        ("closure", num_closures, closure_floor),
+        ("surge", num_surges, surge_magnitude),
+    ):
+        for _ in range(count):
+            start = int(rng.integers(lo, hi))
+            stop = start + duration
+            size = max(1, num_nodes // 5)
+            nodes = tuple(int(n) for n in rng.choice(num_nodes, size=size, replace=False))
+            dataset.values[start:stop, list(nodes), :] *= factor
+            log.events.append(Event(kind, nodes, start, stop, factor))
+    return log
+
+
+def split_regular_disrupted(
+    prediction: np.ndarray,
+    target: np.ndarray,
+    time_indices: np.ndarray,
+    log: EventLog,
+) -> tuple[tuple[np.ndarray, np.ndarray], tuple[np.ndarray, np.ndarray]]:
+    """Partition evaluation arrays into (regular, disrupted) window sets."""
+    mask = log.disturbed_mask(time_indices)
+    regular = (prediction[~mask], target[~mask])
+    disrupted = (prediction[mask], target[mask])
+    return regular, disrupted

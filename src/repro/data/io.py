@@ -1,0 +1,85 @@
+"""Dataset persistence: save/load generated datasets and export to CSV.
+
+Generating SHMetro-scale data takes a minute; caching to ``.npz`` makes
+repeated benchmark runs cheap, and CSV export lets external tools (or a
+referee) inspect the series.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+import numpy as np
+
+from .synthetic import SyntheticConfig, SyntheticDataset
+
+
+def save_dataset(path: str | Path, dataset: SyntheticDataset) -> None:
+    """Serialize a generated dataset (values + calendar + geography).
+
+    The generator reference is captured through its config, so
+    ``load_dataset`` can rebuild ground-truth OD matrices on demand.
+    """
+    path = Path(path)
+    config_json = "{}"
+    generator_cls = ""
+    if dataset.config is not None:
+        config_json = json.dumps(dataset.config.__dict__)
+    if dataset.generator is not None:
+        generator_cls = type(dataset.generator).__name__
+    np.savez(
+        path,
+        values=dataset.values,
+        time_index=dataset.time_index,
+        slot_of_day=dataset.slot_of_day,
+        day_of_week=dataset.day_of_week,
+        coordinates=dataset.coordinates,
+        areas=dataset.areas,
+        line_edges=np.array(dataset.line_edges, dtype=np.int64).reshape(-1, 2),
+        config=np.frombuffer(config_json.encode(), dtype=np.uint8),
+        generator_cls=np.frombuffer(generator_cls.encode(), dtype=np.uint8),
+    )
+
+
+def load_dataset(path: str | Path) -> SyntheticDataset:
+    """Rebuild a dataset saved by :func:`save_dataset` (incl. generator)."""
+    from . import synthetic
+
+    with np.load(Path(path)) as archive:
+        config_json = bytes(archive["config"].tobytes()).decode()
+        generator_cls = bytes(archive["generator_cls"].tobytes()).decode()
+        config_dict = json.loads(config_json)
+        if "area_fractions" in config_dict:
+            config_dict["area_fractions"] = tuple(config_dict["area_fractions"])
+        config = SyntheticConfig(**config_dict) if config_dict else None
+        generator = getattr(synthetic, generator_cls)(config) if generator_cls and config else None
+        return SyntheticDataset(
+            values=archive["values"],
+            time_index=archive["time_index"],
+            slot_of_day=archive["slot_of_day"],
+            day_of_week=archive["day_of_week"],
+            coordinates=archive["coordinates"],
+            areas=archive["areas"],
+            line_edges=[tuple(edge) for edge in archive["line_edges"]],
+            config=config,
+            generator=generator,
+        )
+
+
+def export_csv(path: str | Path, dataset: SyntheticDataset, feature_names: list[str] | None = None) -> None:
+    """Flatten a dataset to long-form CSV: step, slot, dow, node, features."""
+    total, nodes, dims = dataset.values.shape
+    names = feature_names or [f"feature_{d}" for d in range(dims)]
+    if len(names) != dims:
+        raise ValueError(f"expected {dims} feature names, got {len(names)}")
+    with open(Path(path), "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["step", "slot_of_day", "day_of_week", "node"] + names)
+        for t in range(total):
+            for n in range(nodes):
+                writer.writerow(
+                    [t, int(dataset.slot_of_day[t]), int(dataset.day_of_week[t]), n]
+                    + [f"{v:.6g}" for v in dataset.values[t, n]]
+                )

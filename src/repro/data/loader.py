@@ -1,0 +1,51 @@
+"""Minibatch iteration over window sets."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from .windows import WindowSet
+
+
+class DataLoader:
+    """Yield (inputs, targets, time_indices) minibatches.
+
+    Shuffling reshuffles every epoch from its own generator so training
+    runs are reproducible given a seed.
+    """
+
+    def __init__(
+        self,
+        windows: WindowSet,
+        batch_size: int,
+        shuffle: bool = False,
+        drop_last: bool = False,
+        seed: int = 0,
+    ):
+        if batch_size < 1:
+            raise ValueError("batch_size must be positive")
+        self.windows = windows
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.drop_last = drop_last
+        self._rng = np.random.default_rng(seed)
+
+    def __len__(self) -> int:
+        count = len(self.windows)
+        if self.drop_last:
+            return count // self.batch_size
+        return (count + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self) -> Iterator[tuple[np.ndarray, np.ndarray, np.ndarray]]:
+        count = len(self.windows)
+        order = self._rng.permutation(count) if self.shuffle else np.arange(count)
+        limit = (count // self.batch_size) * self.batch_size if self.drop_last else count
+        for start in range(0, limit, self.batch_size):
+            idx = order[start : start + self.batch_size]
+            yield (
+                self.windows.inputs[idx],
+                self.windows.targets[idx],
+                self.windows.time_indices[idx],
+            )

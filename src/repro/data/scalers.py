@@ -1,0 +1,92 @@
+"""Feature scalers fitted on the training split only.
+
+Following the evaluation protocol of the paper's references [17, 31],
+inputs are standardized and predictions are inverse-transformed before
+computing metrics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class StandardScaler:
+    """Zero-mean / unit-variance scaling (per feature channel)."""
+
+    def __init__(self):
+        self.mean: np.ndarray | None = None
+        self.std: np.ndarray | None = None
+
+    def fit(self, values: np.ndarray) -> "StandardScaler":
+        """``values`` is (T, N, d); statistics pool time and nodes."""
+        self.mean = values.mean(axis=(0, 1))
+        std = values.std(axis=(0, 1))
+        self.std = np.where(std < 1e-8, 1.0, std)
+        return self
+
+    def transform(self, values: np.ndarray) -> np.ndarray:
+        self._check_fitted()
+        return (values - self.mean) / self.std
+
+    def inverse_transform(self, values: np.ndarray) -> np.ndarray:
+        self._check_fitted()
+        return values * self.std + self.mean
+
+    def fit_transform(self, values: np.ndarray) -> np.ndarray:
+        return self.fit(values).transform(values)
+
+    def _check_fitted(self) -> None:
+        if self.mean is None:
+            raise RuntimeError("scaler used before fit()")
+
+
+class MinMaxScaler:
+    """Scale features into [low, high] (demand datasets often use [0, 1])."""
+
+    def __init__(self, low: float = 0.0, high: float = 1.0):
+        if high <= low:
+            raise ValueError("high must exceed low")
+        self.low = low
+        self.high = high
+        self.data_min: np.ndarray | None = None
+        self.data_max: np.ndarray | None = None
+
+    def fit(self, values: np.ndarray) -> "MinMaxScaler":
+        self.data_min = values.min(axis=(0, 1))
+        self.data_max = values.max(axis=(0, 1))
+        return self
+
+    def transform(self, values: np.ndarray) -> np.ndarray:
+        self._check_fitted()
+        span = np.where(self.data_max - self.data_min < 1e-12, 1.0, self.data_max - self.data_min)
+        unit = (values - self.data_min) / span
+        return unit * (self.high - self.low) + self.low
+
+    def inverse_transform(self, values: np.ndarray) -> np.ndarray:
+        self._check_fitted()
+        span = np.where(self.data_max - self.data_min < 1e-12, 1.0, self.data_max - self.data_min)
+        unit = (values - self.low) / (self.high - self.low)
+        return unit * span + self.data_min
+
+    def fit_transform(self, values: np.ndarray) -> np.ndarray:
+        return self.fit(values).transform(values)
+
+    def _check_fitted(self) -> None:
+        if self.data_min is None:
+            raise RuntimeError("scaler used before fit()")
+
+
+class IdentityScaler:
+    """No-op scaler keeping the pipeline uniform."""
+
+    def fit(self, values: np.ndarray) -> "IdentityScaler":
+        return self
+
+    def transform(self, values: np.ndarray) -> np.ndarray:
+        return values
+
+    def inverse_transform(self, values: np.ndarray) -> np.ndarray:
+        return values
+
+    def fit_transform(self, values: np.ndarray) -> np.ndarray:
+        return values

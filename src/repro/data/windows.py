@@ -1,0 +1,108 @@
+"""Sliding-window construction and chronological splits.
+
+A *forecasting sample* pairs P historical frames with Q future frames and
+remembers the absolute time index of all P+Q steps (TagSL needs future
+timestamps, which are always known at prediction time).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class WindowSet:
+    """A set of forecasting samples.
+
+    Attributes
+    ----------
+    inputs: (S, P, N, d) histories.
+    targets: (S, Q, N, d_out) futures.
+    time_indices: (S, P+Q) absolute step index per frame.
+    """
+
+    inputs: np.ndarray
+    targets: np.ndarray
+    time_indices: np.ndarray
+
+    def __len__(self) -> int:
+        return self.inputs.shape[0]
+
+    @property
+    def history(self) -> int:
+        return self.inputs.shape[1]
+
+    @property
+    def horizon(self) -> int:
+        return self.targets.shape[1]
+
+
+def make_windows(
+    values: np.ndarray,
+    time_index: np.ndarray,
+    history: int,
+    horizon: int,
+    target_dim: int | None = None,
+    stride: int = 1,
+) -> WindowSet:
+    """Slide a (history, horizon) window over (T, N, d) values.
+
+    ``target_dim`` truncates target features (e.g. predict inflow/outflow
+    from richer inputs); defaults to all input features.
+    """
+    total = values.shape[0]
+    span = history + horizon
+    if total < span:
+        raise ValueError(f"series of length {total} too short for P+Q={span}")
+    starts = np.arange(0, total - span + 1, stride)
+    inputs = np.stack([values[s : s + history] for s in starts])
+    targets = np.stack([values[s + history : s + span] for s in starts])
+    if target_dim is not None:
+        targets = targets[..., :target_dim]
+    times = np.stack([time_index[s : s + span] for s in starts])
+    return WindowSet(inputs=inputs, targets=targets, time_indices=times)
+
+
+def chronological_split(
+    windows: WindowSet, train_fraction: float, val_fraction: float
+) -> tuple[WindowSet, WindowSet, WindowSet]:
+    """Split samples by time order into train/val/test (paper protocol)."""
+    if not 0 < train_fraction < 1 or not 0 <= val_fraction < 1:
+        raise ValueError("fractions must lie in (0, 1)")
+    if train_fraction + val_fraction >= 1:
+        raise ValueError("train + val fractions must leave room for test")
+    count = len(windows)
+    train_end = int(count * train_fraction)
+    val_end = int(count * (train_fraction + val_fraction))
+    if train_end == 0 or val_end == train_end or val_end == count:
+        raise ValueError(f"split of {count} samples produced an empty subset")
+
+    def subset(lo: int, hi: int) -> WindowSet:
+        return WindowSet(
+            inputs=windows.inputs[lo:hi],
+            targets=windows.targets[lo:hi],
+            time_indices=windows.time_indices[lo:hi],
+        )
+
+    return subset(0, train_end), subset(train_end, val_end), subset(val_end, count)
+
+
+def split_series_by_steps(
+    values: np.ndarray, time_index: np.ndarray, boundaries: tuple[int, int]
+) -> tuple[tuple[np.ndarray, np.ndarray], ...]:
+    """Split the raw series at absolute step boundaries (e.g. by days).
+
+    Windowing each split independently avoids train/test leakage through
+    windows straddling the boundary — this matches how the metro papers
+    partition by date.
+    """
+    first, second = boundaries
+    if not 0 < first < second < values.shape[0]:
+        raise ValueError(f"invalid boundaries {boundaries} for length {values.shape[0]}")
+    return (
+        (values[:first], time_index[:first]),
+        (values[first:second], time_index[first:second]),
+        (values[second:], time_index[second:]),
+    )

@@ -1,0 +1,5 @@
+"""Programmatic registry of the paper's tables and figures."""
+
+from .registry import SMOKE, ExperimentScale, experiment, list_experiments, run
+
+__all__ = ["SMOKE", "ExperimentScale", "experiment", "list_experiments", "run"]

@@ -1,0 +1,251 @@
+"""Programmatic registry of the paper's experiments.
+
+The pytest benches under ``benchmarks/`` are thin wrappers around these
+functions; importing them here lets users regenerate any table/figure
+from Python or the CLI without pytest:
+
+>>> from repro.experiments import run, list_experiments
+>>> print(run("table6"))           # doctest: +SKIP
+
+Each experiment accepts a :class:`ExperimentScale` so callers can dial
+node counts / epochs between smoke-test and paper-approaching sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..data import load_task
+from ..training import (
+    TrainingConfig,
+    format_ablation_table,
+    format_cost_table,
+    format_demand_table,
+    format_electricity_table,
+    format_metro_table,
+    format_relative_series,
+    run_experiment,
+)
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Size knobs shared by all experiments."""
+
+    metro_nodes: int = 12
+    metro_days: int = 10
+    demand_nodes: int = 10
+    demand_days: int = 8
+    electricity_nodes: int = 10
+    electricity_days: int = 20
+    epochs: int = 8
+    hidden_dim: int = 16
+    node_dim: int = 16
+    time_dim: int = 8
+    num_layers: int = 1
+    seed: int = 0
+
+    def tgcrn_kwargs(self) -> dict:
+        return dict(node_dim=self.node_dim, time_dim=self.time_dim, num_layers=self.num_layers)
+
+    def config(self, **overrides) -> TrainingConfig:
+        values = dict(epochs=self.epochs, batch_size=16, seed=self.seed)
+        values.update(overrides)
+        return TrainingConfig(**values)
+
+
+SMOKE = ExperimentScale(
+    metro_nodes=6, metro_days=6, demand_nodes=6, demand_days=6,
+    electricity_nodes=6, electricity_days=10, epochs=1, hidden_dim=8,
+    node_dim=4, time_dim=4,
+)
+
+_REGISTRY: dict[str, Callable[[ExperimentScale], str]] = {}
+
+
+def experiment(name: str):
+    """Register an experiment function under ``name``."""
+
+    def decorator(fn):
+        _REGISTRY[name] = fn
+        return fn
+
+    return decorator
+
+
+def list_experiments() -> list[str]:
+    return sorted(_REGISTRY)
+
+
+def run(name: str, scale: ExperimentScale | None = None) -> str:
+    """Run a registered experiment; returns the rendered table/figure."""
+    try:
+        fn = _REGISTRY[name]
+    except KeyError:
+        raise ValueError(f"unknown experiment {name!r}; choose from {list_experiments()}") from None
+    return fn(scale or ExperimentScale())
+
+
+# --------------------------------------------------------------------- #
+# the paper's artifacts
+# --------------------------------------------------------------------- #
+
+_METRO_METHODS = ("ha", "gbdt", "fclstm", "informer", "crossformer",
+                  "dcrnn", "gwnet", "agcrn", "pvcgn", "esg", "tgcrn")
+_DEMAND_METHODS = ("ha", "xgboost", "fclstm", "informer", "crossformer",
+                   "dcrnn", "gwnet", "ccrnn", "gts", "esg", "tgcrn")
+_ELECTRICITY_METHODS = ("gwnet", "agcrn", "informer", "crossformer", "esg", "tgcrn")
+_VARIANTS = ("tgcrn", "wo_tagsl", "w_te", "wo_tdl", "wo_pdf", "time2vec", "ctr", "wo_encdec")
+
+
+def _run_methods(task, methods, scale: ExperimentScale, config=None):
+    config = config or scale.config()
+    results = []
+    for method in methods:
+        kwargs = {}
+        if method == "tgcrn" or method in _VARIANTS:
+            kwargs["model_kwargs"] = scale.tgcrn_kwargs()
+        else:
+            kwargs["num_layers"] = scale.num_layers
+        results.append(
+            run_experiment(method, task, config, hidden_dim=scale.hidden_dim, **kwargs)
+        )
+    return results
+
+
+def _metro_task(dataset: str, scale: ExperimentScale):
+    return load_task(dataset, num_nodes=scale.metro_nodes, num_days=scale.metro_days,
+                     seed=scale.seed)
+
+
+@experiment("table4_hzmetro")
+def table4_hzmetro(scale: ExperimentScale) -> str:
+    task = _metro_task("hzmetro", scale)
+    return format_metro_table(_run_methods(task, _METRO_METHODS, scale),
+                              interval_minutes=task.spec.interval_minutes)
+
+
+@experiment("table4_shmetro")
+def table4_shmetro(scale: ExperimentScale) -> str:
+    task = _metro_task("shmetro", scale)
+    return format_metro_table(_run_methods(task, _METRO_METHODS, scale),
+                              interval_minutes=task.spec.interval_minutes)
+
+
+@experiment("table5_nyc_bike")
+def table5_nyc_bike(scale: ExperimentScale) -> str:
+    task = load_task("nyc_bike", num_nodes=scale.demand_nodes, num_days=scale.demand_days,
+                     seed=scale.seed)
+    return format_demand_table(_run_methods(task, _DEMAND_METHODS, scale))
+
+
+@experiment("table5_nyc_taxi")
+def table5_nyc_taxi(scale: ExperimentScale) -> str:
+    task = load_task("nyc_taxi", num_nodes=scale.demand_nodes, num_days=scale.demand_days,
+                     seed=scale.seed)
+    return format_demand_table(_run_methods(task, _DEMAND_METHODS, scale))
+
+
+@experiment("table6")
+def table6_electricity(scale: ExperimentScale) -> str:
+    task = load_task("electricity", num_nodes=scale.electricity_nodes,
+                     num_days=scale.electricity_days, seed=scale.seed)
+    return format_electricity_table(_run_methods(task, _ELECTRICITY_METHODS, scale))
+
+
+@experiment("table7")
+def table7_ablation(scale: ExperimentScale) -> str:
+    task = _metro_task("hzmetro", scale)
+    results = [
+        run_experiment(name, task, scale.config(), hidden_dim=scale.hidden_dim,
+                       model_kwargs=scale.tgcrn_kwargs())
+        for name in _VARIANTS
+    ]
+    return format_ablation_table(results)
+
+
+@experiment("table8")
+def table8_cost(scale: ExperimentScale) -> str:
+    from ..baselines import build_baseline
+    from ..core import TGCRN
+
+    task = _metro_task("hzmetro", scale)
+    config = scale.config(epochs=min(2, scale.epochs))
+    rows = []
+    for name in ("dcrnn", "agcrn", "gwnet", "pvcgn", "esg"):
+        result = run_experiment(name, task, config, hidden_dim=scale.hidden_dim,
+                                num_layers=scale.num_layers)
+        rows.append((name, result.num_parameters, result.seconds_per_epoch))
+    result = run_experiment("tgcrn", task, config, hidden_dim=scale.hidden_dim,
+                            model_kwargs=scale.tgcrn_kwargs())
+    rows.append(("tgcrn", result.num_parameters, result.seconds_per_epoch))
+    return format_cost_table(rows)
+
+
+@experiment("fig8")
+def fig8_multistep(scale: ExperimentScale) -> str:
+    task = _metro_task("hzmetro", scale)
+    methods = ("fclstm", "dcrnn", "agcrn", "esg", "tgcrn")
+    results = _run_methods(task, methods, scale)
+    curves = {r.model_name: r.horizon_metric("mae") for r in results}
+    benchmark_curve = curves["fclstm"]
+    lines = ["MAE relative to FC-LSTM"]
+    for method in methods:
+        lines.append(format_relative_series(method, curves[method], benchmark_curve))
+    return "\n".join(lines)
+
+
+@experiment("fig9")
+def fig9_dims(scale: ExperimentScale) -> str:
+    task = _metro_task("hzmetro", scale)
+    lines = [f"{'d_v':>5} {'d_t':>5} | {'MAE':>7} {'#params':>9}"]
+    for dv in (scale.node_dim // 2 or 2, scale.node_dim, scale.node_dim * 2):
+        for dt in (scale.time_dim // 2 or 2, scale.time_dim):
+            result = run_experiment(
+                "tgcrn", task, scale.config(), hidden_dim=scale.hidden_dim,
+                model_kwargs=dict(node_dim=dv, time_dim=dt, num_layers=scale.num_layers),
+            )
+            lines.append(f"{dv:>5} {dt:>5} | {result.overall.mae:7.2f} {result.num_parameters:9,d}")
+    return "\n".join(lines)
+
+
+@experiment("fig10")
+def fig10_lambda(scale: ExperimentScale) -> str:
+    task = _metro_task("hzmetro", scale)
+    lines = [f"{'lambda':>7} | {'MAE':>7}"]
+    for lam in (0.0, 0.1, 1.0):
+        result = run_experiment(
+            "tgcrn", task, scale.config(lambda_time=lam), hidden_dim=scale.hidden_dim,
+            model_kwargs=scale.tgcrn_kwargs(),
+        )
+        lines.append(f"{lam:>7.2f} | {result.overall.mae:7.2f}")
+    return "\n".join(lines)
+
+
+@experiment("fig12")
+def fig12_time_representation(scale: ExperimentScale) -> str:
+    from ..core import DiscreteTimeEmbedding, TimeDiscrepancyLearner
+    from ..nn import Adam
+    from ..viz import ordering_score, tsne
+
+    steps_per_day = 73
+    encoder = DiscreteTimeEmbedding(steps_per_day, scale.time_dim, rng=np.random.default_rng(1))
+    learner = TimeDiscrepancyLearner(encoder, np.random.default_rng(2), adjacent_range=4)
+    optimizer = Adam([encoder.weight], lr=0.01)
+    windows = np.arange(16)[None, :] + np.arange(0, steps_per_day * 4, 7)[:, None]
+    for _ in range(max(100, scale.epochs * 25)):
+        optimizer.zero_grad()
+        loss = learner(windows)
+        loss.backward()
+        optimizer.step()
+    trained = ordering_score(tsne(encoder.weight.data, iterations=300, seed=0))
+    random_table = np.random.default_rng(9).normal(size=(steps_per_day, scale.time_dim))
+    baseline = ordering_score(tsne(random_table, iterations=300, seed=0))
+    return (
+        "t-SNE ordering score (1 = sequential layout)\n"
+        f"with TDL      {trained:.3f}\n"
+        f"random table  {baseline:.3f}"
+    )

@@ -1,0 +1,36 @@
+"""Graph substrate: normalizations, pre-defined builders, poly supports."""
+
+from .adjacency import (
+    normalize,
+    random_walk,
+    random_walk_np,
+    row_softmax,
+    sym_laplacian,
+    sym_laplacian_np,
+)
+from .builders import (
+    correlation_graph,
+    distance_graph,
+    graph_diameter,
+    knn_graph,
+    line_graph,
+    ring_line_edges,
+)
+from .cheb import chebyshev_supports, diffusion_supports
+
+__all__ = [
+    "chebyshev_supports",
+    "correlation_graph",
+    "diffusion_supports",
+    "distance_graph",
+    "graph_diameter",
+    "knn_graph",
+    "line_graph",
+    "normalize",
+    "random_walk",
+    "random_walk_np",
+    "ring_line_edges",
+    "row_softmax",
+    "sym_laplacian",
+    "sym_laplacian_np",
+]

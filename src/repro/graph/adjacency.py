@@ -1,0 +1,75 @@
+"""Adjacency-matrix normalizations (Eq. 10–11 of the paper).
+
+The GCGRU normalizes the learned time-aware adjacency before convolution
+("Norm denotes a normalization function, e.g., the softmax function").
+Differentiable variants operate on :class:`~repro.autodiff.Tensor`; plain
+numpy versions (suffix ``_np``) serve pre-defined graphs that carry no
+gradients.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autodiff import Tensor, ensure_tensor, softmax
+
+_EPS = 1e-10
+
+
+def row_softmax(adjacency: Tensor) -> Tensor:
+    """Softmax over each row — the paper's default Norm for A^t."""
+    return softmax(ensure_tensor(adjacency), axis=-1)
+
+
+def sym_laplacian(adjacency: Tensor, add_self_loops: bool = True) -> Tensor:
+    """Symmetric normalization D^{-1/2} (A + I) D^{-1/2} (Kipf & Welling).
+
+    Differentiable; negative weights are admitted through a ReLU so the
+    degree stays positive.
+    """
+    adjacency = ensure_tensor(adjacency).relu()
+    n = adjacency.shape[-1]
+    if add_self_loops:
+        adjacency = adjacency + Tensor(np.eye(n))
+    degree = adjacency.sum(axis=-1)
+    inv_sqrt = (degree + _EPS) ** -0.5
+    return adjacency * inv_sqrt.unsqueeze(-1) * inv_sqrt.unsqueeze(-2)
+
+
+def random_walk(adjacency: Tensor, add_self_loops: bool = False) -> Tensor:
+    """Row-stochastic normalization D^{-1} A (diffusion-convolution support)."""
+    adjacency = ensure_tensor(adjacency).relu()
+    if add_self_loops:
+        n = adjacency.shape[-1]
+        adjacency = adjacency + Tensor(np.eye(n))
+    degree = adjacency.sum(axis=-1, keepdims=True)
+    return adjacency / (degree + _EPS)
+
+
+def normalize(adjacency: Tensor, mode: str = "softmax") -> Tensor:
+    """Dispatch by name; used by TagSL's Norm(A^t)."""
+    modes = {
+        "softmax": row_softmax,
+        "sym": sym_laplacian,
+        "random_walk": random_walk,
+    }
+    try:
+        return modes[mode](adjacency)
+    except KeyError:
+        raise ValueError(f"unknown normalization {mode!r}; choose from {sorted(modes)}") from None
+
+
+def sym_laplacian_np(adjacency: np.ndarray, add_self_loops: bool = True) -> np.ndarray:
+    """Numpy-only symmetric normalization for fixed pre-defined graphs."""
+    adjacency = np.maximum(adjacency, 0.0)
+    if add_self_loops:
+        adjacency = adjacency + np.eye(adjacency.shape[-1])
+    inv_sqrt = 1.0 / np.sqrt(adjacency.sum(axis=-1) + _EPS)
+    return adjacency * inv_sqrt[..., :, None] * inv_sqrt[..., None, :]
+
+
+def random_walk_np(adjacency: np.ndarray) -> np.ndarray:
+    """Numpy-only row-stochastic normalization (DCRNN forward diffusion)."""
+    adjacency = np.maximum(adjacency, 0.0)
+    degree = adjacency.sum(axis=-1, keepdims=True)
+    return adjacency / (degree + _EPS)

@@ -1,0 +1,92 @@
+"""Pre-defined graph constructions.
+
+DCRNN and PVCGN consume graphs built from domain knowledge: geographic
+distance (thresholded Gaussian kernel), physical line topology, and
+feature-correlation / OD-similarity graphs.  The synthetic datasets expose
+node coordinates and line structure, so all three are reconstructible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import networkx as nx
+
+
+def distance_graph(coordinates: np.ndarray, sigma: float | None = None, threshold: float = 0.1) -> np.ndarray:
+    """Thresholded Gaussian-kernel distance graph (DCRNN's construction).
+
+    ``A_ij = exp(-d_ij^2 / sigma^2)`` zeroed below ``threshold``; ``sigma``
+    defaults to the standard deviation of pairwise distances.
+    """
+    delta = coordinates[:, None, :] - coordinates[None, :, :]
+    distances = np.sqrt((delta ** 2).sum(axis=-1))
+    if sigma is None:
+        off_diag = distances[~np.eye(len(coordinates), dtype=bool)]
+        sigma = float(off_diag.std()) or 1.0
+    adjacency = np.exp(-((distances / sigma) ** 2))
+    adjacency[adjacency < threshold] = 0.0
+    np.fill_diagonal(adjacency, 0.0)
+    return adjacency
+
+
+def knn_graph(coordinates: np.ndarray, k: int) -> np.ndarray:
+    """Binary k-nearest-neighbour graph, symmetrized by max."""
+    delta = coordinates[:, None, :] - coordinates[None, :, :]
+    distances = np.sqrt((delta ** 2).sum(axis=-1))
+    np.fill_diagonal(distances, np.inf)
+    n = len(coordinates)
+    adjacency = np.zeros((n, n))
+    neighbours = np.argsort(distances, axis=1)[:, :k]
+    rows = np.repeat(np.arange(n), k)
+    adjacency[rows, neighbours.reshape(-1)] = 1.0
+    return np.maximum(adjacency, adjacency.T)
+
+
+def correlation_graph(series: np.ndarray, threshold: float = 0.3) -> np.ndarray:
+    """Pearson-correlation similarity graph from node histories.
+
+    ``series`` has shape (time, nodes); edges keep |corr| above threshold.
+    PVCGN uses such a "similarity" virtual graph.
+    """
+    corr = np.corrcoef(series.T)
+    corr = np.nan_to_num(corr, nan=0.0)
+    adjacency = np.abs(corr)
+    adjacency[adjacency < threshold] = 0.0
+    np.fill_diagonal(adjacency, 0.0)
+    return adjacency
+
+
+def line_graph(edges: list[tuple[int, int]], num_nodes: int) -> np.ndarray:
+    """Physical topology graph from a station-connection edge list."""
+    adjacency = np.zeros((num_nodes, num_nodes))
+    for u, v in edges:
+        adjacency[u, v] = 1.0
+        adjacency[v, u] = 1.0
+    return adjacency
+
+
+def ring_line_edges(num_nodes: int, num_lines: int = 1, rng: np.random.Generator | None = None) -> list[tuple[int, int]]:
+    """Synthesize metro-like line topology: chains over shuffled stations.
+
+    Used by the data generator to give pre-defined-graph baselines a
+    "physical" graph comparable to a real metro map.
+    """
+    rng = rng or np.random.default_rng(0)
+    nodes = np.arange(num_nodes)
+    edges: list[tuple[int, int]] = []
+    splits = np.array_split(rng.permutation(nodes), num_lines)
+    for line in splits:
+        edges.extend((int(a), int(b)) for a, b in zip(line[:-1], line[1:]))
+    # Connect consecutive lines so the graph is a single component.
+    for first, second in zip(splits[:-1], splits[1:]):
+        if len(first) and len(second):
+            edges.append((int(first[-1]), int(second[0])))
+    return edges
+
+
+def graph_diameter(adjacency: np.ndarray) -> int:
+    """Diameter of the binarized graph (sanity metric for builders)."""
+    graph = nx.from_numpy_array((adjacency > 0).astype(int))
+    if not nx.is_connected(graph):
+        return -1
+    return nx.diameter(graph)

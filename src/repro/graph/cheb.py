@@ -1,0 +1,47 @@
+"""Polynomial graph-convolution supports.
+
+DCRNN's diffusion convolution and AGCRN's Chebyshev-style convolution both
+reduce to applying a short list of "support" matrices to the node features;
+these helpers build those lists.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autodiff import Tensor, ensure_tensor
+from .adjacency import random_walk_np
+
+
+def diffusion_supports(adjacency: np.ndarray, max_step: int = 2) -> list[np.ndarray]:
+    """Bidirectional random-walk powers used by DCRNN.
+
+    Returns ``[P_fwd, P_fwd^2, ..., P_bwd, P_bwd^2, ...]`` up to
+    ``max_step`` hops in each direction.
+    """
+    forward = random_walk_np(adjacency)
+    backward = random_walk_np(adjacency.T)
+    supports: list[np.ndarray] = []
+    for base in (forward, backward):
+        power = np.eye(adjacency.shape[0])
+        for _ in range(max_step):
+            power = power @ base
+            supports.append(power.copy())
+    return supports
+
+
+def chebyshev_supports(normalized: Tensor, order: int = 2) -> list[Tensor]:
+    """Chebyshev polynomial list [I, L, 2L·T1 - T0, ...] (differentiable).
+
+    ``normalized`` is an already-normalized (scaled) adjacency/Laplacian.
+    ``order`` counts the matrices returned (order=2 → [I, L]).
+    """
+    normalized = ensure_tensor(normalized)
+    n = normalized.shape[-1]
+    identity = Tensor(np.eye(n))
+    if normalized.ndim > 2:
+        identity = Tensor(np.broadcast_to(np.eye(n), normalized.shape).copy())
+    supports = [identity, normalized]
+    for _ in range(order - 2):
+        supports.append(2.0 * (normalized @ supports[-1]) - supports[-2])
+    return supports[:order]

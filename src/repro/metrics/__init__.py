@@ -1,0 +1,5 @@
+"""Evaluation metrics used across all experiment tables."""
+
+from .errors import MetricReport, evaluate, horizon_report, mae, mape, mse, node_report, pcc, rmse
+
+__all__ = ["MetricReport", "evaluate", "horizon_report", "mae", "mape", "mse", "node_report", "pcc", "rmse"]

@@ -1,0 +1,110 @@
+"""Evaluation metrics (§IV-A-3): MAE, MSE, RMSE, MAPE, PCC.
+
+MAPE is masked — following the metro-forecasting convention, targets
+whose magnitude falls below ``mape_threshold`` are excluded so near-zero
+night-time flows do not dominate the percentage error.  PCC is the
+Pearson correlation between flattened predictions and targets (NYC
+demand benchmarks report it; higher is better).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def mae(prediction: np.ndarray, target: np.ndarray) -> float:
+    """Mean absolute error."""
+    return float(np.mean(np.abs(prediction - target)))
+
+
+def mse(prediction: np.ndarray, target: np.ndarray) -> float:
+    """Mean squared error."""
+    return float(np.mean((prediction - target) ** 2))
+
+
+def rmse(prediction: np.ndarray, target: np.ndarray) -> float:
+    """Root mean squared error."""
+    return float(np.sqrt(mse(prediction, target)))
+
+
+def mape(prediction: np.ndarray, target: np.ndarray, threshold: float = 1.0) -> float:
+    """Masked mean absolute percentage error, in percent."""
+    mask = np.abs(target) >= threshold
+    if not mask.any():
+        return 0.0
+    return float(np.mean(np.abs(prediction[mask] - target[mask]) / np.abs(target[mask])) * 100.0)
+
+
+def pcc(prediction: np.ndarray, target: np.ndarray) -> float:
+    """Pearson correlation coefficient over all elements."""
+    p = prediction.reshape(-1)
+    t = target.reshape(-1)
+    p_std = p.std()
+    t_std = t.std()
+    if p_std < 1e-12 or t_std < 1e-12:
+        return 0.0
+    return float(np.mean((p - p.mean()) * (t - t.mean())) / (p_std * t_std))
+
+
+@dataclass(frozen=True)
+class MetricReport:
+    """All paper metrics for one (prediction, target) pair."""
+
+    mae: float
+    mse: float
+    rmse: float
+    mape: float
+    pcc: float
+
+    def as_dict(self) -> dict[str, float]:
+        return {"MAE": self.mae, "MSE": self.mse, "RMSE": self.rmse, "MAPE": self.mape, "PCC": self.pcc}
+
+    def __str__(self) -> str:
+        return (
+            f"MAE {self.mae:.4f} | RMSE {self.rmse:.4f} | MAPE {self.mape:.2f}% "
+            f"| MSE {self.mse:.4f} | PCC {self.pcc:.4f}"
+        )
+
+
+def evaluate(prediction: np.ndarray, target: np.ndarray, mape_threshold: float = 1.0) -> MetricReport:
+    """Compute the full metric set."""
+    if prediction.shape != target.shape:
+        raise ValueError(f"shape mismatch: {prediction.shape} vs {target.shape}")
+    return MetricReport(
+        mae=mae(prediction, target),
+        mse=mse(prediction, target),
+        rmse=rmse(prediction, target),
+        mape=mape(prediction, target, threshold=mape_threshold),
+        pcc=pcc(prediction, target),
+    )
+
+
+def horizon_report(
+    prediction: np.ndarray, target: np.ndarray, mape_threshold: float = 1.0
+) -> list[MetricReport]:
+    """Per-horizon metrics for (S, Q, N, d) arrays — Table IV's 15/30/45/60
+    minute columns and Fig. 8's multi-step curves."""
+    if prediction.ndim < 2:
+        raise ValueError("expected at least (samples, horizon, ...) arrays")
+    return [
+        evaluate(prediction[:, q], target[:, q], mape_threshold=mape_threshold)
+        for q in range(prediction.shape[1])
+    ]
+
+
+def node_report(
+    prediction: np.ndarray, target: np.ndarray, mape_threshold: float = 1.0
+) -> list[MetricReport]:
+    """Per-node metrics for (S, Q, N, d) arrays.
+
+    Useful for spotting stations a model systematically misses (busy hub
+    vs quiet terminus); not a paper table, but standard diagnostic fare.
+    """
+    if prediction.ndim < 3:
+        raise ValueError("expected (samples, horizon, nodes, ...) arrays")
+    return [
+        evaluate(prediction[:, :, n], target[:, :, n], mape_threshold=mape_threshold)
+        for n in range(prediction.shape[2])
+    ]

@@ -1,0 +1,44 @@
+"""Neural-network library built on the autodiff substrate."""
+
+from .module import Module, ModuleList, Parameter
+from .layers import MLP, Dropout, Embedding, LayerNorm, Linear, Sequential, get_activation
+from .rnn import GRU, LSTM, GRUCell, LSTMCell
+from .conv import Conv1d, GatedTCNBlock
+from .attention import MultiHeadAttention, TransformerBlock, causal_mask, scaled_dot_product_attention
+from .optim import SGD, Adam, AdamW, MultiStepLR, Optimizer, clip_grad_norm
+from .serialization import load_checkpoint, load_optimizer, save_checkpoint, save_optimizer
+from . import init
+
+__all__ = [
+    "Adam",
+    "AdamW",
+    "Conv1d",
+    "Dropout",
+    "Embedding",
+    "GRU",
+    "GRUCell",
+    "GatedTCNBlock",
+    "LSTM",
+    "LSTMCell",
+    "LayerNorm",
+    "Linear",
+    "MLP",
+    "Module",
+    "ModuleList",
+    "MultiHeadAttention",
+    "MultiStepLR",
+    "Optimizer",
+    "Parameter",
+    "SGD",
+    "Sequential",
+    "TransformerBlock",
+    "causal_mask",
+    "clip_grad_norm",
+    "get_activation",
+    "init",
+    "load_checkpoint",
+    "load_optimizer",
+    "save_checkpoint",
+    "save_optimizer",
+    "scaled_dot_product_attention",
+]

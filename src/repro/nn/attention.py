@@ -1,0 +1,86 @@
+"""Scaled dot-product and multi-head attention.
+
+Used by the Informer-lite and Crossformer-lite baselines.  Shapes follow
+``(batch, time, model_dim)``; heads are folded into the batch axis.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..autodiff import Tensor, softmax
+from .layers import Linear
+from .module import Module
+
+
+def scaled_dot_product_attention(
+    query: Tensor, key: Tensor, value: Tensor, mask: np.ndarray | None = None
+) -> Tensor:
+    """Attention(Q, K, V) = softmax(Q K^T / sqrt(d)) V.
+
+    ``mask`` is a boolean array broadcastable to the score shape; ``True``
+    marks positions to *block* (set to -inf before softmax).
+    """
+    d_k = query.shape[-1]
+    scores = (query @ key.swapaxes(-1, -2)) * (1.0 / math.sqrt(d_k))
+    if mask is not None:
+        blocked = np.broadcast_to(mask, scores.shape)
+        scores = scores + Tensor(np.where(blocked, -1e9, 0.0))
+    return softmax(scores, axis=-1) @ value
+
+
+def causal_mask(length: int) -> np.ndarray:
+    """Upper-triangular mask blocking attention to future positions."""
+    return np.triu(np.ones((length, length), dtype=bool), k=1)
+
+
+class MultiHeadAttention(Module):
+    """Standard multi-head attention with separate Q/K/V projections."""
+
+    def __init__(self, model_dim: int, num_heads: int, *, rng: np.random.Generator):
+        super().__init__()
+        if model_dim % num_heads != 0:
+            raise ValueError(f"model_dim {model_dim} not divisible by num_heads {num_heads}")
+        self.model_dim = model_dim
+        self.num_heads = num_heads
+        self.head_dim = model_dim // num_heads
+        self.q_proj = Linear(model_dim, model_dim, rng=rng)
+        self.k_proj = Linear(model_dim, model_dim, rng=rng)
+        self.v_proj = Linear(model_dim, model_dim, rng=rng)
+        self.out_proj = Linear(model_dim, model_dim, rng=rng)
+
+    def _split_heads(self, x: Tensor) -> Tensor:
+        batch, steps, _ = x.shape
+        return x.reshape(batch, steps, self.num_heads, self.head_dim).transpose(0, 2, 1, 3)
+
+    def _merge_heads(self, x: Tensor) -> Tensor:
+        batch, heads, steps, dim = x.shape
+        return x.transpose(0, 2, 1, 3).reshape(batch, steps, heads * dim)
+
+    def forward(self, query: Tensor, key: Tensor, value: Tensor, mask: np.ndarray | None = None) -> Tensor:
+        q = self._split_heads(self.q_proj(query))
+        k = self._split_heads(self.k_proj(key))
+        v = self._split_heads(self.v_proj(value))
+        attended = scaled_dot_product_attention(q, k, v, mask=mask)
+        return self.out_proj(self._merge_heads(attended))
+
+
+class TransformerBlock(Module):
+    """Pre-norm transformer encoder block (attention + FFN, residuals)."""
+
+    def __init__(self, model_dim: int, num_heads: int, ff_dim: int, *, rng: np.random.Generator):
+        super().__init__()
+        from .layers import LayerNorm, Sequential, get_activation
+
+        self.attention = MultiHeadAttention(model_dim, num_heads, rng=rng)
+        self.norm1 = LayerNorm(model_dim)
+        self.norm2 = LayerNorm(model_dim)
+        self.ff_in = Linear(model_dim, ff_dim, rng=rng)
+        self.ff_out = Linear(ff_dim, model_dim, rng=rng)
+
+    def forward(self, x: Tensor, mask: np.ndarray | None = None) -> Tensor:
+        normed = self.norm1(x)
+        x = x + self.attention(normed, normed, normed, mask=mask)
+        return x + self.ff_out(self.ff_in(self.norm2(x)).relu())

@@ -1,0 +1,73 @@
+"""1-D temporal convolutions (dilated + causal) for TCN-style baselines.
+
+Graph WaveNet and ESG capture temporal dependencies with stacked dilated
+1-D convolutions; this module provides the primitive.  The input layout is
+``(batch, time, channels)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autodiff import Tensor, concat, zeros
+from . import init
+from .module import Module, Parameter
+
+
+class Conv1d(Module):
+    """Causal dilated 1-D convolution over the time axis.
+
+    Implemented as a sum of shifted linear maps — for the small kernel
+    sizes used here (2–3) this is both simple and fast with numpy matmul.
+    Output has the same temporal length as the input (left zero-padding).
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int = 2,
+        dilation: int = 1,
+        bias: bool = True,
+        *,
+        rng: np.random.Generator,
+    ):
+        super().__init__()
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.dilation = dilation
+        self.weight = Parameter(init.xavier_uniform((kernel_size, in_channels, out_channels), rng))
+        self.bias = Parameter(init.zeros((out_channels,))) if bias else None
+
+    @property
+    def receptive_field(self) -> int:
+        return (self.kernel_size - 1) * self.dilation + 1
+
+    def forward(self, x: Tensor) -> Tensor:
+        batch, steps, _ = x.shape
+        pad = (self.kernel_size - 1) * self.dilation
+        if pad:
+            padding = zeros(batch, pad, self.in_channels)
+            x = concat([padding, x], axis=1)
+        out = None
+        for tap in range(self.kernel_size):
+            start = tap * self.dilation
+            window = x[:, start : start + steps, :]
+            term = window @ self.weight[tap]
+            out = term if out is None else out + term
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+class GatedTCNBlock(Module):
+    """WaveNet-style gated activation unit: tanh(conv) * sigmoid(conv)."""
+
+    def __init__(self, channels: int, kernel_size: int = 2, dilation: int = 1, *, rng: np.random.Generator):
+        super().__init__()
+        self.filter_conv = Conv1d(channels, channels, kernel_size, dilation, rng=rng)
+        self.gate_conv = Conv1d(channels, channels, kernel_size, dilation, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.filter_conv(x).tanh() * self.gate_conv(x).sigmoid()

@@ -1,0 +1,131 @@
+"""Common feed-forward layers."""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..autodiff import Tensor, dropout, gather_rows
+from . import init
+from .module import Module, ModuleList, Parameter
+
+_ACTIVATIONS: dict[str, Callable[[Tensor], Tensor]] = {
+    "relu": lambda x: x.relu(),
+    "tanh": lambda x: x.tanh(),
+    "sigmoid": lambda x: x.sigmoid(),
+    "identity": lambda x: x,
+    "leaky_relu": lambda x: x.leaky_relu(),
+}
+
+
+def get_activation(name: str) -> Callable[[Tensor], Tensor]:
+    """Resolve an activation by name (raises on unknown names)."""
+    try:
+        return _ACTIVATIONS[name]
+    except KeyError:
+        raise ValueError(f"unknown activation {name!r}; choose from {sorted(_ACTIVATIONS)}") from None
+
+
+class Linear(Module):
+    """Affine map ``y = x W + b`` applied to the last axis."""
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True, *, rng: np.random.Generator):
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(init.xavier_uniform((in_features, out_features), rng))
+        self.bias = Parameter(init.zeros((out_features,))) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+class Embedding(Module):
+    """Lookup table of learnable vectors, indexed by integer arrays."""
+
+    def __init__(self, num_embeddings: int, embedding_dim: int, *, rng: np.random.Generator, std: float = 1.0):
+        super().__init__()
+        self.num_embeddings = num_embeddings
+        self.embedding_dim = embedding_dim
+        self.weight = Parameter(init.normal((num_embeddings, embedding_dim), rng, std=std))
+
+    def forward(self, indices) -> Tensor:
+        return gather_rows(self.weight, indices)
+
+
+class Dropout(Module):
+    """Inverted dropout; active only in training mode."""
+
+    def __init__(self, p: float = 0.5, *, rng: np.random.Generator):
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+        self.p = p
+        self._rng = rng
+
+    def forward(self, x: Tensor) -> Tensor:
+        return dropout(x, self.p, self.training, self._rng)
+
+
+class LayerNorm(Module):
+    """Layer normalization over the last axis."""
+
+    def __init__(self, normalized_dim: int, eps: float = 1e-5):
+        super().__init__()
+        self.eps = eps
+        self.gamma = Parameter(np.ones(normalized_dim))
+        self.beta = Parameter(np.zeros(normalized_dim))
+
+    def forward(self, x: Tensor) -> Tensor:
+        mean = x.mean(axis=-1, keepdims=True)
+        centered = x - mean
+        variance = (centered * centered).mean(axis=-1, keepdims=True)
+        normalized = centered / (variance + self.eps).sqrt()
+        return normalized * self.gamma + self.beta
+
+
+class Sequential(Module):
+    """Chain modules; callables (activations) are allowed inline."""
+
+    def __init__(self, *stages):
+        super().__init__()
+        self._stages = []
+        for index, stage in enumerate(stages):
+            if isinstance(stage, Module):
+                self.register_module(str(index), stage)
+            self._stages.append(stage)
+
+    def forward(self, x: Tensor) -> Tensor:
+        for stage in self._stages:
+            x = stage(x)
+        return x
+
+
+class MLP(Module):
+    """Multi-layer perceptron with a uniform hidden activation."""
+
+    def __init__(
+        self,
+        dims: Sequence[int],
+        activation: str = "relu",
+        out_activation: str = "identity",
+        *,
+        rng: np.random.Generator,
+    ):
+        super().__init__()
+        if len(dims) < 2:
+            raise ValueError("MLP needs at least input and output dims")
+        self.layers = ModuleList(
+            [Linear(d_in, d_out, rng=rng) for d_in, d_out in zip(dims[:-1], dims[1:])]
+        )
+        self._hidden_act = get_activation(activation)
+        self._out_act = get_activation(out_activation)
+
+    def forward(self, x: Tensor) -> Tensor:
+        for layer in list(self.layers)[:-1]:
+            x = self._hidden_act(layer(x))
+        return self._out_act(self.layers[len(self.layers) - 1](x))

@@ -1,0 +1,173 @@
+"""Module/Parameter system mirroring ``torch.nn.Module``.
+
+Modules own named :class:`Parameter` tensors and child modules; they expose
+``parameters()`` for optimizers, ``state_dict()`` for checkpointing, and a
+train/eval switch consulted by stochastic layers (dropout).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterator
+
+import numpy as np
+
+from ..autodiff import Tensor
+
+
+class Parameter(Tensor):
+    """A tensor that is always trainable and discoverable by ``Module``."""
+
+    def __init__(self, data):
+        super().__init__(data, requires_grad=True)
+
+
+class Module:
+    """Base class for all layers and models."""
+
+    def __init__(self):
+        self._parameters: OrderedDict[str, Parameter] = OrderedDict()
+        self._modules: OrderedDict[str, Module] = OrderedDict()
+        self.training = True
+
+    # ------------------------------------------------------------------ #
+    # registration
+    # ------------------------------------------------------------------ #
+
+    def __setattr__(self, name, value):
+        if isinstance(value, Parameter):
+            self.__dict__.setdefault("_parameters", OrderedDict())[name] = value
+        elif isinstance(value, Module):
+            self.__dict__.setdefault("_modules", OrderedDict())[name] = value
+        object.__setattr__(self, name, value)
+
+    def register_module(self, name: str, module: "Module") -> None:
+        """Register a child under a dynamic name (e.g. from a list)."""
+        self._modules[name] = module
+        object.__setattr__(self, name, module)
+
+    # ------------------------------------------------------------------ #
+    # traversal
+    # ------------------------------------------------------------------ #
+
+    def named_parameters(self, prefix: str = "", _memo: set[int] | None = None) -> Iterator[tuple[str, Parameter]]:
+        """Yield (path, parameter) pairs, visiting shared parameters once.
+
+        Modules may be reachable through several attribute paths (e.g. a
+        time encoder owned by both the model and its TagSL child); the
+        memo guarantees each parameter appears exactly once — under its
+        first-encountered path — so optimizers never double-step shared
+        weights and ``num_parameters`` never double-counts them.
+        """
+        memo = _memo if _memo is not None else set()
+        for name, param in self._parameters.items():
+            if id(param) not in memo:
+                memo.add(id(param))
+                yield (f"{prefix}{name}", param)
+        for child_name, child in self._modules.items():
+            yield from child.named_parameters(prefix=f"{prefix}{child_name}.", _memo=memo)
+
+    def parameters(self) -> list[Parameter]:
+        return [p for _, p in self.named_parameters()]
+
+    def modules(self, _memo: set[int] | None = None) -> Iterator["Module"]:
+        """Yield self and all descendants, visiting shared modules once."""
+        memo = _memo if _memo is not None else set()
+        if id(self) in memo:
+            return
+        memo.add(id(self))
+        yield self
+        for child in self._modules.values():
+            yield from child.modules(_memo=memo)
+
+    def num_parameters(self) -> int:
+        """Total number of trainable scalars (Table VIII's '# Parameters')."""
+        return sum(p.size for p in self.parameters())
+
+    def summary(self, max_depth: int = 2) -> str:
+        """Parameter-count table grouped by submodule path.
+
+        ``max_depth`` controls how deep the grouping goes (1 = direct
+        children only); the final line is the Table VIII-style total.
+        """
+        groups: "OrderedDict[str, int]" = OrderedDict()
+        for name, param in self.named_parameters():
+            parts = name.split(".")
+            key = ".".join(parts[: max_depth]) if len(parts) > max_depth else name
+            groups[key] = groups.get(key, 0) + param.size
+        width = max((len(k) for k in groups), default=10)
+        lines = [f"{'module':<{width}}  {'# params':>10}", "-" * (width + 12)]
+        for key, count in groups.items():
+            lines.append(f"{key:<{width}}  {count:>10,d}")
+        lines.append("-" * (width + 12))
+        lines.append(f"{'total':<{width}}  {self.num_parameters():>10,d}")
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------ #
+    # modes / grads
+    # ------------------------------------------------------------------ #
+
+    def train(self, mode: bool = True) -> "Module":
+        for module in self.modules():
+            module.training = mode
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.zero_grad()
+
+    # ------------------------------------------------------------------ #
+    # state
+    # ------------------------------------------------------------------ #
+
+    def state_dict(self) -> "OrderedDict[str, np.ndarray]":
+        return OrderedDict((name, param.data.copy()) for name, param in self.named_parameters())
+
+    def load_state_dict(self, state: dict) -> None:
+        own = dict(self.named_parameters())
+        missing = set(own) - set(state)
+        unexpected = set(state) - set(own)
+        if missing or unexpected:
+            raise KeyError(f"state mismatch: missing={sorted(missing)}, unexpected={sorted(unexpected)}")
+        for name, param in own.items():
+            value = np.asarray(state[name])
+            if value.shape != param.data.shape:
+                raise ValueError(f"shape mismatch for {name}: {value.shape} vs {param.data.shape}")
+            param.data[...] = value
+
+    # ------------------------------------------------------------------ #
+    # call protocol
+    # ------------------------------------------------------------------ #
+
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+
+class ModuleList(Module):
+    """Hold an ordered list of sub-modules, registering each."""
+
+    def __init__(self, modules=()):
+        super().__init__()
+        self._items: list[Module] = []
+        for module in modules:
+            self.append(module)
+
+    def append(self, module: Module) -> "ModuleList":
+        self.register_module(str(len(self._items)), module)
+        self._items.append(module)
+        return self
+
+    def __iter__(self):
+        return iter(self._items)
+
+    def __len__(self):
+        return len(self._items)
+
+    def __getitem__(self, index: int) -> Module:
+        return self._items[index]

@@ -1,0 +1,148 @@
+"""Optimizers, learning-rate schedules, and gradient clipping.
+
+The paper trains with Adam (lr 1e-3, L2 penalty 1e-4) and decays the rate
+by 0.3 at epochs [5, 20, 40, 70, 90]; :class:`MultiStepLR` reproduces that
+schedule exactly.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from .module import Parameter
+
+
+class Optimizer:
+    """Base optimizer over a flat list of parameters."""
+
+    def __init__(self, parameters: Sequence[Parameter], lr: float):
+        self.parameters = list(parameters)
+        if not self.parameters:
+            raise ValueError("optimizer got an empty parameter list")
+        self.lr = lr
+
+    def zero_grad(self) -> None:
+        for param in self.parameters:
+            param.zero_grad()
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """SGD with optional momentum and decoupled weight decay."""
+
+    def __init__(self, parameters, lr: float = 1e-2, momentum: float = 0.0, weight_decay: float = 0.0):
+        super().__init__(parameters, lr)
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        for param, velocity in zip(self.parameters, self._velocity):
+            if param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            if self.momentum:
+                velocity *= self.momentum
+                velocity += grad
+                grad = velocity
+            param.data -= self.lr * grad
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba 2015) with L2 penalty folded into the gradient,
+    matching the paper's setup (``weight_decay`` = L2 penalty 1e-4)."""
+
+    def __init__(
+        self,
+        parameters,
+        lr: float = 1e-3,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ):
+        super().__init__(parameters, lr)
+        self.betas = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._step_count = 0
+        self._m = [np.zeros_like(p.data) for p in self.parameters]
+        self._v = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        self._step_count += 1
+        beta1, beta2 = self.betas
+        bias1 = 1.0 - beta1 ** self._step_count
+        bias2 = 1.0 - beta2 ** self._step_count
+        for param, m, v in zip(self.parameters, self._m, self._v):
+            if param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            m *= beta1
+            m += (1.0 - beta1) * grad
+            v *= beta2
+            v += (1.0 - beta2) * grad * grad
+            m_hat = m / bias1
+            v_hat = v / bias2
+            param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+class AdamW(Adam):
+    """Adam with decoupled weight decay (Loshchilov & Hutter)."""
+
+    def step(self) -> None:
+        if self.weight_decay:
+            for param in self.parameters:
+                if param.grad is not None:
+                    param.data -= self.lr * self.weight_decay * param.data
+        decay, self.weight_decay = self.weight_decay, 0.0
+        try:
+            super().step()
+        finally:
+            self.weight_decay = decay
+
+
+class MultiStepLR:
+    """Decay the optimizer's lr by ``gamma`` at each milestone epoch."""
+
+    def __init__(self, optimizer: Optimizer, milestones: Sequence[int], gamma: float = 0.3):
+        self.optimizer = optimizer
+        self.milestones = sorted(milestones)
+        self.gamma = gamma
+        self._base_lr = optimizer.lr
+        self._epoch = 0
+
+    @property
+    def current_lr(self) -> float:
+        return self.optimizer.lr
+
+    def step(self) -> None:
+        """Advance one epoch and update the optimizer's lr."""
+        self._epoch += 1
+        passed = sum(1 for m in self.milestones if self._epoch >= m)
+        self.optimizer.lr = self._base_lr * (self.gamma ** passed)
+
+
+def clip_grad_norm(parameters: Sequence[Parameter], max_norm: float) -> float:
+    """Scale all gradients so their global L2 norm is at most ``max_norm``.
+
+    Returns the pre-clip norm (useful for monitoring divergence).
+    """
+    total = 0.0
+    grads = [p.grad for p in parameters if p.grad is not None]
+    for grad in grads:
+        total += float(np.sum(grad * grad))
+    norm = math.sqrt(total)
+    if norm > max_norm and norm > 0.0:
+        scale = max_norm / norm
+        for grad in grads:
+            grad *= scale
+    return norm

@@ -1,0 +1,123 @@
+"""Recurrent cells and multi-step wrappers (GRU / LSTM).
+
+These are the temporal backbone for FC-LSTM and for baselines whose graph
+modules are grafted onto a recurrent skeleton.  Inputs follow the
+``(batch, time, features)`` convention.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autodiff import Tensor, concat, stack, zeros
+from . import init
+from .module import Module, ModuleList, Parameter
+
+
+class GRUCell(Module):
+    """Standard gated recurrent unit cell."""
+
+    def __init__(self, input_size: int, hidden_size: int, *, rng: np.random.Generator):
+        super().__init__()
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        combined = input_size + hidden_size
+        self.weight_z = Parameter(init.xavier_uniform((combined, hidden_size), rng))
+        self.weight_r = Parameter(init.xavier_uniform((combined, hidden_size), rng))
+        self.weight_h = Parameter(init.xavier_uniform((combined, hidden_size), rng))
+        self.bias_z = Parameter(init.zeros((hidden_size,)))
+        self.bias_r = Parameter(init.zeros((hidden_size,)))
+        self.bias_h = Parameter(init.zeros((hidden_size,)))
+
+    def forward(self, x: Tensor, h: Tensor) -> Tensor:
+        xh = concat([x, h], axis=-1)
+        z = (xh @ self.weight_z + self.bias_z).sigmoid()
+        r = (xh @ self.weight_r + self.bias_r).sigmoid()
+        xrh = concat([x, r * h], axis=-1)
+        candidate = (xrh @ self.weight_h + self.bias_h).tanh()
+        return (1.0 - z) * h + z * candidate
+
+
+class LSTMCell(Module):
+    """Standard LSTM cell with forget-gate bias initialized to 1."""
+
+    def __init__(self, input_size: int, hidden_size: int, *, rng: np.random.Generator):
+        super().__init__()
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        combined = input_size + hidden_size
+        self.weight = Parameter(init.xavier_uniform((combined, 4 * hidden_size), rng))
+        bias = np.zeros(4 * hidden_size)
+        bias[hidden_size : 2 * hidden_size] = 1.0  # forget gate
+        self.bias = Parameter(bias)
+
+    def forward(self, x: Tensor, state: tuple[Tensor, Tensor]) -> tuple[Tensor, Tensor]:
+        h, c = state
+        gates = concat([x, h], axis=-1) @ self.weight + self.bias
+        hs = self.hidden_size
+        i = gates[:, 0 * hs : 1 * hs].sigmoid()
+        f = gates[:, 1 * hs : 2 * hs].sigmoid()
+        g = gates[:, 2 * hs : 3 * hs].tanh()
+        o = gates[:, 3 * hs : 4 * hs].sigmoid()
+        c_next = f * c + i * g
+        h_next = o * c_next.tanh()
+        return h_next, c_next
+
+
+class GRU(Module):
+    """Multi-layer GRU over a (batch, time, features) sequence."""
+
+    def __init__(self, input_size: int, hidden_size: int, num_layers: int = 1, *, rng: np.random.Generator):
+        super().__init__()
+        self.hidden_size = hidden_size
+        self.num_layers = num_layers
+        sizes = [input_size] + [hidden_size] * (num_layers - 1)
+        self.cells = ModuleList([GRUCell(s, hidden_size, rng=rng) for s in sizes])
+
+    def forward(self, x: Tensor, h0: list[Tensor] | None = None) -> tuple[Tensor, list[Tensor]]:
+        batch, steps, _ = x.shape
+        states = h0 or [zeros(batch, self.hidden_size) for _ in range(self.num_layers)]
+        outputs = []
+        for t in range(steps):
+            layer_input = x[:, t, :]
+            new_states = []
+            for cell, state in zip(self.cells, states):
+                layer_input = cell(layer_input, state)
+                new_states.append(layer_input)
+            states = new_states
+            outputs.append(states[-1])
+        return stack(outputs, axis=1), states
+
+
+class LSTM(Module):
+    """Multi-layer LSTM over a (batch, time, features) sequence."""
+
+    def __init__(self, input_size: int, hidden_size: int, num_layers: int = 1, *, rng: np.random.Generator):
+        super().__init__()
+        self.hidden_size = hidden_size
+        self.num_layers = num_layers
+        sizes = [input_size] + [hidden_size] * (num_layers - 1)
+        self.cells = ModuleList([LSTMCell(s, hidden_size, rng=rng) for s in sizes])
+
+    def _initial_states(self, batch: int) -> list[tuple[Tensor, Tensor]]:
+        return [
+            (zeros(batch, self.hidden_size), zeros(batch, self.hidden_size))
+            for _ in range(self.num_layers)
+        ]
+
+    def forward(
+        self, x: Tensor, states: list[tuple[Tensor, Tensor]] | None = None
+    ) -> tuple[Tensor, list[tuple[Tensor, Tensor]]]:
+        batch, steps, _ = x.shape
+        states = states or self._initial_states(batch)
+        outputs = []
+        for t in range(steps):
+            layer_input = x[:, t, :]
+            new_states = []
+            for cell, state in zip(self.cells, states):
+                h, c = cell(layer_input, state)
+                layer_input = h
+                new_states.append((h, c))
+            states = new_states
+            outputs.append(states[-1][0])
+        return stack(outputs, axis=1), states

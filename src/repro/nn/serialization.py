@@ -1,0 +1,65 @@
+"""Checkpoint save/load for modules and full training state.
+
+State dicts serialize to ``.npz`` (no pickle of code objects — safe to
+share).  Optimizer state captures Adam's moments so training resumes
+exactly.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from .module import Module
+from .optim import Adam
+
+_META_KEY = "__checkpoint_meta__"
+
+
+def save_checkpoint(path: str | Path, model: Module, metadata: dict | None = None) -> None:
+    """Write a model's parameters (and JSON-safe metadata) to ``.npz``."""
+    path = Path(path)
+    arrays = dict(model.state_dict())
+    if any(name == _META_KEY for name in arrays):
+        raise ValueError(f"parameter name {_META_KEY!r} collides with metadata slot")
+    meta = json.dumps(metadata or {})
+    arrays[_META_KEY] = np.frombuffer(meta.encode(), dtype=np.uint8)
+    np.savez(path, **arrays)
+
+
+def load_checkpoint(path: str | Path, model: Module) -> dict:
+    """Load parameters into ``model`` in place; returns the metadata."""
+    path = Path(path)
+    with np.load(path) as archive:
+        arrays = {name: archive[name] for name in archive.files}
+    meta_blob = arrays.pop(_META_KEY, None)
+    model.load_state_dict(arrays)
+    if meta_blob is None:
+        return {}
+    return json.loads(bytes(meta_blob.tobytes()).decode())
+
+
+def save_optimizer(path: str | Path, optimizer: Adam) -> None:
+    """Persist Adam moments + step count for exact training resumption."""
+    arrays = {"step_count": np.array(optimizer._step_count), "lr": np.array(optimizer.lr)}
+    for i, (m, v) in enumerate(zip(optimizer._m, optimizer._v)):
+        arrays[f"m_{i}"] = m
+        arrays[f"v_{i}"] = v
+    np.savez(Path(path), **arrays)
+
+
+def load_optimizer(path: str | Path, optimizer: Adam) -> None:
+    """Restore Adam moments saved by :func:`save_optimizer`."""
+    with np.load(Path(path)) as archive:
+        optimizer._step_count = int(archive["step_count"])
+        optimizer.lr = float(archive["lr"])
+        for i in range(len(optimizer._m)):
+            saved_m, saved_v = archive[f"m_{i}"], archive[f"v_{i}"]
+            if saved_m.shape != optimizer._m[i].shape:
+                raise ValueError(
+                    f"optimizer slot {i}: shape {saved_m.shape} != {optimizer._m[i].shape}"
+                )
+            optimizer._m[i][...] = saved_m
+            optimizer._v[i][...] = saved_v

@@ -1,0 +1,5 @@
+"""Hyper-parameter search (generalizing the paper's Fig. 9/10 sweeps)."""
+
+from .search import SearchReport, TrialResult, grid_candidates, random_candidates, search
+
+__all__ = ["SearchReport", "TrialResult", "grid_candidates", "random_candidates", "search"]

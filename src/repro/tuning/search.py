@@ -1,0 +1,117 @@
+"""Hyper-parameter search over TGCRN/baseline configurations.
+
+The paper's Fig. 9/10 sweeps are one-dimensional slices; this module
+generalizes them: grid or random search over model and training knobs,
+scored by validation MAE with the test metrics recorded for the winner.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+import numpy as np
+
+from ..data.datasets import ForecastingTask
+from ..training.experiment import ExperimentResult, run_experiment
+from ..training.trainer import TrainingConfig
+
+#: Keys routed into TrainingConfig; everything else goes to the model.
+_TRAINING_KEYS = {
+    "epochs", "batch_size", "lr", "weight_decay", "lr_milestones", "lr_gamma",
+    "patience", "grad_clip", "lambda_time", "loss",
+}
+
+
+@dataclass
+class TrialResult:
+    """One evaluated configuration."""
+
+    params: dict[str, Any]
+    val_mae: float
+    result: ExperimentResult
+
+    def __str__(self) -> str:
+        settings = ", ".join(f"{k}={v}" for k, v in self.params.items())
+        return f"val MAE {self.val_mae:7.3f} | test MAE {self.result.overall.mae:7.3f} | {settings}"
+
+
+@dataclass
+class SearchReport:
+    """All trials, sorted best-first by validation MAE."""
+
+    trials: list[TrialResult] = field(default_factory=list)
+
+    @property
+    def best(self) -> TrialResult:
+        if not self.trials:
+            raise ValueError("no trials were run")
+        return min(self.trials, key=lambda t: t.val_mae)
+
+    def table(self) -> str:
+        ordered = sorted(self.trials, key=lambda t: t.val_mae)
+        return "\n".join(str(t) for t in ordered)
+
+
+def grid_candidates(space: dict[str, Sequence[Any]]) -> list[dict[str, Any]]:
+    """Cartesian product of a {param: values} space, stable ordering."""
+    if not space:
+        return [{}]
+    keys = sorted(space)
+    combos = itertools.product(*(space[k] for k in keys))
+    return [dict(zip(keys, combo)) for combo in combos]
+
+
+def random_candidates(
+    space: dict[str, Sequence[Any]], num_samples: int, rng: np.random.Generator
+) -> list[dict[str, Any]]:
+    """Independent uniform draws from each parameter's candidate list."""
+    keys = sorted(space)
+    return [
+        {k: space[k][int(rng.integers(0, len(space[k])))] for k in keys}
+        for _ in range(num_samples)
+    ]
+
+
+def search(
+    task: ForecastingTask,
+    space: dict[str, Sequence[Any]],
+    model_name: str = "tgcrn",
+    strategy: str = "grid",
+    num_samples: int = 10,
+    base_config: TrainingConfig | None = None,
+    base_model_kwargs: dict[str, Any] | None = None,
+    hidden_dim: int = 16,
+    seed: int = 0,
+) -> SearchReport:
+    """Evaluate configurations and rank them by validation MAE.
+
+    Parameters named in ``_TRAINING_KEYS`` override the training config;
+    all others are forwarded as model kwargs (e.g. ``node_dim``,
+    ``time_dim``, ``alpha``, ``top_k``).
+    """
+    rng = np.random.default_rng(seed)
+    if strategy == "grid":
+        candidates = grid_candidates(space)
+    elif strategy == "random":
+        candidates = random_candidates(space, num_samples, rng)
+    else:
+        raise ValueError(f"unknown strategy {strategy!r}; use 'grid' or 'random'")
+
+    report = SearchReport()
+    base_config = base_config or TrainingConfig(epochs=5, seed=seed)
+    for params in candidates:
+        config_overrides = {k: v for k, v in params.items() if k in _TRAINING_KEYS}
+        model_overrides = {k: v for k, v in params.items() if k not in _TRAINING_KEYS}
+        config = TrainingConfig(**{**base_config.__dict__, **config_overrides})
+        model_kwargs = dict(base_model_kwargs or {})
+        model_kwargs.update(model_overrides)
+        result = run_experiment(
+            model_name, task, config,
+            model_kwargs=model_kwargs or None,
+            hidden_dim=hidden_dim, seed=seed, keep_model=False,
+        )
+        val_mae = result.history.best_val_mae if result.history else result.overall.mae
+        report.trials.append(TrialResult(params=params, val_mae=val_mae, result=result))
+    return report

@@ -1,0 +1,17 @@
+"""Visualization utilities: text heat maps and from-scratch t-SNE."""
+
+from .heatmap import matrix_correlation, render_heatmap, side_by_side
+from .tsne import joint_probabilities, ordering_score, tsne
+from .plots import line_plot, sparkline, training_curve
+
+__all__ = [
+    "joint_probabilities",
+    "line_plot",
+    "matrix_correlation",
+    "ordering_score",
+    "render_heatmap",
+    "side_by_side",
+    "sparkline",
+    "training_curve",
+    "tsne",
+]

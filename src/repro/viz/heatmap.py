@@ -1,0 +1,63 @@
+"""Text heatmaps of adjacency matrices.
+
+Fig. 2 and Fig. 11 compare learned time-aware adjacencies with ground-
+truth OD transfer heat maps; with no display available, matrices render
+as unicode-shade grids plus a numeric similarity score.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_SHADES = " .:-=+*#%@"
+
+
+def render_heatmap(matrix: np.ndarray, labels: list[str] | None = None, title: str = "") -> str:
+    """ASCII-art heat map; values min-max scaled into ten shades."""
+    matrix = np.asarray(matrix, dtype=float)
+    if matrix.ndim != 2:
+        raise ValueError("heatmap expects a 2-D matrix")
+    lo, hi = matrix.min(), matrix.max()
+    span = hi - lo if hi > lo else 1.0
+    scaled = ((matrix - lo) / span * (len(_SHADES) - 1)).astype(int)
+    lines = []
+    if title:
+        lines.append(title)
+    for i, row in enumerate(scaled):
+        prefix = f"{labels[i]:>6} " if labels else ""
+        lines.append(prefix + "".join(_SHADES[v] * 2 for v in row))
+    return "\n".join(lines)
+
+
+def matrix_correlation(a: np.ndarray, b: np.ndarray, exclude_diagonal: bool = True) -> float:
+    """Pearson correlation between two matrices' off-diagonal entries.
+
+    Used to score how well the learned A^t tracks the ground-truth OD
+    matrix at the same timestamp (the quantitative form of Fig. 11).
+    """
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
+    if exclude_diagonal:
+        mask = ~np.eye(a.shape[0], dtype=bool)
+        a, b = a[mask], b[mask]
+    else:
+        a, b = a.reshape(-1), b.reshape(-1)
+    if a.std() < 1e-12 or b.std() < 1e-12:
+        return 0.0
+    return float(np.corrcoef(a, b)[0, 1])
+
+
+def side_by_side(left: str, right: str, gap: int = 4) -> str:
+    """Join two rendered heat maps horizontally for visual comparison."""
+    left_lines = left.splitlines()
+    right_lines = right.splitlines()
+    height = max(len(left_lines), len(right_lines))
+    width = max((len(l) for l in left_lines), default=0)
+    rows = []
+    for i in range(height):
+        l = left_lines[i] if i < len(left_lines) else ""
+        r = right_lines[i] if i < len(right_lines) else ""
+        rows.append(l.ljust(width + gap) + r)
+    return "\n".join(rows)

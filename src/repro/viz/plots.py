@@ -1,0 +1,72 @@
+"""ASCII line plots for training curves and horizon series.
+
+Keeps the whole toolkit usable over SSH / in CI logs where no display
+exists — the same constraint under which the heat maps render as text.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+_BARS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """One-line bar chart of a numeric series."""
+    values = list(values)
+    if not values:
+        return ""
+    lo, hi = min(values), max(values)
+    span = hi - lo if hi > lo else 1.0
+    return "".join(_BARS[int((v - lo) / span * (len(_BARS) - 1))] for v in values)
+
+
+def line_plot(
+    series: dict[str, Sequence[float]],
+    height: int = 10,
+    width: int = 60,
+    title: str = "",
+) -> str:
+    """Multi-series ASCII line plot (one glyph per series).
+
+    Series are resampled to ``width`` columns; rows run from the max value
+    (top) to the min (bottom).
+    """
+    if not series:
+        return "(no data)"
+    glyphs = "*+ox#@%&"
+    all_values = [v for vs in series.values() for v in vs]
+    lo, hi = min(all_values), max(all_values)
+    span = hi - lo if hi > lo else 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for idx, (name, values) in enumerate(series.items()):
+        glyph = glyphs[idx % len(glyphs)]
+        values = list(values)
+        if len(values) == 1:
+            values = values * 2
+        for col in range(width):
+            position = col / (width - 1) * (len(values) - 1)
+            left = int(position)
+            frac = position - left
+            value = values[left] if left + 1 >= len(values) else (
+                (1 - frac) * values[left] + frac * values[left + 1]
+            )
+            row = int((hi - value) / span * (height - 1))
+            grid[row][col] = glyph
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{hi:10.4g} ┤" + "".join(grid[0]))
+    for row in grid[1:-1]:
+        lines.append(" " * 10 + " │" + "".join(row))
+    lines.append(f"{lo:10.4g} ┤" + "".join(grid[-1]))
+    legend = "   ".join(f"{glyphs[i % len(glyphs)]} {name}" for i, name in enumerate(series))
+    lines.append(" " * 12 + legend)
+    return "\n".join(lines)
+
+
+def training_curve(train_losses: Sequence[float], val_maes: Sequence[float]) -> str:
+    """Render a TrainingHistory's curves side by side."""
+    left = f"train loss {sparkline(train_losses)}  [{train_losses[0]:.3f} -> {train_losses[-1]:.3f}]"
+    right = f"val MAE    {sparkline(val_maes)}  [{val_maes[0]:.3f} -> {val_maes[-1]:.3f}]"
+    return left + "\n" + right

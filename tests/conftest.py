@@ -1,0 +1,25 @@
+"""Shared fixtures: deterministic RNGs and a cached tiny forecasting task."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import load_task
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def tiny_task():
+    """An 8-node, 8-day HZMetro-style task shared across test modules."""
+    return load_task("hzmetro", num_nodes=8, num_days=8, seed=7)
+
+
+@pytest.fixture(scope="session")
+def tiny_demand_task():
+    """A small NYC-Bike-style task (P=Q=12, 30-min slots)."""
+    return load_task("nyc_bike", num_nodes=8, num_days=8, seed=7, history=6, horizon=6)

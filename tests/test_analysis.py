@@ -1,0 +1,89 @@
+"""Tests for the result-analysis helpers."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import MetricReport
+from repro.training import (
+    ExperimentResult,
+    horizon_curve_text,
+    improvement_over_best_baseline,
+    improvement_table,
+    paired_significance,
+)
+
+
+def _result(name, mae, rmse=None, mape=None, horizon_maes=None):
+    report = MetricReport(mae=mae, mse=(rmse or mae) ** 2, rmse=rmse or mae,
+                          mape=mape or mae, pcc=0.9)
+    horizon = [
+        MetricReport(mae=v, mse=v * v, rmse=v, mape=v, pcc=0.9)
+        for v in (horizon_maes or [mae, mae])
+    ]
+    return ExperimentResult(
+        model_name=name, dataset="d", overall=report, per_horizon=horizon,
+        num_parameters=10, seconds_per_epoch=0.1, epochs_run=1,
+    )
+
+
+class TestImprovement:
+    def test_positive_improvement(self):
+        results = [_result("ha", 10.0), _result("agcrn", 5.0), _result("tgcrn", 4.0)]
+        name, gain = improvement_over_best_baseline(results)
+        assert name == "agcrn"
+        assert gain == pytest.approx(20.0)
+
+    def test_negative_when_losing(self):
+        results = [_result("agcrn", 4.0), _result("tgcrn", 5.0)]
+        _, gain = improvement_over_best_baseline(results)
+        assert gain == pytest.approx(-25.0)
+
+    def test_missing_target(self):
+        with pytest.raises(ValueError):
+            improvement_over_best_baseline([_result("ha", 1.0)])
+
+    def test_no_baselines(self):
+        with pytest.raises(ValueError):
+            improvement_over_best_baseline([_result("tgcrn", 1.0)])
+
+    def test_table_renders_all_metrics(self):
+        results = [_result("ha", 10.0, rmse=20.0, mape=30.0), _result("tgcrn", 5.0, rmse=10.0, mape=15.0)]
+        out = improvement_table(results)
+        assert "MAE" in out and "RMSE" in out and "MAPE" in out
+        assert out.count("50.00%") == 3
+
+
+class TestSignificance:
+    def test_clearly_better_model_is_significant(self, rng):
+        target = rng.normal(size=(60, 3))
+        good = target + rng.normal(scale=0.05, size=target.shape)
+        bad = target + rng.normal(scale=1.0, size=target.shape)
+        report = paired_significance(good, bad, target)
+        assert report.significant
+        assert report.median_delta < 0  # A's errors smaller
+
+    def test_identical_models_not_significant(self, rng):
+        target = rng.normal(size=(30, 3))
+        pred = target + rng.normal(scale=0.5, size=target.shape)
+        report = paired_significance(pred, pred.copy(), target)
+        assert report.p_value == 1.0
+        assert not report.significant
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            paired_significance(np.zeros((2, 2)), np.zeros((3, 2)), np.zeros((2, 2)))
+
+
+class TestHorizonCurve:
+    def test_contains_all_models(self):
+        results = [
+            _result("fclstm", 5.0, horizon_maes=[4, 5, 6]),
+            _result("tgcrn", 3.0, horizon_maes=[3, 3, 3]),
+        ]
+        out = horizon_curve_text(results)
+        assert "fclstm" in out and "tgcrn" in out
+        assert "[4.00 .. 6.00]" in out
+
+    def test_constant_values_safe(self):
+        results = [_result("m", 2.0, horizon_maes=[2, 2])]
+        assert "m" in horizon_curve_text(results)

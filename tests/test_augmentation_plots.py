@@ -1,0 +1,110 @@
+"""Tests for window augmentation and ASCII plotting."""
+
+import numpy as np
+import pytest
+
+from repro.data import AugmentationConfig, WindowAugmenter
+from repro.viz import line_plot, sparkline, training_curve
+
+
+def _batch(rng, batch=6, history=8, nodes=3, dim=2):
+    return rng.normal(size=(batch, history, nodes, dim))
+
+
+class TestAugmenter:
+    def test_disabled_is_identity(self, rng):
+        augmenter = WindowAugmenter(AugmentationConfig(), rng)
+        x = _batch(rng)
+        np.testing.assert_allclose(augmenter(x), x)
+
+    def test_jitter_changes_values_preserving_mean(self, rng):
+        augmenter = WindowAugmenter(AugmentationConfig(jitter_std=0.1), rng)
+        x = np.zeros((20, 10, 4, 2))
+        out = augmenter(x)
+        assert not np.allclose(out, x)
+        assert abs(out.mean()) < 0.02
+
+    def test_scaling_is_per_node(self, rng):
+        augmenter = WindowAugmenter(AugmentationConfig(scale_std=0.5), rng)
+        x = np.ones((2, 5, 3, 2))
+        out = augmenter(x)
+        # within one (sample, node) the factor is constant over time/features
+        for b in range(2):
+            for n in range(3):
+                block = out[b, :, n, :]
+                np.testing.assert_allclose(block, block[0, 0])
+        # but differs across nodes
+        assert not np.allclose(out[0, 0, 0], out[0, 0, 1])
+
+    def test_crop_blanks_leading_frames_only(self):
+        rng = np.random.default_rng(0)
+        augmenter = WindowAugmenter(
+            AugmentationConfig(crop_probability=1.0, min_crop_fraction=0.5), rng
+        )
+        x = np.ones((10, 8, 2, 1))
+        out = augmenter(x)
+        assert not np.allclose(out, x)  # some prefix was blanked
+        for b in range(10):
+            zero_mask = (out[b] == 0).all(axis=(1, 2))
+            # zeros, if any, form a prefix
+            if zero_mask.any():
+                first_kept = int(np.argmin(zero_mask))
+                assert zero_mask[:first_kept].all()
+                assert not zero_mask[first_kept:].any()
+                assert (~zero_mask).sum() >= 4  # min_crop_fraction * history
+
+    def test_crop_does_not_mutate_input(self):
+        rng = np.random.default_rng(0)
+        augmenter = WindowAugmenter(AugmentationConfig(crop_probability=1.0), rng)
+        x = np.ones((4, 8, 2, 1))
+        augmenter(x)
+        np.testing.assert_allclose(x, 1.0)
+
+    def test_invalid_crop_fraction(self, rng):
+        with pytest.raises(ValueError):
+            WindowAugmenter(AugmentationConfig(min_crop_fraction=0.0), rng)
+
+    def test_trainer_accepts_augmenter(self, tiny_task):
+        from repro.core import TGCRN
+        from repro.training import Trainer, TrainingConfig, default_tgcrn_kwargs
+
+        model = TGCRN(
+            **default_tgcrn_kwargs(tiny_task, hidden_dim=8, node_dim=4, time_dim=4, num_layers=1),
+            rng=np.random.default_rng(0),
+        )
+        augmenter = WindowAugmenter(
+            AugmentationConfig(jitter_std=0.05), np.random.default_rng(1)
+        )
+        history = Trainer(TrainingConfig(epochs=1, batch_size=64)).fit(
+            model, tiny_task, augmenter=augmenter
+        )
+        assert history.epochs_run == 1
+
+
+class TestPlots:
+    def test_sparkline_length(self):
+        assert len(sparkline([1, 2, 3])) == 3
+
+    def test_sparkline_empty(self):
+        assert sparkline([]) == ""
+
+    def test_sparkline_monotone(self):
+        bars = sparkline([0, 1, 2, 3])
+        assert bars == "".join(sorted(bars))
+
+    def test_line_plot_contains_legend_and_bounds(self):
+        out = line_plot({"loss": [3.0, 2.0, 1.0]}, height=5, width=20, title="t")
+        assert "t" in out.splitlines()[0]
+        assert "loss" in out
+        assert "3" in out and "1" in out
+
+    def test_line_plot_empty(self):
+        assert line_plot({}) == "(no data)"
+
+    def test_line_plot_single_point_series(self):
+        out = line_plot({"m": [2.0]}, height=4, width=10)
+        assert "m" in out
+
+    def test_training_curve(self):
+        out = training_curve([1.0, 0.5], [4.0, 3.0])
+        assert "train loss" in out and "val MAE" in out

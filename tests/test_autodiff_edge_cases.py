@@ -1,0 +1,133 @@
+"""Edge-case tests for the autodiff engine that the main suite's
+happy-path checks don't reach."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import (
+    Tensor,
+    check_gradients,
+    concat,
+    log_softmax,
+    no_grad,
+    randn,
+    softmax,
+    stack,
+    tensor,
+    where,
+)
+
+
+class TestScalarTensors:
+    def test_zero_dim_arithmetic(self):
+        a = tensor(2.0, requires_grad=True)
+        b = tensor(3.0, requires_grad=True)
+        (a * b + a).backward()
+        assert a.grad == pytest.approx(4.0)
+        assert b.grad == pytest.approx(2.0)
+
+    def test_scalar_broadcast_into_matrix(self, rng):
+        s = tensor(1.5, requires_grad=True)
+        m = randn(3, 4, rng=rng)
+        (s * m).sum().backward()
+        assert s.grad == pytest.approx(m.data.sum())
+
+
+class TestDegenerateShapes:
+    def test_empty_axis_sum(self):
+        t = tensor(np.zeros((0, 3)), requires_grad=True)
+        out = t.sum()
+        assert out.item() == 0.0
+
+    def test_single_element_everything(self):
+        t = tensor([[5.0]], requires_grad=True)
+        (t.reshape(1).exp().log()).sum().backward()
+        assert t.grad[0, 0] == pytest.approx(1.0)
+
+    def test_size_one_broadcast_matmul(self, rng):
+        a = randn(2, 1, 3, 4, rng=rng, requires_grad=True)
+        b = randn(4, 5, rng=rng, requires_grad=True)
+        check_gradients(lambda: (a @ b).sum(), [a, b])
+
+
+class TestSoftmaxAxes:
+    def test_softmax_axis_zero(self, rng):
+        x = randn(4, 3, rng=rng)
+        out = softmax(x, axis=0)
+        np.testing.assert_allclose(out.data.sum(axis=0), 1.0)
+
+    def test_log_softmax_axis_zero_gradient(self, rng):
+        x = randn(4, 3, rng=rng, requires_grad=True)
+        check_gradients(lambda: (log_softmax(x, axis=0) * 0.3).sum(), [x])
+
+    def test_softmax_single_column(self):
+        x = tensor(np.array([[3.0], [7.0]]))
+        np.testing.assert_allclose(softmax(x, axis=-1).data, 1.0)
+
+
+class TestWhereVariants:
+    def test_tensor_condition(self, rng):
+        a = randn(3, rng=rng, requires_grad=True)
+        cond = Tensor(np.array([True, False, True]))
+        out = where(cond, a, -a)
+        out.sum().backward()
+        np.testing.assert_allclose(a.grad, [1.0, -1.0, 1.0])
+
+    def test_broadcast_condition(self, rng):
+        a = randn(2, 3, rng=rng, requires_grad=True)
+        b = randn(2, 3, rng=rng, requires_grad=True)
+        cond = np.array([True, False, True])  # broadcasts over rows
+        check_gradients(lambda: where(cond, a, b).sum(), [a, b])
+
+
+class TestNoGradInteractions:
+    def test_mixing_graph_and_no_grad_results(self, rng):
+        a = randn(3, rng=rng, requires_grad=True)
+        with no_grad():
+            frozen = (a * 2.0)  # constant w.r.t. the graph
+        out = (a * frozen).sum()
+        out.backward()
+        np.testing.assert_allclose(a.grad, frozen.data)
+
+    def test_nested_no_grad(self):
+        from repro.autodiff import is_grad_enabled
+
+        assert is_grad_enabled()
+        with no_grad():
+            assert not is_grad_enabled()
+            with no_grad():
+                assert not is_grad_enabled()
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+    def test_exception_restores_grad_mode(self):
+        from repro.autodiff import is_grad_enabled
+
+        with pytest.raises(RuntimeError):
+            with no_grad():
+                raise RuntimeError("boom")
+        assert is_grad_enabled()
+
+
+class TestCombinatorEdges:
+    def test_concat_single_tensor(self, rng):
+        a = randn(2, 3, rng=rng, requires_grad=True)
+        out = concat([a], axis=0)
+        out.sum().backward()
+        np.testing.assert_allclose(a.grad, 1.0)
+
+    def test_stack_negative_axis(self, rng):
+        a = randn(2, 3, rng=rng)
+        b = randn(2, 3, rng=rng)
+        assert stack([a, b], axis=-1).shape == (2, 3, 2)
+
+    def test_concat_negative_axis_gradient(self, rng):
+        a = randn(2, 3, rng=rng, requires_grad=True)
+        b = randn(2, 2, rng=rng, requires_grad=True)
+        check_gradients(lambda: concat([a, b], axis=-1).tanh().sum(), [a, b])
+
+
+class TestRepr:
+    def test_repr_mentions_grad(self):
+        assert "requires_grad" in repr(tensor([1.0], requires_grad=True))
+        assert "requires_grad" not in repr(tensor([1.0]))

@@ -1,0 +1,155 @@
+"""Tests for composite functional ops (softmax, losses, gumbel, dropout)."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import (
+    Tensor,
+    check_gradients,
+    dropout,
+    gumbel_softmax,
+    huber_loss,
+    l2_norm,
+    log_softmax,
+    mae_loss,
+    mse_loss,
+    one_hot,
+    pairwise_euclidean,
+    randn,
+    softmax,
+)
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self, rng):
+        x = randn(4, 6, rng=rng)
+        out = softmax(x, axis=-1)
+        np.testing.assert_allclose(out.data.sum(axis=-1), 1.0)
+
+    def test_stability_with_large_logits(self):
+        x = Tensor(np.array([[1e6, 1e6 + 1.0]]))
+        out = softmax(x)
+        assert np.isfinite(out.data).all()
+        assert out.data[0, 1] > out.data[0, 0]
+
+    def test_gradient(self, rng):
+        x = randn(3, 5, rng=rng, requires_grad=True)
+        check_gradients(lambda: (softmax(x, axis=-1) * Tensor(np.arange(5.0))).sum(), [x])
+
+    def test_gradient_other_axis(self, rng):
+        x = randn(3, 5, rng=rng, requires_grad=True)
+        check_gradients(lambda: softmax(x, axis=0).tanh().sum(), [x])
+
+    def test_log_softmax_matches_log_of_softmax(self, rng):
+        x = randn(3, 5, rng=rng)
+        np.testing.assert_allclose(log_softmax(x).data, np.log(softmax(x).data), atol=1e-10)
+
+    def test_log_softmax_gradient(self, rng):
+        x = randn(2, 4, rng=rng, requires_grad=True)
+        check_gradients(lambda: (log_softmax(x) * Tensor(np.ones((2, 4)))).sum() * 0.25, [x])
+
+
+class TestLosses:
+    def test_mae_value(self):
+        pred = Tensor(np.array([1.0, 2.0, 3.0]))
+        target = np.array([2.0, 2.0, 1.0])
+        assert mae_loss(pred, target).item() == pytest.approx(1.0)
+
+    def test_mse_value(self):
+        pred = Tensor(np.array([1.0, 3.0]))
+        target = np.array([0.0, 0.0])
+        assert mse_loss(pred, target).item() == pytest.approx(5.0)
+
+    def test_mae_gradient(self, rng):
+        pred = randn(4, 3, rng=rng, requires_grad=True)
+        target = rng.normal(size=(4, 3))
+        check_gradients(lambda: mae_loss(pred, Tensor(target)), [pred])
+
+    def test_huber_quadratic_region_matches_half_mse(self, rng):
+        pred = Tensor(rng.normal(scale=0.1, size=(5,)), requires_grad=True)
+        target = np.zeros(5)
+        expected = 0.5 * np.mean(pred.data ** 2)
+        assert huber_loss(pred, Tensor(target), delta=10.0).item() == pytest.approx(expected)
+
+    def test_huber_linear_region(self):
+        pred = Tensor(np.array([10.0]))
+        loss = huber_loss(pred, Tensor(np.array([0.0])), delta=1.0)
+        assert loss.item() == pytest.approx(10.0 - 0.5)
+
+    def test_huber_gradient(self, rng):
+        pred = randn(6, rng=rng, requires_grad=True)
+        pred.data *= 2.0
+        target = np.zeros(6)
+        check_gradients(lambda: huber_loss(pred, Tensor(target), delta=1.0), [pred])
+
+
+class TestDropout:
+    def test_eval_is_identity(self, rng):
+        x = randn(10, 10, rng=rng)
+        out = dropout(x, 0.5, training=False, rng=rng)
+        assert out is x
+
+    def test_p_zero_is_identity(self, rng):
+        x = randn(10, rng=rng)
+        assert dropout(x, 0.0, training=True, rng=rng) is x
+
+    def test_training_preserves_expectation(self, rng):
+        x = Tensor(np.ones((200, 200)))
+        out = dropout(x, 0.3, training=True, rng=rng)
+        assert out.data.mean() == pytest.approx(1.0, abs=0.02)
+
+    def test_mask_zeroes_fraction(self, rng):
+        x = Tensor(np.ones((100, 100)))
+        out = dropout(x, 0.4, training=True, rng=rng)
+        zero_fraction = (out.data == 0).mean()
+        assert zero_fraction == pytest.approx(0.4, abs=0.03)
+
+
+class TestGumbelSoftmax:
+    def test_soft_rows_sum_to_one(self, rng):
+        logits = randn(5, 3, rng=rng)
+        out = gumbel_softmax(logits, temperature=0.5, rng=rng)
+        np.testing.assert_allclose(out.data.sum(axis=-1), 1.0)
+
+    def test_hard_is_one_hot(self, rng):
+        logits = randn(5, 3, rng=rng)
+        out = gumbel_softmax(logits, temperature=0.5, rng=rng, hard=True)
+        assert set(np.unique(out.data)) <= {0.0, 1.0}
+        np.testing.assert_allclose(out.data.sum(axis=-1), 1.0)
+
+    def test_hard_gradient_flows(self, rng):
+        logits = randn(4, 3, rng=rng, requires_grad=True)
+        out = gumbel_softmax(logits, temperature=0.5, rng=rng, hard=True)
+        (out * Tensor(np.arange(3.0))).sum().backward()
+        assert logits.grad is not None
+        assert np.abs(logits.grad).sum() > 0
+
+    def test_low_temperature_follows_argmax(self, rng):
+        logits = Tensor(np.array([[10.0, -10.0, -10.0]] * 20))
+        out = gumbel_softmax(logits, temperature=0.1, rng=rng, hard=True)
+        assert out.data[:, 0].mean() > 0.9
+
+
+class TestHelpers:
+    def test_one_hot(self):
+        out = one_hot(np.array([0, 2]), 3)
+        np.testing.assert_allclose(out, [[1, 0, 0], [0, 0, 1]])
+
+    def test_one_hot_multidim(self):
+        out = one_hot(np.array([[0], [1]]), 2)
+        assert out.shape == (2, 1, 2)
+
+    def test_l2_norm(self, rng):
+        x = randn(4, 3, rng=rng, requires_grad=True)
+        np.testing.assert_allclose(
+            l2_norm(x, axis=-1).data, np.linalg.norm(x.data, axis=-1), rtol=1e-6
+        )
+        check_gradients(lambda: l2_norm(x, axis=-1).sum(), [x])
+
+    def test_pairwise_euclidean(self, rng):
+        a = randn(5, 3, rng=rng, requires_grad=True)
+        b = randn(5, 3, rng=rng, requires_grad=True)
+        np.testing.assert_allclose(
+            pairwise_euclidean(a, b).data, np.linalg.norm(a.data - b.data, axis=-1), rtol=1e-6
+        )
+        check_gradients(lambda: pairwise_euclidean(a, b).sum(), [a, b])

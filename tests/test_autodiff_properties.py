@@ -1,0 +1,105 @@
+"""Property-based tests (hypothesis) for autodiff invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import array_shapes, arrays
+
+from repro.autodiff import Tensor, tensor, unbroadcast
+
+_finite = st.floats(min_value=-1e3, max_value=1e3, allow_nan=False, allow_infinity=False)
+
+
+def _arr(shape_max_dims=3, side=4):
+    return arrays(
+        dtype=np.float64,
+        shape=array_shapes(min_dims=1, max_dims=shape_max_dims, min_side=1, max_side=side),
+        elements=_finite,
+    )
+
+
+@given(_arr())
+@settings(max_examples=40, deadline=None)
+def test_add_commutes(a):
+    x, y = tensor(a), tensor(a[::-1].copy())
+    np.testing.assert_allclose((x + y).data, (y + x).data)
+
+
+@given(_arr())
+@settings(max_examples=40, deadline=None)
+def test_sum_matches_numpy(a):
+    np.testing.assert_allclose(tensor(a).sum().item(), a.sum(), rtol=1e-9, atol=1e-9)
+
+
+@given(_arr())
+@settings(max_examples=40, deadline=None)
+def test_mean_gradient_is_uniform(a):
+    x = tensor(a, requires_grad=True)
+    x.mean().backward()
+    np.testing.assert_allclose(x.grad, np.full_like(a, 1.0 / a.size))
+
+
+@given(_arr())
+@settings(max_examples=40, deadline=None)
+def test_reshape_roundtrip_preserves_gradient(a):
+    x = tensor(a, requires_grad=True)
+    x.reshape((-1,)).reshape(a.shape).sum().backward()
+    np.testing.assert_allclose(x.grad, np.ones_like(a))
+
+
+@given(_arr(shape_max_dims=2))
+@settings(max_examples=40, deadline=None)
+def test_mul_gradient_is_other_operand(a):
+    x = tensor(a, requires_grad=True)
+    y = tensor(np.full_like(a, 2.5))
+    (x * y).sum().backward()
+    np.testing.assert_allclose(x.grad, np.full_like(a, 2.5))
+
+
+@given(
+    arrays(np.float64, array_shapes(min_dims=1, max_dims=4, min_side=1, max_side=4), elements=_finite)
+)
+@settings(max_examples=60, deadline=None)
+def test_unbroadcast_inverts_broadcast(a):
+    """For any array, broadcasting to a bigger shape then unbroadcasting a
+    ones-gradient yields the broadcast multiplicity."""
+    target_shape = (3,) + a.shape
+    g = np.ones(target_shape)
+    reduced = unbroadcast(g, a.shape)
+    np.testing.assert_allclose(reduced, np.full(a.shape, 3.0))
+
+
+@given(_arr(shape_max_dims=2, side=5), st.integers(min_value=1, max_value=3))
+@settings(max_examples=40, deadline=None)
+def test_scalar_pow_gradient(a, power):
+    x = tensor(np.abs(a) + 1.0, requires_grad=True)
+    (x ** power).sum().backward()
+    np.testing.assert_allclose(x.grad, power * (np.abs(a) + 1.0) ** (power - 1), rtol=1e-8)
+
+
+@given(_arr(shape_max_dims=2))
+@settings(max_examples=40, deadline=None)
+def test_tanh_bounds_and_gradient_bound(a):
+    x = tensor(a, requires_grad=True)
+    out = x.tanh()
+    assert (np.abs(out.data) <= 1.0).all()
+    out.sum().backward()
+    assert (x.grad <= 1.0 + 1e-12).all()
+    assert (x.grad >= 0.0).all()
+
+
+@given(_arr(shape_max_dims=3))
+@settings(max_examples=40, deadline=None)
+def test_abs_gradient_is_sign(a):
+    x = tensor(a, requires_grad=True)
+    x.abs().sum().backward()
+    np.testing.assert_allclose(x.grad, np.sign(a))
+
+
+@given(st.integers(min_value=1, max_value=5), st.integers(min_value=1, max_value=5))
+@settings(max_examples=30, deadline=None)
+def test_matmul_shape_contract(n, m):
+    rng = np.random.default_rng(0)
+    a = tensor(rng.normal(size=(n, 3)))
+    b = tensor(rng.normal(size=(3, m)))
+    assert (a @ b).shape == (n, m)

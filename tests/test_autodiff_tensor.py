@@ -1,0 +1,318 @@
+"""Unit tests for the autodiff engine's primitives.
+
+Every op gets a numerical gradient check; graph mechanics (accumulation,
+topological order, detach, no_grad) are exercised separately.
+"""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import (
+    Tensor,
+    check_gradients,
+    concat,
+    gather_rows,
+    maximum,
+    minimum,
+    no_grad,
+    randn,
+    stack,
+    tensor,
+    unbroadcast,
+    where,
+    zeros,
+)
+
+
+def _param(rng, *shape):
+    return randn(*shape, rng=rng, requires_grad=True)
+
+
+class TestBasics:
+    def test_tensor_coerces_floats(self):
+        t = tensor([1, 2, 3])
+        assert t.dtype == np.float64
+
+    def test_bool_arrays_stay_bool(self):
+        t = Tensor(np.array([True, False]))
+        assert t.dtype == np.bool_
+
+    def test_shape_properties(self):
+        t = zeros(2, 3)
+        assert t.shape == (2, 3)
+        assert t.ndim == 2
+        assert t.size == 6
+        assert len(t) == 2
+
+    def test_item_requires_scalar(self):
+        assert tensor(3.5).item() == 3.5
+
+    def test_backward_requires_scalar_without_seed(self):
+        t = _param(np.random.default_rng(0), 2, 2)
+        with pytest.raises(ValueError):
+            (t * 2).backward()
+
+    def test_backward_seed_shape_checked(self):
+        t = _param(np.random.default_rng(0), 2, 2)
+        with pytest.raises(ValueError):
+            (t * 2).backward(np.ones(3))
+
+    def test_detach_cuts_graph(self):
+        t = _param(np.random.default_rng(0), 3)
+        d = t.detach()
+        (d * 2).sum()  # no backward fn; nothing to check beyond no crash
+        assert not d.requires_grad
+        assert d.data is t.data
+
+    def test_no_grad_blocks_graph(self):
+        t = _param(np.random.default_rng(0), 3)
+        with no_grad():
+            out = (t * t).sum()
+        assert not out.requires_grad
+
+    def test_grad_accumulates_across_uses(self):
+        t = tensor([2.0], requires_grad=True)
+        loss = (t * 3.0 + t * 4.0).sum()
+        loss.backward()
+        assert t.grad[0] == pytest.approx(7.0)
+
+    def test_zero_grad(self):
+        t = tensor([2.0], requires_grad=True)
+        (t * t).sum().backward()
+        t.zero_grad()
+        assert t.grad is None
+
+
+class TestArithmeticGradients:
+    @pytest.mark.parametrize(
+        "fn",
+        [
+            lambda a, b: (a + b).sum(),
+            lambda a, b: (a - b).sum(),
+            lambda a, b: (a * b).sum(),
+            lambda a, b: (a / (b + 3.0)).sum(),
+            lambda a, b: (-a + 2.0 * b).sum(),
+            lambda a, b: (a ** 3).sum() + (b ** 2).mean(),
+        ],
+        ids=["add", "sub", "mul", "div", "neg_scalar", "pow"],
+    )
+    def test_binary_ops(self, rng, fn):
+        a = _param(rng, 3, 4)
+        b = _param(rng, 3, 4)
+        check_gradients(lambda: fn(a, b), [a, b])
+
+    def test_scalar_broadcasting(self, rng):
+        a = _param(rng, 3, 4)
+        check_gradients(lambda: (2.0 + a * 3.0 - 1.0).sum(), [a])
+
+    def test_broadcast_shapes(self, rng):
+        a = _param(rng, 3, 1)
+        b = _param(rng, 1, 4)
+        check_gradients(lambda: (a * b + a - b).sum(), [a, b])
+
+    def test_radd_rsub_rdiv(self, rng):
+        a = _param(rng, 4)
+        check_gradients(lambda: (1.0 / (a + 4.0) + (5.0 - a)).sum(), [a])
+
+    def test_tensor_exponent_rejected(self, rng):
+        a = _param(rng, 2)
+        with pytest.raises(TypeError):
+            a ** a
+
+
+class TestMatmulGradients:
+    def test_2d(self, rng):
+        a = _param(rng, 3, 4)
+        b = _param(rng, 4, 5)
+        check_gradients(lambda: (a @ b).sum(), [a, b])
+
+    def test_batched(self, rng):
+        a = _param(rng, 2, 3, 4)
+        b = _param(rng, 2, 4, 5)
+        check_gradients(lambda: (a @ b).tanh().sum(), [a, b])
+
+    def test_broadcast_batch(self, rng):
+        a = _param(rng, 2, 3, 4)
+        b = _param(rng, 4, 5)  # broadcast over batch
+        check_gradients(lambda: (a @ b).sum(), [a, b])
+
+    def test_vector_matrix(self, rng):
+        v = _param(rng, 4)
+        m = _param(rng, 4, 5)
+        check_gradients(lambda: (v @ m).sum(), [v, m])
+
+    def test_matrix_vector(self, rng):
+        m = _param(rng, 3, 4)
+        v = _param(rng, 4)
+        check_gradients(lambda: (m @ v).sum(), [m, v])
+
+    def test_vector_vector(self, rng):
+        a = _param(rng, 4)
+        b = _param(rng, 4)
+        check_gradients(lambda: (a @ b) * 2.0, [a, b])
+
+
+class TestElementwiseGradients:
+    @pytest.mark.parametrize(
+        "fn",
+        [
+            lambda a: a.exp().sum(),
+            lambda a: (a + 5.0).log().sum(),
+            lambda a: (a + 5.0).sqrt().sum(),
+            lambda a: a.tanh().sum(),
+            lambda a: a.sigmoid().sum(),
+            lambda a: a.relu().sum(),
+            lambda a: a.leaky_relu(0.1).sum(),
+            lambda a: a.abs().sum(),
+            lambda a: a.clip(-0.5, 0.5).sum(),
+        ],
+        ids=["exp", "log", "sqrt", "tanh", "sigmoid", "relu", "leaky_relu", "abs", "clip"],
+    )
+    def test_unary(self, rng, fn):
+        a = _param(rng, 3, 4)
+        # Nudge away from kinks of relu/abs/clip for finite differences.
+        a.data += np.sign(a.data) * 0.05
+        check_gradients(lambda: fn(a), [a])
+
+    def test_clip_one_sided(self, rng):
+        a = _param(rng, 5)
+        check_gradients(lambda: a.clip(None, 0.4).sum() + a.clip(-0.4, None).sum(), [a])
+
+
+class TestReductions:
+    def test_sum_axes(self, rng):
+        a = _param(rng, 2, 3, 4)
+        check_gradients(lambda: a.sum(axis=1).tanh().sum(), [a])
+        check_gradients(lambda: a.sum(axis=(0, 2)).tanh().sum(), [a])
+        check_gradients(lambda: a.sum(axis=-1, keepdims=True).tanh().sum(), [a])
+
+    def test_mean(self, rng):
+        a = _param(rng, 2, 3)
+        check_gradients(lambda: a.mean(), [a])
+        check_gradients(lambda: a.mean(axis=0).sum(), [a])
+
+    def test_max_min(self, rng):
+        a = _param(rng, 3, 4)
+        check_gradients(lambda: a.max(), [a])
+        check_gradients(lambda: a.max(axis=1).sum(), [a])
+        check_gradients(lambda: a.min(axis=0, keepdims=True).sum(), [a])
+
+    def test_max_values_match_numpy(self, rng):
+        a = _param(rng, 3, 4)
+        np.testing.assert_allclose(a.max(axis=1).data, a.data.max(axis=1))
+
+
+class TestShapeOps:
+    def test_reshape(self, rng):
+        a = _param(rng, 2, 6)
+        check_gradients(lambda: a.reshape(3, 4).tanh().sum(), [a])
+        check_gradients(lambda: a.reshape((12,)).sum(), [a])
+
+    def test_transpose(self, rng):
+        a = _param(rng, 2, 3, 4)
+        check_gradients(lambda: a.transpose(2, 0, 1).tanh().sum(), [a])
+        check_gradients(lambda: a.T.sum(), [a])
+
+    def test_swapaxes(self, rng):
+        a = _param(rng, 2, 3, 4)
+        assert a.swapaxes(0, 2).shape == (4, 3, 2)
+        check_gradients(lambda: a.swapaxes(1, 2).tanh().sum(), [a])
+
+    def test_unsqueeze_squeeze(self, rng):
+        a = _param(rng, 3, 4)
+        assert a.unsqueeze(1).shape == (3, 1, 4)
+        assert a.unsqueeze(-1).shape == (3, 4, 1)
+        assert a.unsqueeze(0).squeeze(0).shape == (3, 4)
+        with pytest.raises(ValueError):
+            a.squeeze(0)
+
+    def test_broadcast_to(self, rng):
+        a = _param(rng, 1, 4)
+        check_gradients(lambda: a.broadcast_to((3, 4)).tanh().sum(), [a])
+
+    def test_getitem_slices(self, rng):
+        a = _param(rng, 4, 5)
+        check_gradients(lambda: a[1:3, ::2].tanh().sum(), [a])
+        check_gradients(lambda: a[:, 0].sum(), [a])
+
+    def test_getitem_fancy(self, rng):
+        a = _param(rng, 6, 3)
+        idx = np.array([0, 2, 2, 5])
+        check_gradients(lambda: a[idx].sum(), [a])
+
+
+class TestCombinators:
+    def test_concat(self, rng):
+        a = _param(rng, 2, 3)
+        b = _param(rng, 2, 2)
+        check_gradients(lambda: concat([a, b], axis=1).tanh().sum(), [a, b])
+
+    def test_stack(self, rng):
+        a = _param(rng, 2, 3)
+        b = _param(rng, 2, 3)
+        check_gradients(lambda: stack([a, b], axis=1).tanh().sum(), [a, b])
+        assert stack([a, b], axis=0).shape == (2, 2, 3)
+
+    def test_where(self, rng):
+        a = _param(rng, 3, 4)
+        b = _param(rng, 3, 4)
+        cond = a.data > 0
+        check_gradients(lambda: where(cond, a * 2.0, b * 3.0).sum(), [a, b])
+
+    def test_maximum_minimum(self, rng):
+        a = _param(rng, 4)
+        b = _param(rng, 4)
+        a.data += 0.1  # avoid exact ties at finite-difference points
+        np.testing.assert_allclose(maximum(a, b).data, np.maximum(a.data, b.data))
+        np.testing.assert_allclose(minimum(a, b).data, np.minimum(a.data, b.data))
+        check_gradients(lambda: maximum(a, b).sum() + minimum(a, b).sum(), [a, b])
+
+    def test_gather_rows(self, rng):
+        table = _param(rng, 5, 3)
+        idx = np.array([[0, 1], [4, 4]])
+        out = gather_rows(table, idx)
+        assert out.shape == (2, 2, 3)
+        check_gradients(lambda: gather_rows(table, idx).tanh().sum(), [table])
+
+
+class TestUnbroadcast:
+    def test_identity(self):
+        g = np.ones((2, 3))
+        assert unbroadcast(g, (2, 3)) is g
+
+    def test_leading_axes(self):
+        g = np.ones((4, 2, 3))
+        np.testing.assert_allclose(unbroadcast(g, (2, 3)), np.full((2, 3), 4.0))
+
+    def test_kept_axes(self):
+        g = np.ones((2, 3))
+        np.testing.assert_allclose(unbroadcast(g, (1, 3)), np.full((1, 3), 2.0))
+        np.testing.assert_allclose(unbroadcast(g, (2, 1)), np.full((2, 1), 3.0))
+
+    def test_scalar(self):
+        g = np.ones((2, 3))
+        np.testing.assert_allclose(unbroadcast(g, ()), 6.0)
+
+
+class TestGraphMechanics:
+    def test_diamond_graph(self, rng):
+        """Shared subexpression must backprop through both paths once."""
+        a = _param(rng, 3)
+        check_gradients(lambda: ((a * 2.0) * (a * 2.0)).sum(), [a])
+
+    def test_deep_chain(self, rng):
+        a = _param(rng, 3)
+
+        def f():
+            out = a
+            for _ in range(30):
+                out = out * 0.9 + 0.01
+            return out.sum()
+
+        check_gradients(f, [a])
+
+    def test_unused_parameter_gets_no_grad(self, rng):
+        a = _param(rng, 3)
+        b = _param(rng, 3)
+        (a * 2.0).sum().backward()
+        assert b.grad is None

@@ -1,0 +1,183 @@
+"""Tests for the neural baselines: shape contracts, gradient flow, and a
+one-batch learning check for each architecture."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor, mae_loss, randn
+from repro.baselines import (
+    AGCRN,
+    CCRNN,
+    DCRNN,
+    ESG,
+    FCLSTM,
+    GTS,
+    Crossformer,
+    GraphWaveNet,
+    Informer,
+    PVCGN,
+    NEURAL_BASELINES,
+    build_baseline,
+)
+from repro.nn import Adam
+
+_NODES, _IN, _OUT, _P, _Q = 5, 2, 2, 4, 3
+
+
+def _build(name, rng):
+    common = dict(in_dim=_IN, out_dim=_OUT, horizon=_Q)
+    if name == "fclstm":
+        return FCLSTM(_NODES, hidden_dim=8, num_layers=1, rng=rng, **common)
+    if name == "informer":
+        return Informer(_NODES, model_dim=8, num_heads=2, num_blocks=1, rng=rng, **common)
+    if name == "crossformer":
+        return Crossformer(_NODES, model_dim=8, num_heads=2, num_blocks=1, rng=rng, **common)
+    if name == "dcrnn":
+        adjacency = np.abs(rng.normal(size=(_NODES, _NODES)))
+        return DCRNN(adjacency, hidden_dim=8, num_layers=1, rng=rng, **common)
+    if name == "gwnet":
+        return GraphWaveNet(_NODES, channels=8, num_blocks=2, rng=rng, **common)
+    if name == "agcrn":
+        return AGCRN(_NODES, hidden_dim=8, num_layers=1, embed_dim=4, rng=rng, **common)
+    if name == "pvcgn":
+        graphs = [np.abs(rng.normal(size=(_NODES, _NODES))) for _ in range(3)]
+        return PVCGN(graphs, hidden_dim=8, num_layers=1, rng=rng, **common)
+    if name == "ccrnn":
+        return CCRNN(_NODES, hidden_dim=8, num_layers=2, embed_dim=4, rng=rng, **common)
+    if name == "gts":
+        features = rng.normal(size=(_NODES, 4))
+        return GTS(features, hidden_dim=8, rng=rng, **common)
+    if name == "esg":
+        return ESG(_NODES, hidden_dim=8, embed_dim=4, rng=rng, **common)
+    if name == "mtgnn":
+        from repro.baselines import MTGNN
+
+        return MTGNN(_NODES, channels=8, num_blocks=2, embed_dim=4, rng=rng, **common)
+    raise AssertionError(name)
+
+
+def _batch(rng, batch=3):
+    x = randn(batch, _P, _NODES, _IN, rng=rng)
+    t = np.arange(_P + _Q)[None, :].repeat(batch, axis=0)
+    return x, t
+
+
+@pytest.mark.parametrize("name", NEURAL_BASELINES)
+class TestContracts:
+    def test_output_shape(self, name, rng):
+        model = _build(name, rng)
+        x, t = _batch(rng)
+        assert model(x, t).shape == (3, _Q, _NODES, _OUT)
+
+    def test_gradients_reach_every_parameter(self, name, rng):
+        model = _build(name, rng)
+        model.train()
+        x, t = _batch(rng)
+        loss = mae_loss(model(x, t), Tensor(np.zeros((3, _Q, _NODES, _OUT))))
+        loss.backward()
+        missing = [n for n, p in model.named_parameters() if p.grad is None]
+        assert not missing, f"{name}: no grad for {missing}"
+
+    def test_one_batch_overfits(self, name, rng):
+        model = _build(name, rng)
+        model.train()
+        x, t = _batch(rng)
+        y = Tensor(rng.normal(scale=0.3, size=(3, _Q, _NODES, _OUT)))
+        opt = Adam(model.parameters(), lr=5e-3)
+        first = last = None
+        for _ in range(20):
+            opt.zero_grad()
+            loss = mae_loss(model(x, t), y)
+            loss.backward()
+            opt.step()
+            first = first or loss.item()
+            last = loss.item()
+        assert last < first, f"{name} did not reduce loss ({first:.4f} -> {last:.4f})"
+
+
+class TestArchitectureSpecifics:
+    def test_agcrn_adjacency_is_static_across_time(self, rng):
+        model = _build("agcrn", rng)
+        a1 = model.adaptive_adjacency(1).data
+        a2 = model.adaptive_adjacency(1).data
+        np.testing.assert_allclose(a1, a2)
+        np.testing.assert_allclose(a1.sum(axis=-1), 1.0)
+
+    def test_ccrnn_layers_use_distinct_graphs(self, rng):
+        model = _build("ccrnn", rng)
+        adjacencies = model.layer_adjacencies(1)
+        assert len(adjacencies) == 2
+        assert not np.allclose(adjacencies[0].data, adjacencies[1].data)
+
+    def test_gts_eval_graph_is_deterministic_binary(self, rng):
+        model = _build("gts", rng)
+        model.eval()
+        a1 = model.sample_adjacency(1).data
+        a2 = model.sample_adjacency(1).data
+        np.testing.assert_allclose(a1, a2)
+
+    def test_gts_training_graph_is_stochastic(self, rng):
+        model = _build("gts", rng)
+        model.train()
+        a1 = model.sample_adjacency(1).data.copy()
+        a2 = model.sample_adjacency(1).data
+        assert not np.allclose(a1, a2)
+
+    def test_esg_adjacency_evolves_with_input(self, rng):
+        """Different inputs must lead to different evolved embeddings."""
+        model = _build("esg", rng)
+        x1, t = _batch(rng, batch=1)
+        x2 = Tensor(x1.data + 1.0)
+        e0 = model.initial_embedding.unsqueeze(0).broadcast_to((1, _NODES, model.embed_dim))
+        e1 = model._evolve(x1[:, 0], e0)
+        e2 = model._evolve(x2[:, 0], e0)
+        assert not np.allclose(e1.data, e2.data)
+
+    def test_dcrnn_uses_graph(self, rng):
+        """Zero vs dense adjacency must change the forecast."""
+        dense = np.ones((_NODES, _NODES))
+        sparse = np.eye(_NODES)
+        m1 = DCRNN(dense, in_dim=_IN, out_dim=_OUT, horizon=_Q, hidden_dim=8, num_layers=1,
+                   rng=np.random.default_rng(0))
+        m2 = DCRNN(sparse, in_dim=_IN, out_dim=_OUT, horizon=_Q, hidden_dim=8, num_layers=1,
+                   rng=np.random.default_rng(0))
+        x, t = _batch(np.random.default_rng(5))
+        assert not np.allclose(m1(x, t).data, m2(x, t).data)
+
+    def test_gwnet_respects_channels(self, rng):
+        model = _build("gwnet", rng)
+        np.testing.assert_allclose(model.adaptive_adjacency().data.sum(axis=-1), 1.0)
+
+    def test_mtgnn_adjacency_is_directed_and_sparse(self, rng):
+        from repro.baselines import MTGNN
+
+        model = MTGNN(6, _IN, _OUT, horizon=_Q, channels=8, top_k=2,
+                      rng=np.random.default_rng(0))
+        adjacency = model.learned_adjacency().data
+        np.testing.assert_allclose(adjacency.sum(axis=-1), 1.0)
+        active = (adjacency > 1e-6).sum(axis=-1)
+        np.testing.assert_array_equal(active, 2)
+        assert not np.allclose(adjacency, adjacency.T)  # directed
+
+    def test_informer_positional_encoding_matters(self, rng):
+        """Permuting the input sequence must change the output (thanks to
+        the positional encoding, attention is not permutation-invariant)."""
+        model = _build("informer", rng)
+        x, t = _batch(rng, batch=1)
+        out1 = model(x, t).data
+        permuted = Tensor(x.data[:, ::-1].copy())
+        out2 = model(permuted, t).data
+        assert not np.allclose(out1, out2)
+
+
+class TestRegistry:
+    def test_unknown_name(self, tiny_task):
+        with pytest.raises(ValueError):
+            build_baseline("tcn9000", tiny_task)
+
+    @pytest.mark.parametrize("name", ["dcrnn", "pvcgn", "gts"])
+    def test_graph_dependent_baselines_build_from_task(self, name, tiny_task):
+        model = build_baseline(name, tiny_task, hidden_dim=8, num_layers=1)
+        x, y, t = next(iter(tiny_task.loader("val", 2)))
+        out = model(Tensor(x), t)
+        assert out.shape == y.shape

@@ -1,0 +1,88 @@
+"""Property-based tests (hypothesis) for the tree-boosting substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import GradientBoosting, RegressionTree
+
+
+def _data(seed, rows=80, features=3, outputs=2):
+    rng = np.random.default_rng(seed)
+    x = rng.uniform(-1, 1, size=(rows, features))
+    y = np.stack(
+        [np.sin(3 * x[:, 0]) + x[:, 1], np.cos(2 * x[:, 1]) - x[:, 0]], axis=1
+    )[:, :outputs]
+    return x, y
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=25, deadline=None)
+def test_tree_predictions_within_target_range(seed):
+    """With lam=0 each leaf is a mean, so predictions are convex
+    combinations of training targets — never outside their range."""
+    x, y = _data(seed)
+    tree = RegressionTree(max_depth=3, min_samples_leaf=4).fit(x, y)
+    pred = tree.predict(x)
+    assert (pred >= y.min(axis=0) - 1e-9).all()
+    assert (pred <= y.max(axis=0) + 1e-9).all()
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=15, deadline=None)
+def test_deeper_trees_never_fit_worse_on_train(seed):
+    x, y = _data(seed)
+    shallow = RegressionTree(max_depth=1, min_samples_leaf=4).fit(x, y)
+    deep = RegressionTree(max_depth=4, min_samples_leaf=4).fit(x, y)
+    err_shallow = np.mean((shallow.predict(x) - y) ** 2)
+    err_deep = np.mean((deep.predict(x) - y) ** 2)
+    assert err_deep <= err_shallow + 1e-9
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=15, deadline=None)
+def test_more_boosting_rounds_reduce_train_error(seed):
+    x, y = _data(seed)
+    few = GradientBoosting(num_trees=2, learning_rate=0.3, max_depth=2, seed=0).fit(x, y)
+    many = GradientBoosting(num_trees=20, learning_rate=0.3, max_depth=2, seed=0).fit(x, y)
+    err_few = np.mean((few.predict(x) - y) ** 2)
+    err_many = np.mean((many.predict(x) - y) ** 2)
+    assert err_many <= err_few + 1e-9
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    lam=st.floats(min_value=0.0, max_value=10.0),
+)
+@settings(max_examples=20, deadline=None)
+def test_regularized_leaves_shrink_toward_zero(seed, lam):
+    """For a pure-leaf tree, |prediction| decreases monotonically in λ."""
+    rng = np.random.default_rng(seed)
+    y = rng.normal(size=(20, 1)) + 3.0
+    x = np.zeros((20, 1))
+    base = RegressionTree(max_depth=1, min_samples_leaf=50, lam=0.0).fit(x, y).predict(x)
+    shrunk = RegressionTree(max_depth=1, min_samples_leaf=50, lam=lam).fit(x, y).predict(x)
+    assert abs(shrunk[0, 0]) <= abs(base[0, 0]) + 1e-12
+
+
+def test_near_equal_feature_values_never_produce_nan_leaves():
+    """Regression: a float midpoint of two nearly-equal adjacent values
+    could round up to the larger value, emptying the right branch and
+    yielding a 0/0 NaN leaf.  Splitting on the left boundary value fixes
+    it; predictions must stay finite for adversarially close features."""
+    base = 1.0
+    eps = np.finfo(float).eps
+    x = np.array([[base], [base + eps], [base + 2 * eps]] * 10)
+    y = np.arange(30.0)[:, None]
+    tree = RegressionTree(max_depth=5, min_samples_leaf=1).fit(x, y)
+    assert np.isfinite(tree.predict(x)).all()
+
+
+def test_tree_is_invariant_to_row_order():
+    x, y = _data(0)
+    perm = np.random.default_rng(1).permutation(len(x))
+    a = RegressionTree(max_depth=3, min_samples_leaf=4).fit(x, y)
+    b = RegressionTree(max_depth=3, min_samples_leaf=4).fit(x[perm], y[perm])
+    probe = np.random.default_rng(2).uniform(-1, 1, size=(50, 3))
+    np.testing.assert_allclose(a.predict(probe), b.predict(probe), atol=1e-9)

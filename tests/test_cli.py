@@ -1,0 +1,70 @@
+"""Tests for the command-line interface (in-process, tiny configs)."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+_DS = ["--dataset", "hzmetro", "--nodes", "6", "--days", "6"]
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["train"])
+        assert args.dataset == "hzmetro"
+        assert args.model == "tgcrn"
+
+    def test_rejects_unknown_dataset(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["train", "--dataset", "mars_metro"])
+
+
+class TestCommands:
+    def test_inspect(self, capsys):
+        assert main(["inspect", *_DS]) == 0
+        out = capsys.readouterr().out
+        assert "hzmetro" in out
+        assert "Monday" in out
+
+    def test_train_and_evaluate_roundtrip(self, tmp_path, capsys):
+        ck = str(tmp_path / "model.npz")
+        code = main([
+            "train", *_DS, "--epochs", "1", "--hidden", "8",
+            "--node-dim", "4", "--time-dim", "4", "--save", ck,
+        ])
+        assert code == 0
+        train_out = capsys.readouterr().out
+        assert "checkpoint written" in train_out
+
+        code = main([
+            "evaluate", *_DS, "--hidden", "8", "--node-dim", "4",
+            "--time-dim", "4", "--checkpoint", ck,
+        ])
+        assert code == 0
+        eval_out = capsys.readouterr().out
+        assert "test: MAE" in eval_out
+        # The evaluated MAE must match what training reported (exact reload).
+        train_line = next(l for l in train_out.splitlines() if l.startswith("tgcrn on"))
+        eval_line = next(l for l in eval_out.splitlines() if l.startswith("test:"))
+        train_mae = float(train_line.split("MAE ")[1].split(" ")[0])
+        eval_mae = float(eval_line.split("MAE ")[1].split(" ")[0])
+        assert eval_mae == pytest.approx(train_mae, rel=1e-6)
+
+    def test_train_baseline(self, capsys):
+        assert main(["train", *_DS, "--model", "ha"]) == 0
+        assert "ha on hzmetro" in capsys.readouterr().out
+
+    def test_compare(self, capsys):
+        code = main([
+            "compare", *_DS, "--epochs", "1", "--hidden", "8",
+            "--models", "ha,tgcrn", "--node-dim", "4", "--time-dim", "4",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "per-horizon MAE" in out
+        assert "best baseline" in out

@@ -1,0 +1,117 @@
+"""Tests for the TGCRN extensions: lazy graph updates (the paper's
+future-work feature) and scheduled sampling."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor, randn
+from repro.core import TGCRN
+
+
+def _model(rng, **overrides):
+    kwargs = dict(
+        num_nodes=4, in_dim=2, out_dim=2, horizon=3, hidden_dim=6,
+        num_layers=1, node_dim=4, time_dim=4, steps_per_day=24,
+    )
+    kwargs.update(overrides)
+    return TGCRN(**kwargs, rng=rng)
+
+
+def _batch(rng, batch=2, history=4, horizon=3):
+    x = randn(batch, history, 4, 2, rng=rng)
+    t = np.arange(history + horizon)[None, :].repeat(batch, axis=0)
+    return x, t
+
+
+class TestGraphUpdateInterval:
+    def test_interval_one_is_default_behavior(self, rng):
+        seed = np.random.default_rng(0)
+        m1 = _model(np.random.default_rng(1))
+        m2 = _model(np.random.default_rng(1), graph_update_interval=1)
+        m2.load_state_dict(m1.state_dict())
+        x, t = _batch(seed)
+        np.testing.assert_allclose(m1(x, t).data, m2(x, t).data, atol=1e-12)
+
+    def test_large_interval_changes_output(self, rng):
+        m1 = _model(np.random.default_rng(1))
+        m2 = _model(np.random.default_rng(1), graph_update_interval=4)
+        m2.load_state_dict(m1.state_dict())
+        x, t = _batch(rng)
+        assert not np.allclose(m1(x, t).data, m2(x, t).data)
+
+    def test_interval_validated(self, rng):
+        with pytest.raises(ValueError):
+            _model(rng, graph_update_interval=0)
+
+    def test_interval_model_still_trains(self, rng):
+        from repro.autodiff import mae_loss
+        from repro.nn import Adam
+
+        model = _model(rng, graph_update_interval=2)
+        x, t = _batch(rng)
+        y = Tensor(np.zeros((2, 3, 4, 2)))
+        opt = Adam(model.parameters(), lr=1e-2)
+        first = last = None
+        for _ in range(10):
+            opt.zero_grad()
+            loss = mae_loss(model(x, t), y)
+            loss.backward()
+            opt.step()
+            first = first or loss.item()
+            last = loss.item()
+        assert last < first
+
+    def test_interval_reduces_graph_builds(self, rng, monkeypatch):
+        model = _model(rng, graph_update_interval=2)
+        calls = {"n": 0}
+        original = model.tagsl.normalized
+
+        def counting(*args, **kwargs):
+            calls["n"] += 1
+            return original(*args, **kwargs)
+
+        monkeypatch.setattr(model.tagsl, "normalized", counting)
+        x, t = _batch(rng, history=4, horizon=3)
+        model(x, t)
+        # 1 layer: encoder builds at t=0,2 (2), decoder at q=0,2 (2) -> 4
+        # instead of 7 with interval 1.
+        assert calls["n"] == 4
+
+
+class TestScheduledSampling:
+    def test_probability_validated(self, rng):
+        with pytest.raises(ValueError):
+            _model(rng, scheduled_sampling=1.5)
+
+    def test_eval_mode_ignores_targets(self, rng):
+        model = _model(rng, scheduled_sampling=1.0)
+        model.eval()
+        x, t = _batch(rng)
+        y = Tensor(np.random.default_rng(0).normal(size=(2, 3, 4, 2)))
+        out_with = model(x, t, targets=y).data
+        out_without = model(x, t).data
+        np.testing.assert_allclose(out_with, out_without, atol=1e-12)
+
+    def test_training_mode_uses_targets(self, rng):
+        model = _model(rng, scheduled_sampling=1.0)
+        model.train()
+        x, t = _batch(rng)
+        y1 = Tensor(np.zeros((2, 3, 4, 2)))
+        y2 = Tensor(np.full((2, 3, 4, 2), 5.0))
+        out1 = model(x, t, targets=y1).data
+        out2 = model(x, t, targets=y2).data
+        # First frame is produced before any teacher forcing -> identical;
+        # later frames must differ because the decoder consumed targets.
+        np.testing.assert_allclose(out1[:, 0], out2[:, 0], atol=1e-12)
+        assert not np.allclose(out1[:, 1:], out2[:, 1:])
+
+    def test_trainer_passes_targets(self, tiny_task):
+        from repro.training import Trainer, TrainingConfig, default_tgcrn_kwargs
+
+        model = TGCRN(
+            **default_tgcrn_kwargs(tiny_task, hidden_dim=8, node_dim=4, time_dim=4, num_layers=1),
+            scheduled_sampling=0.5,
+            rng=np.random.default_rng(0),
+        )
+        history = Trainer(TrainingConfig(epochs=1, batch_size=64)).fit(model, tiny_task)
+        assert history.epochs_run == 1

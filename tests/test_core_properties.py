@@ -1,0 +1,95 @@
+"""Hypothesis property tests for the core model components."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.autodiff import Tensor
+from repro.core import DiscreteTimeEmbedding, TagSL
+from repro.core.gcgru import GCGRUCell
+
+
+@given(
+    num_nodes=st.integers(min_value=2, max_value=8),
+    batch=st.integers(min_value=1, max_value=4),
+    seed=st.integers(min_value=0, max_value=500),
+)
+@settings(max_examples=25, deadline=None)
+def test_tagsl_shape_contract(num_nodes, batch, seed):
+    rng = np.random.default_rng(seed)
+    enc = DiscreteTimeEmbedding(24, 3, rng=rng)
+    tagsl = TagSL(num_nodes, 4, enc, rng=rng)
+    state = Tensor(rng.normal(size=(batch, num_nodes, 2)))
+    times = rng.integers(0, 100, size=batch)
+    adjacency = tagsl(state, times)
+    assert adjacency.shape == (batch, num_nodes, num_nodes)
+    normalized = tagsl.normalized(state, times)
+    np.testing.assert_allclose(normalized.data.sum(axis=-1), 1.0, rtol=1e-8)
+
+
+@given(seed=st.integers(min_value=0, max_value=500))
+@settings(max_examples=25, deadline=None)
+def test_tagsl_alpha_zero_neutralizes_pdf(seed):
+    """With α = 0 the periodic gate is exactly 1, so A^t must equal the
+    w/o-PDF composition — an algebraic identity of Eq. 9."""
+    rng = np.random.default_rng(seed)
+    enc = DiscreteTimeEmbedding(24, 3, rng=rng)
+    gated = TagSL(4, 4, enc, alpha=0.0, rng=np.random.default_rng(seed))
+    ungated = TagSL(4, 4, enc, use_pdf=False, rng=np.random.default_rng(seed))
+    ungated.node_embedding.data[...] = gated.node_embedding.data
+    state = Tensor(rng.normal(size=(2, 4, 2)))
+    times = np.array([3, 9])
+    np.testing.assert_allclose(gated(state, times).data, ungated(None, times).data, atol=1e-12)
+
+
+@given(
+    scale=st.floats(min_value=0.1, max_value=10.0),
+    seed=st.integers(min_value=0, max_value=500),
+)
+@settings(max_examples=25, deadline=None)
+def test_softmax_normalized_tagsl_invariant_to_constant_shift(scale, seed):
+    """Row-softmax is shift-invariant: adding a constant to every entry of
+    A^t (e.g. a scalar trend with PDF disabled) must not change Â^t —
+    documenting why the trend factor only acts through the PDF gate."""
+    rng = np.random.default_rng(seed)
+    enc = DiscreteTimeEmbedding(24, 3, rng=rng)
+    tagsl = TagSL(4, 4, enc, use_pdf=False, use_trend=False, rng=rng)
+    times = np.array([5])
+    base = tagsl.normalized(None, times).data
+    from repro.graph.adjacency import row_softmax
+
+    shifted = row_softmax(tagsl(None, times) + float(scale)).data
+    np.testing.assert_allclose(base, shifted, atol=1e-10)
+
+
+@given(seed=st.integers(min_value=0, max_value=500))
+@settings(max_examples=20, deadline=None)
+def test_gcgru_interpolates_between_h_and_candidate(seed):
+    """h_t = (1-z)h + z·ĥ with z, ĥ bounded -> each output coordinate lies
+    in the interval spanned by h_{t-1} and ±1."""
+    rng = np.random.default_rng(seed)
+    cell = GCGRUCell(2, 3, embed_dim=3, rng=rng)
+    x = Tensor(rng.normal(size=(2, 4, 2)))
+    h = Tensor(rng.normal(size=(2, 4, 3)))
+    adjacency = Tensor(np.full((2, 4, 4), 0.25))
+    embed = Tensor(rng.normal(size=(2, 4, 3)))
+    out = cell(x, h, adjacency, embed).data
+    upper = np.maximum(h.data, 1.0)
+    lower = np.minimum(h.data, -1.0)
+    assert (out <= upper + 1e-9).all()
+    assert (out >= lower - 1e-9).all()
+
+
+@given(
+    num_slots=st.integers(min_value=2, max_value=96),
+    offset=st.integers(min_value=-500, max_value=500),
+    seed=st.integers(min_value=0, max_value=500),
+)
+@settings(max_examples=30, deadline=None)
+def test_time_embedding_periodicity_property(num_slots, offset, seed):
+    """Φ(t) = Φ(t + |T|) for any t — day-periodic by construction."""
+    rng = np.random.default_rng(seed)
+    enc = DiscreteTimeEmbedding(num_slots, 4, rng=rng)
+    t = np.array([offset])
+    np.testing.assert_allclose(enc(t).data, enc(t + num_slots).data)

@@ -1,0 +1,92 @@
+"""Tests (incl. hypothesis properties) for Algorithm 1 time-distance sampling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import sample_time_distances
+
+
+def _windows(batch, length, start=100):
+    base = np.arange(length)[None, :] + np.arange(batch)[:, None] * 1000 + start
+    return base
+
+
+class TestBasics:
+    def test_output_shapes(self, rng):
+        windows = _windows(6, 8)
+        s = sample_time_distances(windows, rng)
+        for arr in (s.anchor_values, s.adjacent_values, s.mid_values, s.distant_values):
+            assert arr.shape == (6,)
+
+    def test_rejects_1d(self, rng):
+        with pytest.raises(ValueError):
+            sample_time_distances(np.arange(5), rng)
+
+    def test_rejects_short_windows(self, rng):
+        with pytest.raises(ValueError):
+            sample_time_distances(np.zeros((3, 1), dtype=int), rng)
+
+    def test_deterministic_given_seed(self):
+        windows = _windows(4, 8)
+        a = sample_time_distances(windows, np.random.default_rng(5))
+        b = sample_time_distances(windows, np.random.default_rng(5))
+        np.testing.assert_array_equal(a.anchor_values, b.anchor_values)
+        np.testing.assert_array_equal(a.distant_values, b.distant_values)
+
+    def test_single_row_fallback(self, rng):
+        windows = _windows(1, 8)
+        s = sample_time_distances(windows, rng)
+        assert s.distant_rows[0] == 0  # falls back to the same row
+
+
+@given(
+    batch=st.integers(min_value=2, max_value=10),
+    length=st.integers(min_value=3, max_value=24),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+@settings(max_examples=60, deadline=None)
+def test_algorithm1_invariants(batch, length, seed):
+    """Paper constraints: adjacent within ±γ_Δ of anchor, mid outside the
+    adjacent band, distant drawn from a different row."""
+    windows = _windows(batch, length)
+    rng = np.random.default_rng(seed)
+    gamma = max(1, length // 2)
+    s = sample_time_distances(windows, rng)
+    rows = np.arange(batch)
+    # values actually come from the right rows/cells
+    np.testing.assert_array_equal(s.anchor_values, windows[rows, s.anchor_positions])
+    np.testing.assert_array_equal(s.adjacent_values, windows[rows, s.adjacent_positions])
+    np.testing.assert_array_equal(s.mid_values, windows[rows, s.mid_positions])
+    np.testing.assert_array_equal(s.distant_values, windows[s.distant_rows, s.distant_positions])
+    # adjacency band
+    adj_dist = np.abs(s.adjacent_positions - s.anchor_positions)
+    assert (adj_dist >= 1).all()
+    assert (adj_dist <= min(gamma, length - 1)).all()
+    # mid outside band, or at the farthest reachable column when no
+    # outside column exists for that anchor (the documented fallback)
+    mid_dist = np.abs(s.mid_positions - s.anchor_positions)
+    max_possible = np.maximum(s.anchor_positions, length - 1 - s.anchor_positions)
+    assert ((mid_dist > gamma) | (mid_dist == max_possible)).all()
+    # distant from another row
+    assert (s.distant_rows != rows).all()
+
+
+@given(seed=st.integers(min_value=0, max_value=2**16))
+@settings(max_examples=30, deadline=None)
+def test_custom_adjacent_range(seed):
+    rng = np.random.default_rng(seed)
+    windows = _windows(5, 12)
+    s = sample_time_distances(windows, rng, adjacent_range=2)
+    adj_dist = np.abs(s.adjacent_positions - s.anchor_positions)
+    assert (adj_dist <= 2).all()
+    mid_dist = np.abs(s.mid_positions - s.anchor_positions)
+    assert (mid_dist > 2).all()
+
+
+def test_distant_values_are_far_in_absolute_time(rng):
+    """Rows are separated by 1000 steps, so |distant - anchor| >> P+Q."""
+    windows = _windows(6, 8)
+    s = sample_time_distances(windows, rng)
+    assert (np.abs(s.distant_values - s.anchor_values) > 100).all()

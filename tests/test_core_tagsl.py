@@ -1,0 +1,136 @@
+"""Tests for TagSL (Eq. 6-9) and its ablation switches."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor, check_gradients, randn
+from repro.core import DiscreteTimeEmbedding, TagSL
+
+
+def _tagsl(rng, **kwargs):
+    enc = DiscreteTimeEmbedding(24, 4, rng=rng)
+    defaults = dict(num_nodes=5, node_dim=6, time_encoder=enc, alpha=0.3)
+    defaults.update(kwargs)
+    return TagSL(**defaults, rng=rng)
+
+
+class TestStaticTerm:
+    def test_symmetric(self, rng):
+        tagsl = _tagsl(rng)
+        a_v = tagsl.static_adjacency().data
+        np.testing.assert_allclose(a_v, a_v.T, atol=1e-12)
+
+    def test_matches_inner_product(self, rng):
+        tagsl = _tagsl(rng)
+        e = tagsl.node_embedding.data
+        np.testing.assert_allclose(tagsl.static_adjacency().data, e @ e.T)
+
+
+class TestTrendFactor:
+    def test_scalar_shape(self, rng):
+        tagsl = _tagsl(rng)
+        eta = tagsl.trend_factor(np.array([3, 7, 11]))
+        assert eta.shape == (3, 1, 1)
+
+    def test_matches_consecutive_inner_product(self, rng):
+        tagsl = _tagsl(rng)
+        table = tagsl.time_encoder.weight.data
+        eta = tagsl.trend_factor(np.array([5])).data[0, 0, 0]
+        assert eta == pytest.approx(float(table[5] @ table[4]))
+
+    def test_wraps_at_day_boundary(self, rng):
+        tagsl = _tagsl(rng)
+        table = tagsl.time_encoder.weight.data
+        eta = tagsl.trend_factor(np.array([0])).data[0, 0, 0]
+        assert eta == pytest.approx(float(table[0] @ table[23]))
+
+    def test_vector_mode_shape(self, rng):
+        tagsl = _tagsl(rng, trend_mode="vector")
+        eta = tagsl.trend_factor(np.array([3, 7]))
+        assert eta.shape == (2, 5, 5)
+
+    def test_unknown_trend_mode(self, rng):
+        with pytest.raises(ValueError):
+            _tagsl(rng, trend_mode="quadratic")
+
+
+class TestPeriodicDiscriminant:
+    def test_bounded_by_tanh(self, rng):
+        tagsl = _tagsl(rng)
+        state = randn(2, 5, 3, rng=rng)
+        a_p = tagsl.periodic_discriminant(state).data
+        assert (np.abs(a_p) <= 1.0).all()
+
+    def test_gate_range(self, rng):
+        """(1 + α σ(A_p)) must lie in (1, 1+α)."""
+        tagsl = _tagsl(rng, alpha=0.3)
+        state = randn(2, 5, 3, rng=rng)
+        gate = 1.0 + 0.3 / (1.0 + np.exp(-tagsl.periodic_discriminant(state).data))
+        assert (gate > 1.0).all() and (gate < 1.3).all()
+
+    def test_distinguishes_period_states(self, rng):
+        """Different node states (weekday vs weekend patterns) must yield
+        different adjacencies — the PDF's purpose."""
+        tagsl = _tagsl(rng)
+        t = np.array([5])
+        weekday_state = Tensor(np.full((1, 5, 3), 0.5))
+        weekend_state = Tensor(np.full((1, 5, 3), 0.1))
+        a1 = tagsl(weekday_state, t).data
+        a2 = tagsl(weekend_state, t).data
+        assert not np.allclose(a1, a2)
+
+
+class TestEquation9:
+    def test_full_forward_matches_manual_composition(self, rng):
+        tagsl = _tagsl(rng, alpha=0.3)
+        state = randn(2, 5, 3, rng=rng)
+        t = np.array([4, 9])
+        a = tagsl(state, t).data
+        a_v = tagsl.static_adjacency().data
+        eta = tagsl.trend_factor(t).data
+        a_p = tagsl.periodic_discriminant(state).data
+        gate = 1.0 + 0.3 / (1.0 + np.exp(-a_p))
+        np.testing.assert_allclose(a, gate * (a_v[None] + eta), rtol=1e-10)
+
+    def test_batch_shape(self, rng):
+        tagsl = _tagsl(rng)
+        a = tagsl(randn(3, 5, 2, rng=rng), np.array([1, 2, 3]))
+        assert a.shape == (3, 5, 5)
+
+    def test_normalized_rows_sum_to_one(self, rng):
+        tagsl = _tagsl(rng)
+        a = tagsl.normalized(randn(2, 5, 2, rng=rng), np.array([1, 2]), mode="softmax")
+        np.testing.assert_allclose(a.data.sum(axis=-1), 1.0)
+
+    def test_gradients_reach_all_inputs(self, rng):
+        tagsl = _tagsl(rng)
+        state = randn(1, 5, 2, rng=rng, requires_grad=True)
+        params = [tagsl.node_embedding, tagsl.time_encoder.weight, state]
+        check_gradients(
+            lambda: tagsl(state, np.array([3])).tanh().sum() * 0.1, params, rtol=1e-3
+        )
+
+
+class TestAblationSwitches:
+    def test_static_only_ignores_time_and_state(self, rng):
+        tagsl = _tagsl(rng, static_only=True)
+        a1 = tagsl(None, np.array([1])).data
+        a2 = tagsl(None, np.array([17])).data
+        np.testing.assert_allclose(a1, a2)
+
+    def test_no_trend_removes_time_dependence(self, rng):
+        tagsl = _tagsl(rng, use_trend=False, use_pdf=False)
+        a1 = tagsl(None, np.array([1])).data
+        a2 = tagsl(None, np.array([17])).data
+        np.testing.assert_allclose(a1, a2)
+
+    def test_with_trend_time_dependent(self, rng):
+        tagsl = _tagsl(rng, use_pdf=False)
+        a1 = tagsl(None, np.array([1])).data
+        a2 = tagsl(None, np.array([17])).data
+        assert not np.allclose(a1, a2)
+
+    def test_pdf_requires_state(self, rng):
+        tagsl = _tagsl(rng)
+        with pytest.raises(ValueError):
+            tagsl(None, np.array([1]))

@@ -1,0 +1,135 @@
+"""Tests for the full TGCRN model and its variants."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor, mae_loss, randn
+from repro.core import TGCRN, VARIANTS, build_variant
+from repro.nn import Adam
+
+
+def _model(rng, **overrides):
+    kwargs = dict(
+        num_nodes=4, in_dim=2, out_dim=2, horizon=3, hidden_dim=6,
+        num_layers=2, node_dim=5, time_dim=4, steps_per_day=24,
+    )
+    kwargs.update(overrides)
+    return TGCRN(**kwargs, rng=rng)
+
+
+def _batch(rng, batch=3, history=4, horizon=3, nodes=4, in_dim=2):
+    x = randn(batch, history, nodes, in_dim, rng=rng)
+    t = np.arange(history + horizon)[None, :] + rng.integers(0, 200, size=(batch, 1))
+    return x, t
+
+
+class TestForward:
+    def test_output_shape(self, rng):
+        model = _model(rng)
+        x, t = _batch(rng)
+        assert model(x, t).shape == (3, 3, 4, 2)
+
+    def test_time_indices_validated(self, rng):
+        model = _model(rng)
+        x, t = _batch(rng)
+        with pytest.raises(ValueError):
+            model(x, t[:, :-1])
+
+    def test_blended_embedding_shape(self, rng):
+        model = _model(rng)
+        embed = model.blended_embedding(np.array([1, 2]))
+        assert embed.shape == (2, 4, 5 + 4)
+
+    def test_autoregressive_decoder_feeds_predictions(self, rng):
+        """With horizon 1 vs 2, the first output frame must agree — the
+        second step only consumes the first prediction."""
+        m1 = _model(rng, horizon=1)
+        m2 = _model(np.random.default_rng(0), horizon=2)
+        m2.load_state_dict({k: v for k, v in m1.state_dict().items()} | {
+            k: v for k, v in m2.state_dict().items() if k not in m1.state_dict()
+        })
+        x, _ = _batch(rng, horizon=2)
+        t1 = np.arange(5)[None, :].repeat(3, axis=0)
+        t2 = np.arange(6)[None, :].repeat(3, axis=0)
+        out1 = m1(x, t1).data
+        out2 = m2(x, t2).data
+        np.testing.assert_allclose(out1[:, 0], out2[:, 0], atol=1e-10)
+
+    def test_forecast_depends_on_future_timestamps(self, rng):
+        """Time-awareness: same inputs at different times of day must give
+        different forecasts (through TagSL + blended embeddings)."""
+        model = _model(rng)
+        x, _ = _batch(rng)
+        t_morning = np.arange(7)[None, :].repeat(3, axis=0)
+        t_evening = t_morning + 12
+        out1 = model(x, t_morning).data
+        out2 = model(x, t_evening).data
+        assert not np.allclose(out1, out2)
+
+    def test_gradients_reach_every_parameter(self, rng):
+        model = _model(rng, num_layers=1)
+        x, t = _batch(rng)
+        loss = mae_loss(model(x, t), Tensor(np.zeros((3, 3, 4, 2))))
+        loss.backward()
+        missing = [n for n, p in model.named_parameters() if p.grad is None]
+        assert not missing, f"no grad for {missing}"
+
+
+class TestVariants:
+    @pytest.mark.parametrize("name", sorted(VARIANTS))
+    def test_all_variants_run(self, name, rng):
+        base = dict(
+            num_nodes=4, in_dim=2, out_dim=2, horizon=3, hidden_dim=6,
+            num_layers=1, node_dim=5, time_dim=4, steps_per_day=24,
+        )
+        model, spec = build_variant(name, base, rng=rng)
+        x, t = _batch(rng)
+        assert model(x, t).shape == (3, 3, 4, 2)
+        assert spec.name == name
+
+    def test_unknown_variant(self, rng):
+        with pytest.raises(ValueError):
+            build_variant("tgcrn_ultra", {}, rng=rng)
+
+    def test_wo_encdec_has_no_decoder_cells(self, rng):
+        model = _model(rng, use_encoder_decoder=False)
+        assert not hasattr(model, "decoder_cells")
+        x, t = _batch(rng)
+        assert model(x, t).shape == (3, 3, 4, 2)
+
+    def test_static_graph_variant_is_time_invariant_graph(self, rng):
+        model = _model(rng, static_graph=True)
+        a1 = model.tagsl(None, np.array([2])).data
+        a2 = model.tagsl(None, np.array([19])).data
+        np.testing.assert_allclose(a1, a2)
+
+
+class TestCapacity:
+    def test_parameters_grow_with_embedding_dims(self, rng):
+        small = _model(rng, node_dim=4, time_dim=4)
+        large = _model(np.random.default_rng(1), node_dim=16, time_dim=8)
+        assert large.num_parameters() > small.num_parameters()
+
+    def test_time2vec_variant_swaps_encoder(self, rng):
+        from repro.core import Time2Vec
+
+        model = _model(rng, time_encoder_kind="time2vec")
+        assert isinstance(model.time_encoder, Time2Vec)
+
+
+class TestLearning:
+    def test_loss_decreases_on_fixed_batch(self, rng):
+        model = _model(rng, num_layers=1, hidden_dim=4, node_dim=4, time_dim=4)
+        x, t = _batch(rng)
+        y = Tensor(np.tanh(x.data[:, -3:, :, :]))
+        opt = Adam(model.parameters(), lr=5e-3)
+        first = last = None
+        for step in range(25):
+            opt.zero_grad()
+            loss = mae_loss(model(x, t), y)
+            loss.backward()
+            opt.step()
+            if first is None:
+                first = loss.item()
+            last = loss.item()
+        assert last < 0.8 * first

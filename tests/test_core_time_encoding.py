@@ -1,0 +1,92 @@
+"""Tests for the three time encoders (§III-A-2, Table VII ablations)."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import check_gradients
+from repro.core import (
+    ContinuousTimeRepresentation,
+    DiscreteTimeEmbedding,
+    Time2Vec,
+    make_time_encoder,
+)
+
+
+class TestDiscreteTimeEmbedding:
+    def test_shape(self, rng):
+        enc = DiscreteTimeEmbedding(24, 8, rng=rng)
+        assert enc(np.array([0, 5, 23])).shape == (3, 8)
+        assert enc(np.array([[0, 1], [2, 3]])).shape == (2, 2, 8)
+
+    def test_wraps_modulo_period(self, rng):
+        enc = DiscreteTimeEmbedding(24, 8, rng=rng)
+        np.testing.assert_allclose(enc(np.array([25])).data, enc(np.array([1])).data)
+        np.testing.assert_allclose(enc(np.array([-1])).data, enc(np.array([23])).data)
+
+    def test_table_shape(self, rng):
+        enc = DiscreteTimeEmbedding(24, 8, rng=rng)
+        assert enc.table().shape == (24, 8)
+
+    def test_needs_two_slots(self, rng):
+        with pytest.raises(ValueError):
+            DiscreteTimeEmbedding(1, 8, rng=rng)
+
+    def test_gradient_reaches_table(self, rng):
+        enc = DiscreteTimeEmbedding(10, 4, rng=rng)
+        check_gradients(lambda: enc(np.array([1, 1, 7])).tanh().sum(), [enc.weight], rtol=1e-3)
+
+
+class TestTime2Vec:
+    def test_shape(self, rng):
+        enc = Time2Vec(24, 8, rng=rng)
+        assert enc(np.array([0, 10])).shape == (2, 8)
+
+    def test_first_component_linear_in_time(self, rng):
+        enc = Time2Vec(24, 4, rng=rng)
+        t = np.array([0, 1, 2, 3])
+        first = enc(t).data[:, 0]
+        diffs = np.diff(first)
+        np.testing.assert_allclose(diffs, diffs[0], atol=1e-9)
+
+    def test_periodic_components_bounded(self, rng):
+        enc = Time2Vec(24, 8, rng=rng)
+        out = enc(np.arange(100)).data[:, 1:]
+        assert (np.abs(out) <= 1.0 + 1e-9).all()
+
+    def test_min_dim(self, rng):
+        with pytest.raises(ValueError):
+            Time2Vec(24, 1, rng=rng)
+
+    def test_gradients(self, rng):
+        enc = Time2Vec(24, 4, rng=rng)
+        check_gradients(
+            lambda: enc(np.array([3, 9])).sum(), [enc.omega, enc.phi], rtol=1e-3, atol=1e-5
+        )
+
+
+class TestCTR:
+    def test_shape_and_scale(self, rng):
+        enc = ContinuousTimeRepresentation(24, 16, rng=rng)
+        out = enc(np.array([0, 5])).data
+        assert out.shape == (2, 16)
+        assert (np.abs(out) <= 1.0 / np.sqrt(16) + 1e-9).all()
+
+    def test_gradients(self, rng):
+        enc = ContinuousTimeRepresentation(24, 4, rng=rng)
+        check_gradients(lambda: enc(np.array([3, 9])).sum(), [enc.omega], rtol=1e-3, atol=1e-5)
+
+
+class TestFactory:
+    @pytest.mark.parametrize(
+        "kind,cls",
+        [("embedding", DiscreteTimeEmbedding), ("time2vec", Time2Vec), ("ctr", ContinuousTimeRepresentation)],
+    )
+    def test_kinds(self, kind, cls, rng):
+        enc = make_time_encoder(kind, 24, 8, rng=rng)
+        assert isinstance(enc, cls)
+        assert enc.dim == 8
+        assert enc.num_slots == 24
+
+    def test_unknown_kind(self, rng):
+        with pytest.raises(ValueError):
+            make_time_encoder("fourier", 24, 8, rng=rng)

@@ -1,0 +1,85 @@
+"""Tests for TagSL's top-k sparsification extension."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor, randn
+from repro.core import DiscreteTimeEmbedding, TGCRN, TagSL
+
+
+def _tagsl(rng, top_k=None, num_nodes=6):
+    enc = DiscreteTimeEmbedding(24, 4, rng=rng)
+    return TagSL(num_nodes, 5, enc, top_k=top_k, rng=rng)
+
+
+class TestTopK:
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            _tagsl(rng, top_k=0)
+        with pytest.raises(ValueError):
+            _tagsl(rng, top_k=7)
+
+    def test_softmax_rows_have_k_active_entries(self, rng):
+        tagsl = _tagsl(rng, top_k=2)
+        state = randn(3, 6, 2, rng=rng)
+        adjacency = tagsl.normalized(state, np.array([1, 2, 3])).data
+        active = (adjacency > 1e-6).sum(axis=-1)
+        np.testing.assert_array_equal(active, 2)
+        np.testing.assert_allclose(adjacency.sum(axis=-1), 1.0)
+
+    def test_kept_entries_are_the_largest(self, rng):
+        tagsl = _tagsl(rng, top_k=3)
+        state = randn(1, 6, 2, rng=rng)
+        dense = TagSL(6, 5, tagsl.time_encoder, rng=np.random.default_rng(0))
+        dense.node_embedding.data[...] = tagsl.node_embedding.data
+        raw = dense(state, np.array([4])).data[0]
+        sparse = tagsl.normalized(state, np.array([4])).data[0]
+        for row in range(6):
+            expected_kept = set(np.argsort(raw[row])[-3:])
+            actual_kept = set(np.nonzero(sparse[row] > 1e-6)[0])
+            assert actual_kept == expected_kept
+
+    def test_full_k_equals_dense(self, rng):
+        dense = _tagsl(np.random.default_rng(1))
+        sparse = _tagsl(np.random.default_rng(1), top_k=6)
+        state = randn(2, 6, 2, rng=rng)
+        t = np.array([1, 2])
+        np.testing.assert_allclose(
+            dense.normalized(state, t).data, sparse.normalized(state, t).data
+        )
+
+    def test_gradients_flow_through_kept_entries(self, rng):
+        tagsl = _tagsl(rng, top_k=2)
+        state = randn(1, 6, 2, rng=rng)
+        tagsl.normalized(state, np.array([3])).sum().backward()
+        assert tagsl.node_embedding.grad is not None
+        assert np.abs(tagsl.node_embedding.grad).sum() > 0
+
+    def test_tgcrn_accepts_top_k(self, rng):
+        model = TGCRN(
+            num_nodes=5, in_dim=2, out_dim=2, horizon=2, hidden_dim=6,
+            num_layers=1, node_dim=4, time_dim=4, steps_per_day=24,
+            top_k=2, rng=rng,
+        )
+        x = randn(2, 3, 5, 2, rng=rng)
+        t = np.arange(5)[None, :].repeat(2, axis=0)
+        assert model(x, t).shape == (2, 2, 5, 2)
+
+
+class TestNodeReport:
+    def test_per_node_metrics(self, rng):
+        from repro.metrics import node_report
+
+        pred = rng.normal(size=(8, 4, 3, 2))
+        target = rng.normal(size=(8, 4, 3, 2))
+        reports = node_report(pred, target)
+        assert len(reports) == 3
+        from repro.metrics import mae
+
+        np.testing.assert_allclose(reports[1].mae, mae(pred[:, :, 1], target[:, :, 1]))
+
+    def test_requires_node_axis(self):
+        from repro.metrics import node_report
+
+        with pytest.raises(ValueError):
+            node_report(np.zeros((4, 2)), np.zeros((4, 2)))

@@ -1,0 +1,89 @@
+"""Tests for event injection and disrupted-window evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.data import SpatioTemporalGenerator, SyntheticConfig
+from repro.data.events import Event, EventLog, inject_events, split_regular_disrupted
+
+
+@pytest.fixture
+def dataset():
+    return SpatioTemporalGenerator(
+        SyntheticConfig(num_nodes=10, steps_per_day=24, num_days=6, seed=0)
+    ).generate()
+
+
+class TestEvent:
+    def test_overlap_logic(self):
+        event = Event("closure", (0,), start=10, stop=20, magnitude=0.0)
+        assert event.overlaps(15, 25)
+        assert event.overlaps(5, 11)
+        assert not event.overlaps(20, 30)  # [start, stop) boundary
+        assert not event.overlaps(0, 10)
+
+
+class TestInjection:
+    def test_closures_suppress_flows(self, dataset):
+        baseline = dataset.values.copy()
+        rng = np.random.default_rng(1)
+        log = inject_events(dataset, rng, num_closures=1, num_surges=0, duration=5)
+        event = log.events[0]
+        assert event.kind == "closure"
+        window = dataset.values[event.start : event.stop, list(event.nodes)]
+        original = baseline[event.start : event.stop, list(event.nodes)]
+        np.testing.assert_allclose(window, original * event.magnitude)
+        # untouched elsewhere
+        untouched = [n for n in range(10) if n not in event.nodes]
+        np.testing.assert_allclose(dataset.values[:, untouched], baseline[:, untouched])
+
+    def test_surges_amplify_flows(self, dataset):
+        baseline = dataset.values.copy()
+        log = inject_events(dataset, np.random.default_rng(2), num_closures=0,
+                            num_surges=1, duration=4, surge_magnitude=3.0)
+        event = log.events[0]
+        assert event.kind == "surge"
+        window = dataset.values[event.start : event.stop, list(event.nodes)]
+        np.testing.assert_allclose(
+            window, baseline[event.start : event.stop, list(event.nodes)] * 3.0
+        )
+
+    def test_too_short_dataset_rejected(self):
+        short = SpatioTemporalGenerator(
+            SyntheticConfig(num_nodes=4, steps_per_day=4, num_days=2, seed=0)
+        ).generate()
+        with pytest.raises(ValueError):
+            inject_events(short, np.random.default_rng(0), duration=10)
+
+    def test_event_count(self, dataset):
+        log = inject_events(dataset, np.random.default_rng(3), num_closures=2, num_surges=3)
+        assert len(log.events) == 5
+        assert sum(e.kind == "surge" for e in log.events) == 3
+
+
+class TestDisturbedMask:
+    def test_mask_matches_overlaps(self):
+        log = EventLog([Event("closure", (0,), 10, 15, 0.0)])
+        windows = np.stack([np.arange(s, s + 4) for s in (0, 8, 12, 20)])
+        mask = log.disturbed_mask(windows)
+        np.testing.assert_array_equal(mask, [False, True, True, False])
+
+    def test_empty_log(self):
+        log = EventLog()
+        windows = np.arange(8).reshape(2, 4)
+        assert not log.disturbed_mask(windows).any()
+
+
+class TestSplit:
+    def test_partition_is_complete(self):
+        log = EventLog([Event("surge", (0,), 5, 9, 2.0)])
+        time_indices = np.stack([np.arange(s, s + 3) for s in range(10)])
+        prediction = np.arange(10.0)[:, None]
+        target = prediction + 1
+        (reg_p, reg_t), (dis_p, dis_t) = split_regular_disrupted(
+            prediction, target, time_indices, log
+        )
+        assert len(reg_p) + len(dis_p) == 10
+        # windows starting at 3..8 overlap [5, 9)
+        assert len(dis_p) == 6
+        np.testing.assert_allclose(reg_t - reg_p, 1.0)

@@ -1,0 +1,74 @@
+"""Tests for dataset persistence and CSV export."""
+
+import csv
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    SpatioTemporalGenerator,
+    SyntheticConfig,
+    export_csv,
+    load_dataset,
+    save_dataset,
+)
+
+
+@pytest.fixture
+def dataset():
+    return SpatioTemporalGenerator(
+        SyntheticConfig(num_nodes=6, steps_per_day=12, num_days=4, seed=5)
+    ).generate()
+
+
+class TestNpzRoundtrip:
+    def test_values_preserved(self, tmp_path, dataset):
+        save_dataset(tmp_path / "ds.npz", dataset)
+        loaded = load_dataset(tmp_path / "ds.npz")
+        np.testing.assert_allclose(loaded.values, dataset.values)
+        np.testing.assert_array_equal(loaded.time_index, dataset.time_index)
+        np.testing.assert_array_equal(loaded.areas, dataset.areas)
+        assert loaded.line_edges == dataset.line_edges
+
+    def test_generator_rebuilt_for_od_access(self, tmp_path, dataset):
+        save_dataset(tmp_path / "ds.npz", dataset)
+        loaded = load_dataset(tmp_path / "ds.npz")
+        np.testing.assert_allclose(loaded.od_matrix(7), dataset.od_matrix(7))
+
+    def test_config_preserved(self, tmp_path, dataset):
+        save_dataset(tmp_path / "ds.npz", dataset)
+        loaded = load_dataset(tmp_path / "ds.npz")
+        assert loaded.config == dataset.config
+
+    def test_electricity_generator_class_restored(self, tmp_path):
+        from repro.data import ElectricityGenerator
+
+        ds = ElectricityGenerator(
+            SyntheticConfig(num_nodes=4, steps_per_day=12, num_days=3)
+        ).generate()
+        save_dataset(tmp_path / "e.npz", ds)
+        loaded = load_dataset(tmp_path / "e.npz")
+        assert type(loaded.generator).__name__ == "ElectricityGenerator"
+        np.testing.assert_allclose(loaded.values, ds.values)
+
+
+class TestCsvExport:
+    def test_row_count_and_header(self, tmp_path, dataset):
+        path = tmp_path / "ds.csv"
+        export_csv(path, dataset, feature_names=["inflow", "outflow"])
+        with open(path) as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == ["step", "slot_of_day", "day_of_week", "node", "inflow", "outflow"]
+        assert len(rows) == 1 + dataset.num_steps * dataset.num_nodes
+
+    def test_values_match(self, tmp_path, dataset):
+        path = tmp_path / "ds.csv"
+        export_csv(path, dataset)
+        with open(path) as handle:
+            reader = csv.DictReader(handle)
+            row = next(reader)
+        assert float(row["feature_0"]) == pytest.approx(dataset.values[0, 0, 0], rel=1e-5)
+
+    def test_wrong_feature_names(self, tmp_path, dataset):
+        with pytest.raises(ValueError):
+            export_csv(tmp_path / "ds.csv", dataset, feature_names=["only_one"])

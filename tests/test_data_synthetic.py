@@ -1,0 +1,130 @@
+"""Tests for the synthetic generator's planted structure."""
+
+import numpy as np
+import pytest
+
+from repro.data import ElectricityGenerator, SpatioTemporalGenerator, SyntheticConfig
+
+
+def _gen(**overrides):
+    defaults = dict(num_nodes=12, steps_per_day=24, num_days=14, seed=3)
+    defaults.update(overrides)
+    return SpatioTemporalGenerator(SyntheticConfig(**defaults))
+
+
+class TestDeterminism:
+    def test_same_seed_same_data(self):
+        a = _gen().generate()
+        b = _gen().generate()
+        np.testing.assert_allclose(a.values, b.values)
+
+    def test_different_seed_different_data(self):
+        a = _gen(seed=1).generate()
+        b = _gen(seed=2).generate()
+        assert not np.allclose(a.values, b.values)
+
+
+class TestShapes:
+    def test_dataset_dimensions(self):
+        ds = _gen().generate()
+        assert ds.values.shape == (24 * 14, 12, 2)
+        assert ds.time_index.shape == (24 * 14,)
+        assert ds.coordinates.shape == (12, 2)
+        assert ds.areas.shape == (12,)
+        assert ds.num_steps == 24 * 14
+        assert ds.num_nodes == 12
+
+    def test_calendar_fields(self):
+        ds = _gen(start_weekday=3).generate()
+        assert ds.slot_of_day.max() == 23
+        assert ds.day_of_week[0] == 3
+        assert ds.day_of_week[24] == 4
+
+    def test_nonnegative_flows(self):
+        ds = _gen().generate()
+        assert (ds.values >= 0).all()
+
+
+class TestPlantedStructure:
+    def test_daily_periodicity_fft_peak(self):
+        """The strongest non-DC frequency of total outflow must be a
+        harmonic of one cycle per day (the profile has two daily bumps, so
+        the dominant harmonic may be the second)."""
+        num_days = 20
+        ds = _gen(num_days=num_days, day_factor_scale=0.05, slot_factor_scale=0.05).generate()
+        signal = ds.values[:, :, 1].sum(axis=1)
+        spectrum = np.abs(np.fft.rfft(signal - signal.mean()))
+        peak = np.argmax(spectrum[1:]) + 1
+        cycles_per_day = peak / num_days
+        assert cycles_per_day == pytest.approx(round(cycles_per_day), abs=0.05)
+        assert 1.0 <= cycles_per_day <= 3.0
+
+    def test_weekday_weekend_periodicity(self):
+        """Business-area morning flow must be much higher on weekdays."""
+        gen = _gen(num_days=21, day_factor_scale=0.0, slot_factor_scale=0.0)
+        ds = gen.generate()
+        business = ds.areas == 1
+        morning = ds.slot_of_day == 4  # phase ~ 0.17: morning bump
+        weekday = ds.day_of_week < 5
+        inflow = ds.values[:, business, 0]
+        weekday_level = inflow[morning & weekday].mean()
+        weekend_level = inflow[morning & ~weekday].mean()
+        assert weekday_level > 2.0 * weekend_level
+
+    def test_od_matrix_time_varying(self):
+        gen = _gen()
+        assert not np.allclose(gen.od_matrix(4), gen.od_matrix(12))
+
+    def test_od_matrix_weekly_periodic(self):
+        """OD at the same slot one week apart must be identical (the
+        propensity field is perfectly periodic; only flows carry noise)."""
+        gen = _gen(num_days=15)
+        np.testing.assert_allclose(gen.od_matrix(5), gen.od_matrix(5 + 7 * 24))
+
+    def test_od_zero_diagonal_nonnegative(self):
+        m = _gen().od_matrix(10)
+        np.testing.assert_allclose(np.diag(m), 0.0)
+        assert (m >= 0).all()
+
+    def test_dataset_od_accessor(self):
+        ds = _gen().generate()
+        np.testing.assert_allclose(ds.od_matrix(7), ds.generator.od_matrix(7))
+
+    def test_flow_conservation(self):
+        """Total inflow ≈ total (lagged) outflow: passengers are conserved
+        through the routing step."""
+        ds = _gen(num_days=5).generate()
+        total_out = ds.values[:-1, :, 1].sum()
+        total_in = ds.values[1:, :, 0].sum()
+        assert total_in == pytest.approx(total_out, rel=1e-6)
+
+    def test_modulation_makes_days_differ(self):
+        """With day shocks on, the same weekday slot differs across weeks
+        (what defeats HA); with shocks off it is nearly identical."""
+        noisy = _gen(num_days=15, noise_scale=0.0).generate()
+        clean = _gen(num_days=15, noise_scale=0.0, day_factor_scale=0.0, slot_factor_scale=0.0).generate()
+        slot = 10
+        week_apart = lambda ds: np.abs(ds.values[slot] - ds.values[slot + 7 * 24]).mean()
+        assert week_apart(clean) < 1e-9
+        assert week_apart(noisy) > 1.0
+
+
+class TestElectricity:
+    def test_single_feature(self):
+        ds = ElectricityGenerator(SyntheticConfig(num_nodes=6, steps_per_day=24, num_days=10)).generate()
+        assert ds.values.shape == (240, 6, 1)
+        assert (ds.values >= 0).all()
+
+    def test_area_correlation_planted(self):
+        """Nodes sharing an area must correlate more than nodes across
+        areas (the latent-factor structure)."""
+        ds = ElectricityGenerator(
+            SyntheticConfig(num_nodes=12, steps_per_day=24, num_days=20, noise_scale=0.02)
+        ).generate()
+        series = ds.values[:, :, 0]
+        corr = np.corrcoef(series.T)
+        same, cross = [], []
+        for i in range(12):
+            for j in range(i + 1, 12):
+                (same if ds.areas[i] == ds.areas[j] else cross).append(corr[i, j])
+        assert np.mean(same) > np.mean(cross)

@@ -1,0 +1,206 @@
+"""Tests (incl. hypothesis) for windowing, splits, scalers, and loader."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import (
+    DataLoader,
+    IdentityScaler,
+    MinMaxScaler,
+    StandardScaler,
+    chronological_split,
+    load_task,
+    make_windows,
+    split_series_by_steps,
+)
+
+
+def _series(total=40, nodes=3, dim=2, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.normal(size=(total, nodes, dim)), np.arange(total)
+
+
+class TestMakeWindows:
+    def test_counts_and_shapes(self):
+        values, times = _series(40)
+        ws = make_windows(values, times, history=4, horizon=3)
+        assert len(ws) == 40 - 7 + 1
+        assert ws.inputs.shape == (34, 4, 3, 2)
+        assert ws.targets.shape == (34, 3, 3, 2)
+        assert ws.time_indices.shape == (34, 7)
+
+    def test_target_dim_truncation(self):
+        values, times = _series()
+        ws = make_windows(values, times, 4, 3, target_dim=1)
+        assert ws.targets.shape[-1] == 1
+
+    def test_window_contents_align(self):
+        values, times = _series()
+        ws = make_windows(values, times, 4, 3)
+        np.testing.assert_allclose(ws.inputs[5], values[5:9])
+        np.testing.assert_allclose(ws.targets[5], values[9:12])
+        np.testing.assert_array_equal(ws.time_indices[5], np.arange(5, 12))
+
+    def test_stride(self):
+        values, times = _series(40)
+        ws = make_windows(values, times, 4, 3, stride=2)
+        assert len(ws) == 17
+
+    def test_too_short_raises(self):
+        values, times = _series(5)
+        with pytest.raises(ValueError):
+            make_windows(values, times, 4, 3)
+
+
+@given(
+    total=st.integers(min_value=12, max_value=60),
+    history=st.integers(min_value=1, max_value=5),
+    horizon=st.integers(min_value=1, max_value=5),
+)
+@settings(max_examples=40, deadline=None)
+def test_window_count_property(total, history, horizon):
+    values, times = _series(total)
+    ws = make_windows(values, times, history, horizon)
+    assert len(ws) == total - history - horizon + 1
+    # every window's time stamps are consecutive
+    diffs = np.diff(ws.time_indices, axis=1)
+    assert (diffs == 1).all()
+
+
+class TestSplits:
+    def test_chronological_split_partition(self):
+        values, times = _series(50)
+        ws = make_windows(values, times, 4, 2)
+        train, val, test = chronological_split(ws, 0.6, 0.2)
+        assert len(train) + len(val) + len(test) == len(ws)
+        assert train.time_indices[-1, 0] < val.time_indices[0, 0] < test.time_indices[0, 0]
+
+    def test_invalid_fractions(self):
+        values, times = _series(50)
+        ws = make_windows(values, times, 4, 2)
+        with pytest.raises(ValueError):
+            chronological_split(ws, 0.8, 0.3)
+        with pytest.raises(ValueError):
+            chronological_split(ws, 0.0, 0.2)
+
+    def test_split_series_by_steps_no_leakage(self):
+        values, times = _series(60)
+        (tr, ttr), (va, tva), (te, tte) = split_series_by_steps(values, times, (30, 40))
+        assert tr.shape[0] == 30 and va.shape[0] == 10 and te.shape[0] == 20
+        assert ttr[-1] < tva[0] < tte[0]
+
+    def test_split_series_invalid_boundaries(self):
+        values, times = _series(60)
+        with pytest.raises(ValueError):
+            split_series_by_steps(values, times, (40, 30))
+
+
+class TestScalers:
+    @given(st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=30, deadline=None)
+    def test_standard_roundtrip(self, seed):
+        values, _ = _series(seed=seed)
+        scaler = StandardScaler().fit(values)
+        np.testing.assert_allclose(scaler.inverse_transform(scaler.transform(values)), values, atol=1e-9)
+
+    def test_standard_statistics(self):
+        values, _ = _series(100)
+        out = StandardScaler().fit_transform(values)
+        np.testing.assert_allclose(out.mean(axis=(0, 1)), 0.0, atol=1e-9)
+        np.testing.assert_allclose(out.std(axis=(0, 1)), 1.0, atol=1e-9)
+
+    def test_standard_constant_channel_safe(self):
+        values = np.ones((10, 2, 1))
+        out = StandardScaler().fit_transform(values)
+        assert np.isfinite(out).all()
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            StandardScaler().transform(np.zeros((2, 2, 1)))
+
+    @given(st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=30, deadline=None)
+    def test_minmax_roundtrip_and_range(self, seed):
+        values, _ = _series(seed=seed)
+        scaler = MinMaxScaler()
+        out = scaler.fit_transform(values)
+        assert out.min() >= -1e-9 and out.max() <= 1 + 1e-9
+        np.testing.assert_allclose(scaler.inverse_transform(out), values, atol=1e-9)
+
+    def test_minmax_invalid_range(self):
+        with pytest.raises(ValueError):
+            MinMaxScaler(low=1.0, high=0.0)
+
+    def test_identity(self):
+        values, _ = _series()
+        scaler = IdentityScaler().fit(values)
+        assert scaler.transform(values) is values
+        assert scaler.inverse_transform(values) is values
+
+
+class TestDataLoader:
+    def _windows(self):
+        values, times = _series(40)
+        return make_windows(values, times, 4, 2)
+
+    def test_batch_shapes_and_count(self):
+        ws = self._windows()
+        loader = DataLoader(ws, batch_size=8)
+        batches = list(loader)
+        assert len(batches) == len(loader)
+        assert batches[0][0].shape == (8, 4, 3, 2)
+
+    def test_covers_all_samples(self):
+        ws = self._windows()
+        loader = DataLoader(ws, batch_size=8)
+        assert sum(b[0].shape[0] for b in loader) == len(ws)
+
+    def test_drop_last(self):
+        ws = self._windows()
+        loader = DataLoader(ws, batch_size=8, drop_last=True)
+        assert all(b[0].shape[0] == 8 for b in loader)
+        assert len(loader) == len(ws) // 8
+
+    def test_shuffle_is_reproducible_and_reshuffles(self):
+        ws = self._windows()
+        l1 = DataLoader(ws, batch_size=4, shuffle=True, seed=1)
+        l2 = DataLoader(ws, batch_size=4, shuffle=True, seed=1)
+        first1 = next(iter(l1))[2]
+        first2 = next(iter(l2))[2]
+        np.testing.assert_array_equal(first1, first2)
+        second1 = next(iter(l1))[2]  # epoch 2 of l1
+        assert not np.array_equal(first1, second1)
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ValueError):
+            DataLoader(self._windows(), batch_size=0)
+
+
+class TestLoadTask:
+    def test_unknown_dataset(self):
+        with pytest.raises(ValueError):
+            load_task("metroville")
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            load_task("hzmetro", size="huge")
+
+    def test_scaling_fitted_on_train_only(self, tiny_task):
+        train_mean = tiny_task.train.inputs.mean()
+        assert abs(train_mean) < 0.2  # standardized on itself
+
+    def test_inverse_targets_roundtrip(self, tiny_task):
+        scaled = tiny_task.test.targets
+        restored = tiny_task.inverse_targets(scaled)
+        rescaled = (restored - tiny_task.scaler.mean[: scaled.shape[-1]]) / tiny_task.scaler.std[: scaled.shape[-1]]
+        np.testing.assert_allclose(rescaled, scaled, atol=1e-9)
+
+    def test_splits_are_chronological(self, tiny_task):
+        assert tiny_task.train.time_indices.max() < tiny_task.val.time_indices.min()
+        assert tiny_task.val.time_indices.max() < tiny_task.test.time_indices.min()
+
+    def test_electricity_has_one_feature(self):
+        task = load_task("electricity", num_nodes=6, num_days=12)
+        assert task.in_dim == 1 and task.out_dim == 1

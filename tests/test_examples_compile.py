@@ -1,0 +1,26 @@
+"""Every example script must at least parse and expose a main()."""
+
+import ast
+import pathlib
+
+import pytest
+
+EXAMPLES = sorted((pathlib.Path(__file__).parent.parent / "examples").glob("*.py"))
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_parses_and_has_main(path):
+    tree = ast.parse(path.read_text())
+    functions = {node.name for node in ast.walk(tree) if isinstance(node, ast.FunctionDef)}
+    assert "main" in functions, f"{path.name} lacks a main() entry point"
+    # module docstring with a Run: line keeps the examples self-documenting
+    docstring = ast.get_docstring(tree) or ""
+    assert "Run:" in docstring, f"{path.name} docstring lacks usage line"
+
+
+def test_at_least_five_examples_exist():
+    assert len(EXAMPLES) >= 5
+
+
+def test_quickstart_is_among_examples():
+    assert any(p.name == "quickstart.py" for p in EXAMPLES)

@@ -1,0 +1,60 @@
+"""Tests for the programmatic experiment registry."""
+
+import pytest
+
+from repro.experiments import SMOKE, ExperimentScale, list_experiments, run
+from repro.experiments.registry import experiment
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_registered(self):
+        names = list_experiments()
+        for expected in (
+            "table4_hzmetro", "table4_shmetro", "table5_nyc_bike", "table5_nyc_taxi",
+            "table6", "table7", "table8", "fig8", "fig9", "fig10", "fig12",
+        ):
+            assert expected in names
+
+    def test_unknown_experiment(self):
+        with pytest.raises(ValueError):
+            run("table99")
+
+    def test_decorator_registers(self):
+        @experiment("__test_dummy__")
+        def dummy(scale):
+            return f"scale epochs = {scale.epochs}"
+
+        assert "__test_dummy__" in list_experiments()
+        assert run("__test_dummy__", SMOKE) == "scale epochs = 1"
+
+    def test_scale_helpers(self):
+        scale = ExperimentScale(epochs=3, node_dim=6, time_dim=4, num_layers=2)
+        kwargs = scale.tgcrn_kwargs()
+        assert kwargs == {"node_dim": 6, "time_dim": 4, "num_layers": 2}
+        config = scale.config(lambda_time=0.5)
+        assert config.epochs == 3
+        assert config.lambda_time == 0.5
+
+
+class TestSmokeRuns:
+    """Each artifact must run end-to-end at smoke scale (1 epoch)."""
+
+    def test_table6(self):
+        out = run("table6", SMOKE)
+        assert "tgcrn" in out and "MSE" in out
+
+    def test_table7(self):
+        out = run("table7", SMOKE)
+        assert "wo_tagsl" in out
+
+    def test_fig8(self):
+        out = run("fig8", SMOKE)
+        assert "fclstm" in out and "tgcrn" in out
+
+    def test_fig10(self):
+        out = run("fig10", SMOKE)
+        assert "lambda" in out
+
+    def test_fig12(self):
+        out = run("fig12", SMOKE)
+        assert "ordering score" in out

@@ -1,0 +1,86 @@
+"""Last property tranche: t-SNE calibration, trend wraparound, summaries."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.viz import joint_probabilities
+
+
+class TestPerplexityCalibration:
+    @pytest.mark.parametrize("perplexity", [3.0, 8.0])
+    def test_conditional_entropy_matches_target(self, rng, perplexity):
+        """Each row's conditional distribution should have entropy
+        ≈ log(perplexity) after the bisection search."""
+        x = rng.normal(size=(30, 5))
+        from repro.viz.tsne import _conditional_probabilities, _pairwise_sq_distances
+
+        d2 = _pairwise_sq_distances(x)
+        target = np.log(perplexity)
+        # redo the calibration for row 0 the way joint_probabilities does
+        row = np.delete(d2[0], 0)
+        beta, beta_min, beta_max = 1.0, 0.0, np.inf
+        for _ in range(64):
+            p, entropy = _conditional_probabilities(row, beta)
+            diff = entropy - target
+            if abs(diff) < 1e-5:
+                break
+            if diff > 0:
+                beta_min = beta
+                beta = beta * 2 if beta_max == np.inf else 0.5 * (beta + beta_max)
+            else:
+                beta_max = beta
+                beta = 0.5 * (beta + beta_min)
+        assert entropy == pytest.approx(target, abs=1e-3)
+
+    def test_joint_probabilities_perplexity_effect(self, rng):
+        """Higher perplexity spreads probability mass further out."""
+        x = rng.normal(size=(25, 4))
+        narrow = joint_probabilities(x, perplexity=2.0)
+        wide = joint_probabilities(x, perplexity=8.0)
+        # entropy of the full joint grows with perplexity
+        h_narrow = -np.sum(narrow * np.log(narrow))
+        h_wide = -np.sum(wide * np.log(wide))
+        assert h_wide > h_narrow
+
+
+@given(
+    t=st.integers(min_value=0, max_value=200),
+    seed=st.integers(min_value=0, max_value=300),
+)
+@settings(max_examples=30, deadline=None)
+def test_trend_factor_day_periodic(t, seed):
+    """η(t) = η(t + |T|): the trend factor inherits the table's period."""
+    from repro.core import DiscreteTimeEmbedding, TagSL
+
+    rng = np.random.default_rng(seed)
+    enc = DiscreteTimeEmbedding(24, 3, rng=rng)
+    tagsl = TagSL(4, 4, enc, rng=rng)
+    a = tagsl.trend_factor(np.array([t])).data
+    b = tagsl.trend_factor(np.array([t + 24])).data
+    np.testing.assert_allclose(a, b)
+
+
+class TestModuleSummary:
+    def test_summary_totals_match(self, rng):
+        from repro.core import TGCRN
+
+        model = TGCRN(num_nodes=4, in_dim=2, out_dim=2, horizon=2, hidden_dim=6,
+                      num_layers=1, node_dim=4, time_dim=4, steps_per_day=24, rng=rng)
+        summary = model.summary()
+        assert f"{model.num_parameters():,d}" in summary
+        assert "total" in summary
+        # group sums must add to the total
+        lines = [l for l in summary.splitlines() if not l.startswith("-")][1:-1]
+        counts = [int(l.split()[-1].replace(",", "")) for l in lines]
+        assert sum(counts) == model.num_parameters()
+
+    def test_summary_depth_controls_grouping(self, rng):
+        from repro.core import TGCRN
+
+        model = TGCRN(num_nodes=4, in_dim=2, out_dim=2, horizon=2, hidden_dim=6,
+                      num_layers=2, node_dim=4, time_dim=4, steps_per_day=24, rng=rng)
+        shallow = model.summary(max_depth=1)
+        deep = model.summary(max_depth=3)
+        assert len(deep.splitlines()) > len(shallow.splitlines())

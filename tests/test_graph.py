@@ -1,0 +1,128 @@
+"""Tests for graph normalizations, builders, and polynomial supports."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor, check_gradients, randn
+from repro.graph import (
+    chebyshev_supports,
+    correlation_graph,
+    diffusion_supports,
+    distance_graph,
+    graph_diameter,
+    knn_graph,
+    line_graph,
+    normalize,
+    random_walk,
+    random_walk_np,
+    ring_line_edges,
+    row_softmax,
+    sym_laplacian,
+    sym_laplacian_np,
+)
+
+
+class TestNormalizations:
+    def test_row_softmax_rows_sum_to_one(self, rng):
+        adj = randn(3, 5, 5, rng=rng)
+        out = row_softmax(adj)
+        np.testing.assert_allclose(out.data.sum(axis=-1), 1.0)
+
+    def test_random_walk_rows_sum_to_one(self, rng):
+        adj = Tensor(np.abs(rng.normal(size=(5, 5))) + 0.1)
+        out = random_walk(adj)
+        np.testing.assert_allclose(out.data.sum(axis=-1), 1.0, rtol=1e-6)
+
+    def test_sym_laplacian_symmetric_for_symmetric_input(self, rng):
+        raw = np.abs(rng.normal(size=(5, 5)))
+        adj = Tensor(raw + raw.T)
+        out = sym_laplacian(adj)
+        np.testing.assert_allclose(out.data, out.data.T, atol=1e-10)
+
+    def test_sym_laplacian_spectrum_bounded(self, rng):
+        raw = np.abs(rng.normal(size=(6, 6)))
+        out = sym_laplacian(Tensor(raw + raw.T)).data
+        eigenvalues = np.linalg.eigvalsh(out)
+        assert eigenvalues.max() <= 1.0 + 1e-8
+
+    def test_normalize_dispatch(self, rng):
+        adj = randn(2, 4, 4, rng=rng)
+        for mode in ("softmax", "sym", "random_walk"):
+            out = normalize(adj, mode=mode)
+            assert out.shape == adj.shape
+        with pytest.raises(ValueError):
+            normalize(adj, mode="nope")
+
+    def test_normalizations_differentiable(self, rng):
+        adj = randn(1, 4, 4, rng=rng, requires_grad=True)
+        check_gradients(lambda: normalize(adj, "softmax").sum() * 0.1, [adj], rtol=1e-3)
+
+    def test_numpy_variants_match_tensor_variants(self, rng):
+        raw = np.abs(rng.normal(size=(5, 5)))
+        np.testing.assert_allclose(
+            sym_laplacian_np(raw), sym_laplacian(Tensor(raw)).data, atol=1e-9
+        )
+        np.testing.assert_allclose(
+            random_walk_np(raw), random_walk(Tensor(raw)).data, atol=1e-9
+        )
+
+
+class TestBuilders:
+    def test_distance_graph_properties(self, rng):
+        coords = rng.normal(size=(10, 2))
+        adj = distance_graph(coords)
+        assert adj.shape == (10, 10)
+        np.testing.assert_allclose(np.diag(adj), 0.0)
+        np.testing.assert_allclose(adj, adj.T)
+        assert (adj >= 0).all() and (adj <= 1).all()
+
+    def test_distance_graph_threshold(self, rng):
+        coords = rng.normal(size=(10, 2)) * 100
+        adj = distance_graph(coords, sigma=1.0, threshold=0.5)
+        assert (adj == 0).all()  # all pairs far away under tiny sigma
+
+    def test_knn_graph_degree(self, rng):
+        coords = rng.normal(size=(12, 2))
+        adj = knn_graph(coords, k=3)
+        assert (adj.sum(axis=1) >= 3).all()  # symmetrization can only add
+        np.testing.assert_allclose(adj, adj.T)
+
+    def test_correlation_graph(self, rng):
+        base = rng.normal(size=200)
+        series = np.stack([base, base + 0.01 * rng.normal(size=200), rng.normal(size=200)], axis=1)
+        adj = correlation_graph(series, threshold=0.5)
+        assert adj[0, 1] > 0.9
+        assert adj[0, 2] == 0.0
+
+    def test_line_graph(self):
+        adj = line_graph([(0, 1), (1, 2)], num_nodes=4)
+        assert adj[0, 1] == adj[1, 0] == 1.0
+        assert adj[3].sum() == 0.0
+
+    def test_ring_line_edges_connected(self):
+        edges = ring_line_edges(12, num_lines=3, rng=np.random.default_rng(0))
+        adj = line_graph(edges, 12)
+        assert graph_diameter(adj) > 0  # -1 would mean disconnected
+
+
+class TestSupports:
+    def test_diffusion_supports_count_and_stochasticity(self, rng):
+        adj = np.abs(rng.normal(size=(6, 6)))
+        supports = diffusion_supports(adj, max_step=2)
+        assert len(supports) == 4
+        for s in supports:
+            np.testing.assert_allclose(s.sum(axis=1), 1.0, rtol=1e-6)
+
+    def test_chebyshev_supports(self, rng):
+        adj = randn(4, 4, rng=rng)
+        supports = chebyshev_supports(adj, order=3)
+        assert len(supports) == 3
+        np.testing.assert_allclose(supports[0].data, np.eye(4))
+        np.testing.assert_allclose(supports[1].data, adj.data)
+        expected = 2 * adj.data @ adj.data - np.eye(4)
+        np.testing.assert_allclose(supports[2].data, expected, atol=1e-10)
+
+    def test_chebyshev_batched(self, rng):
+        adj = randn(2, 4, 4, rng=rng)
+        supports = chebyshev_supports(adj, order=2)
+        assert supports[0].shape == (2, 4, 4)

@@ -1,0 +1,100 @@
+"""Tests for evaluation metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.metrics import evaluate, horizon_report, mae, mape, mse, pcc, rmse
+
+_finite = st.floats(min_value=-100, max_value=100, allow_nan=False, allow_infinity=False)
+
+
+class TestHandValues:
+    def test_mae(self):
+        assert mae(np.array([1.0, 3.0]), np.array([2.0, 1.0])) == pytest.approx(1.5)
+
+    def test_mse_rmse(self):
+        pred, target = np.array([3.0, 0.0]), np.array([0.0, 4.0])
+        assert mse(pred, target) == pytest.approx(12.5)
+        assert rmse(pred, target) == pytest.approx(np.sqrt(12.5))
+
+    def test_mape_percent(self):
+        assert mape(np.array([110.0]), np.array([100.0])) == pytest.approx(10.0)
+
+    def test_mape_masks_small_targets(self):
+        pred = np.array([5.0, 100.0])
+        target = np.array([0.1, 100.0])  # first entry below the threshold
+        assert mape(pred, target, threshold=1.0) == pytest.approx(0.0)
+
+    def test_mape_all_masked(self):
+        assert mape(np.array([1.0]), np.array([0.0])) == 0.0
+
+    def test_pcc_perfect(self):
+        x = np.array([1.0, 2.0, 3.0])
+        assert pcc(2 * x + 5, x) == pytest.approx(1.0)
+        assert pcc(-x, x) == pytest.approx(-1.0)
+
+    def test_pcc_constant_input(self):
+        assert pcc(np.ones(5), np.arange(5.0)) == 0.0
+
+
+class TestEvaluate:
+    def test_report_consistency(self, rng):
+        pred = rng.normal(size=(10, 4))
+        target = rng.normal(size=(10, 4))
+        report = evaluate(pred, target)
+        assert report.rmse == pytest.approx(np.sqrt(report.mse))
+        assert set(report.as_dict()) == {"MAE", "MSE", "RMSE", "MAPE", "PCC"}
+        assert "MAE" in str(report)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            evaluate(np.zeros(3), np.zeros(4))
+
+    def test_horizon_report(self, rng):
+        pred = rng.normal(size=(8, 4, 3, 2))
+        target = rng.normal(size=(8, 4, 3, 2))
+        reports = horizon_report(pred, target)
+        assert len(reports) == 4
+        np.testing.assert_allclose(reports[2].mae, mae(pred[:, 2], target[:, 2]))
+
+    def test_horizon_report_needs_2d(self):
+        with pytest.raises(ValueError):
+            horizon_report(np.zeros(3), np.zeros(3))
+
+
+@given(arrays(np.float64, (12,), elements=_finite))
+@settings(max_examples=40, deadline=None)
+def test_mae_zero_iff_equal(a):
+    assert mae(a, a.copy()) == 0.0
+
+
+@given(arrays(np.float64, (12,), elements=_finite), st.floats(min_value=0.1, max_value=5))
+@settings(max_examples=40, deadline=None)
+def test_mae_scales_linearly(a, scale):
+    shifted = a + scale
+    assert mae(shifted, a) == pytest.approx(scale, rel=1e-9)
+
+
+@given(arrays(np.float64, (20,), elements=_finite))
+@settings(max_examples=40, deadline=None)
+def test_rmse_at_least_mae(a):
+    rng = np.random.default_rng(0)
+    b = a + rng.normal(size=a.shape)
+    assert rmse(b, a) >= mae(b, a) - 1e-12
+
+
+@given(
+    arrays(np.float64, (20,), elements=_finite),
+    st.floats(min_value=0.5, max_value=3),
+    st.floats(min_value=-10, max_value=10),
+)
+@settings(max_examples=40, deadline=None)
+def test_pcc_invariant_to_affine_transforms(a, scale, shift):
+    rng = np.random.default_rng(1)
+    b = a + rng.normal(size=a.shape)
+    base = pcc(b, a)
+    transformed = pcc(scale * b + shift, a)
+    assert transformed == pytest.approx(base, abs=1e-8)

@@ -1,0 +1,110 @@
+"""Final coverage tranche: small behaviors across modules."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import DataLoader, make_windows
+from repro.metrics import evaluate
+from repro.viz import side_by_side
+
+
+class TestCliExperiments:
+    def test_list(self, capsys):
+        from repro.cli import main
+
+        assert main(["experiments"]) == 0
+        out = capsys.readouterr().out
+        assert "table6" in out and "fig8" in out
+
+    def test_unknown_experiment_raises(self):
+        from repro.cli import main
+
+        with pytest.raises(ValueError):
+            main(["experiments", "table42"])
+
+
+class TestMetricsOptions:
+    def test_mape_threshold_passthrough(self):
+        pred = np.array([2.0, 200.0])
+        target = np.array([1.0, 100.0])
+        # threshold 50 masks the first pair (|target| < 50)
+        strict = evaluate(pred, target, mape_threshold=50.0)
+        loose = evaluate(pred, target, mape_threshold=0.5)
+        assert strict.mape == pytest.approx(100.0)
+        assert loose.mape == pytest.approx(100.0)  # both pairs are 100% off
+        mixed = evaluate(np.array([1.1, 200.0]), target, mape_threshold=50.0)
+        assert mixed.mape == pytest.approx(100.0)
+
+
+class TestHeatmapLayout:
+    def test_side_by_side_uneven_heights(self):
+        left = "a\nb\nc"
+        right = "x"
+        out = side_by_side(left, right, gap=2)
+        lines = out.splitlines()
+        assert len(lines) == 3
+        assert lines[0].endswith("x")
+        assert lines[2].startswith("c")
+
+
+@given(
+    total=st.integers(min_value=15, max_value=60),
+    batch_size=st.integers(min_value=1, max_value=16),
+    drop_last=st.booleans(),
+)
+@settings(max_examples=40, deadline=None)
+def test_loader_len_matches_iteration(total, batch_size, drop_last):
+    rng = np.random.default_rng(0)
+    values = rng.normal(size=(total, 2, 1))
+    ws = make_windows(values, np.arange(total), 4, 2)
+    loader = DataLoader(ws, batch_size, drop_last=drop_last)
+    batches = list(loader)
+    assert len(batches) == len(loader)
+    if drop_last:
+        assert all(b[0].shape[0] == batch_size for b in batches)
+
+
+class TestVariantSpecs:
+    def test_tdl_flags_match_paper_semantics(self):
+        """TDL only applies where the learnable discrete table exists and
+        the variant doesn't remove it."""
+        from repro.core import VARIANTS
+
+        assert VARIANTS["tgcrn"].use_tdl
+        assert not VARIANTS["wo_tdl"].use_tdl
+        assert not VARIANTS["time2vec"].use_tdl  # no discrete table
+        assert not VARIANTS["ctr"].use_tdl
+        assert not VARIANTS["wo_tagsl"].use_tdl  # graph learning removed
+        assert VARIANTS["wo_pdf"].use_tdl
+        assert VARIANTS["wo_encdec"].use_tdl
+
+    def test_every_variant_has_description(self):
+        from repro.core import VARIANTS
+
+        assert all(spec.description for spec in VARIANTS.values())
+
+
+class TestDatasetSpecsMatchTableIII:
+    def test_paper_scale_dimensions(self):
+        """The 'paper' size must match Table III exactly."""
+        from repro.data import SPECS
+
+        assert SPECS["hzmetro"].nodes_paper == 80
+        assert SPECS["shmetro"].nodes_paper == 288
+        assert SPECS["nyc_bike"].nodes_paper == 250
+        assert SPECS["nyc_taxi"].nodes_paper == 266
+        assert SPECS["electricity"].nodes_paper == 321
+        # series lengths: steps_per_day * days_paper
+        assert SPECS["hzmetro"].steps_per_day * SPECS["hzmetro"].days_paper == 1825
+        assert SPECS["shmetro"].steps_per_day * SPECS["shmetro"].days_paper == 6716
+        assert SPECS["nyc_bike"].steps_per_day * SPECS["nyc_bike"].days_paper == 4368
+        assert SPECS["electricity"].steps_per_day * SPECS["electricity"].days_paper == 26304
+
+    def test_history_horizon_match_paper(self):
+        from repro.data import SPECS
+
+        assert (SPECS["hzmetro"].history, SPECS["hzmetro"].horizon) == (4, 4)
+        assert (SPECS["nyc_bike"].history, SPECS["nyc_bike"].horizon) == (12, 12)
+        assert (SPECS["electricity"].history, SPECS["electricity"].horizon) == (12, 12)

@@ -1,0 +1,115 @@
+"""Tests for attention and temporal-convolution layers."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor, check_gradients, randn
+from repro.nn import (
+    Conv1d,
+    GatedTCNBlock,
+    MultiHeadAttention,
+    TransformerBlock,
+    causal_mask,
+    scaled_dot_product_attention,
+)
+
+
+class TestScaledDotProduct:
+    def test_uniform_attention_averages_values(self):
+        q = Tensor(np.zeros((1, 2, 4)))
+        k = Tensor(np.zeros((1, 3, 4)))
+        v = Tensor(np.arange(9.0).reshape(1, 3, 3))
+        out = scaled_dot_product_attention(q, k, v)
+        np.testing.assert_allclose(out.data[0, 0], v.data[0].mean(axis=0))
+
+    def test_mask_blocks_positions(self, rng):
+        q = randn(1, 3, 4, rng=rng)
+        k = randn(1, 3, 4, rng=rng)
+        v = Tensor(np.eye(3)[None])
+        mask = causal_mask(3)
+        out = scaled_dot_product_attention(q, k, v, mask=mask)
+        # Row 0 can only attend to position 0 -> output is exactly e_0.
+        np.testing.assert_allclose(out.data[0, 0], [1.0, 0.0, 0.0], atol=1e-9)
+
+    def test_gradient(self, rng):
+        q = randn(1, 2, 4, rng=rng, requires_grad=True)
+        k = randn(1, 3, 4, rng=rng, requires_grad=True)
+        v = randn(1, 3, 4, rng=rng, requires_grad=True)
+        check_gradients(lambda: scaled_dot_product_attention(q, k, v).tanh().sum(), [q, k, v], rtol=1e-3)
+
+
+class TestCausalMask:
+    def test_upper_triangular(self):
+        mask = causal_mask(4)
+        assert mask[0, 1] and mask[2, 3]
+        assert not mask[1, 1] and not mask[3, 0]
+
+
+class TestMultiHeadAttention:
+    def test_shape(self, rng):
+        mha = MultiHeadAttention(8, 2, rng=rng)
+        x = randn(3, 5, 8, rng=rng)
+        assert mha(x, x, x).shape == (3, 5, 8)
+
+    def test_head_divisibility_checked(self, rng):
+        with pytest.raises(ValueError):
+            MultiHeadAttention(7, 2, rng=rng)
+
+    def test_cross_attention_lengths(self, rng):
+        mha = MultiHeadAttention(8, 2, rng=rng)
+        q = randn(2, 4, 8, rng=rng)
+        kv = randn(2, 9, 8, rng=rng)
+        assert mha(q, kv, kv).shape == (2, 4, 8)
+
+
+class TestTransformerBlock:
+    def test_shape_preserved(self, rng):
+        block = TransformerBlock(8, 2, 16, rng=rng)
+        x = randn(2, 5, 8, rng=rng)
+        assert block(x).shape == (2, 5, 8)
+
+    def test_gradients_reach_all_parameters(self, rng):
+        block = TransformerBlock(8, 2, 16, rng=rng)
+        x = randn(2, 4, 8, rng=rng)
+        block(x).sum().backward()
+        assert all(p.grad is not None for p in block.parameters())
+
+
+class TestConv1d:
+    def test_shape_preserved(self, rng):
+        conv = Conv1d(3, 5, kernel_size=2, dilation=1, rng=rng)
+        assert conv(randn(2, 7, 3, rng=rng)).shape == (2, 7, 5)
+
+    def test_receptive_field(self, rng):
+        conv = Conv1d(1, 1, kernel_size=3, dilation=4, rng=rng)
+        assert conv.receptive_field == 9
+
+    def test_causality(self, rng):
+        """Output at step t must not depend on inputs after t."""
+        conv = Conv1d(1, 1, kernel_size=2, dilation=2, rng=rng)
+        x = rng.normal(size=(1, 8, 1))
+        base = conv(Tensor(x)).data.copy()
+        x2 = x.copy()
+        x2[0, 5:, 0] += 100.0  # perturb the future
+        out = conv(Tensor(x2)).data
+        np.testing.assert_allclose(out[0, :5], base[0, :5], atol=1e-10)
+        assert not np.allclose(out[0, 5:], base[0, 5:])
+
+    def test_kernel_one_equals_linear(self, rng):
+        conv = Conv1d(3, 4, kernel_size=1, rng=rng)
+        x = rng.normal(size=(2, 5, 3))
+        expected = x @ conv.weight.data[0] + conv.bias.data
+        np.testing.assert_allclose(conv(Tensor(x)).data, expected)
+
+    def test_gradient(self, rng):
+        conv = Conv1d(2, 2, kernel_size=2, dilation=1, rng=rng)
+        x = randn(1, 4, 2, rng=rng)
+        check_gradients(lambda: conv(x).tanh().sum(), conv.parameters(), rtol=1e-3)
+
+
+class TestGatedTCN:
+    def test_shape_and_bound(self, rng):
+        block = GatedTCNBlock(4, rng=rng)
+        out = block(randn(2, 6, 4, rng=rng))
+        assert out.shape == (2, 6, 4)
+        assert (np.abs(out.data) <= 1.0 + 1e-9).all()  # tanh * sigmoid

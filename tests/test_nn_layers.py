@@ -1,0 +1,111 @@
+"""Tests for feed-forward layers."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor, check_gradients, randn
+from repro.nn import MLP, Dropout, Embedding, LayerNorm, Linear, get_activation
+
+
+class TestLinear:
+    def test_shape(self, rng):
+        layer = Linear(3, 5, rng=rng)
+        assert layer(randn(7, 3, rng=rng)).shape == (7, 5)
+
+    def test_multi_batch_dims(self, rng):
+        layer = Linear(3, 5, rng=rng)
+        assert layer(randn(2, 4, 3, rng=rng)).shape == (2, 4, 5)
+
+    def test_no_bias(self, rng):
+        layer = Linear(3, 5, bias=False, rng=rng)
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+    def test_matches_manual_affine(self, rng):
+        layer = Linear(3, 2, rng=rng)
+        x = rng.normal(size=(4, 3))
+        expected = x @ layer.weight.data + layer.bias.data
+        np.testing.assert_allclose(layer(Tensor(x)).data, expected)
+
+    def test_gradients(self, rng):
+        layer = Linear(3, 2, rng=rng)
+        x = randn(4, 3, rng=rng)
+        check_gradients(lambda: layer(x).tanh().sum(), layer.parameters())
+
+
+class TestEmbedding:
+    def test_lookup_shape(self, rng):
+        emb = Embedding(10, 4, rng=rng)
+        out = emb(np.array([[1, 2], [3, 9]]))
+        assert out.shape == (2, 2, 4)
+
+    def test_lookup_values(self, rng):
+        emb = Embedding(10, 4, rng=rng)
+        np.testing.assert_allclose(emb(np.array([3])).data[0], emb.weight.data[3])
+
+    def test_gradient_scatters_to_rows(self, rng):
+        emb = Embedding(5, 3, rng=rng)
+        emb(np.array([1, 1, 4])).sum().backward()
+        grad = emb.weight.grad
+        np.testing.assert_allclose(grad[1], 2.0)
+        np.testing.assert_allclose(grad[4], 1.0)
+        np.testing.assert_allclose(grad[0], 0.0)
+
+
+class TestDropout:
+    def test_invalid_p(self, rng):
+        with pytest.raises(ValueError):
+            Dropout(1.0, rng=rng)
+
+    def test_eval_identity(self, rng):
+        layer = Dropout(0.5, rng=rng)
+        layer.eval()
+        x = randn(5, 5, rng=rng)
+        assert layer(x) is x
+
+    def test_train_scales(self, rng):
+        layer = Dropout(0.5, rng=rng)
+        x = Tensor(np.ones((50, 50)))
+        out = layer(x)
+        values = set(np.unique(out.data))
+        assert values <= {0.0, 2.0}
+
+
+class TestLayerNorm:
+    def test_normalizes_last_axis(self, rng):
+        layer = LayerNorm(6)
+        out = layer(randn(4, 6, rng=rng))
+        np.testing.assert_allclose(out.data.mean(axis=-1), 0.0, atol=1e-8)
+        np.testing.assert_allclose(out.data.std(axis=-1), 1.0, atol=1e-4)
+
+    def test_gradients(self, rng):
+        layer = LayerNorm(4)
+        x = randn(3, 4, rng=rng, requires_grad=True)
+        check_gradients(lambda: layer(x).tanh().sum(), [x] + layer.parameters(), rtol=1e-3)
+
+
+class TestMLP:
+    def test_shapes(self, rng):
+        mlp = MLP([3, 8, 8, 2], rng=rng)
+        assert mlp(randn(5, 3, rng=rng)).shape == (5, 2)
+
+    def test_needs_two_dims(self, rng):
+        with pytest.raises(ValueError):
+            MLP([3], rng=rng)
+
+    def test_out_activation(self, rng):
+        mlp = MLP([3, 4, 2], out_activation="sigmoid", rng=rng)
+        out = mlp(randn(5, 3, rng=rng))
+        assert ((out.data > 0) & (out.data < 1)).all()
+
+
+class TestActivations:
+    def test_unknown_raises(self):
+        with pytest.raises(ValueError):
+            get_activation("swish9000")
+
+    @pytest.mark.parametrize("name", ["relu", "tanh", "sigmoid", "identity", "leaky_relu"])
+    def test_known(self, name, rng):
+        fn = get_activation(name)
+        out = fn(randn(3, rng=rng))
+        assert out.shape == (3,)

@@ -1,0 +1,165 @@
+"""Tests for the Module/Parameter system."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor
+from repro.nn import Linear, Module, ModuleList, Parameter, Sequential
+
+
+class _Toy(Module):
+    def __init__(self, rng):
+        super().__init__()
+        self.weight = Parameter(np.ones((2, 2)))
+        self.child = Linear(2, 2, rng=rng)
+
+    def forward(self, x):
+        return self.child(x @ self.weight)
+
+
+class TestRegistration:
+    def test_parameter_discovered(self, rng):
+        toy = _Toy(rng)
+        names = dict(toy.named_parameters())
+        assert "weight" in names
+        assert "child.weight" in names
+        assert "child.bias" in names
+
+    def test_parameters_list(self, rng):
+        assert len(_Toy(rng).parameters()) == 3
+
+    def test_num_parameters(self, rng):
+        toy = _Toy(rng)
+        assert toy.num_parameters() == 4 + 4 + 2
+
+    def test_modules_iteration(self, rng):
+        toy = _Toy(rng)
+        assert len(list(toy.modules())) == 2
+
+    def test_register_module_dynamic(self, rng):
+        m = Module()
+        m.register_module("dyn", Linear(2, 3, rng=rng))
+        assert any(name.startswith("dyn.") for name, _ in m.named_parameters())
+
+
+class TestModes:
+    def test_train_eval_propagates(self, rng):
+        toy = _Toy(rng)
+        toy.eval()
+        assert not toy.training
+        assert not toy.child.training
+        toy.train()
+        assert toy.child.training
+
+    def test_zero_grad(self, rng):
+        toy = _Toy(rng)
+        out = toy(Tensor(np.ones((1, 2)))).sum()
+        out.backward()
+        assert toy.weight.grad is not None
+        toy.zero_grad()
+        assert all(p.grad is None for p in toy.parameters())
+
+
+class TestStateDict:
+    def test_roundtrip(self, rng):
+        a = _Toy(rng)
+        b = _Toy(np.random.default_rng(999))
+        b.load_state_dict(a.state_dict())
+        for (_, pa), (_, pb) in zip(a.named_parameters(), b.named_parameters()):
+            np.testing.assert_allclose(pa.data, pb.data)
+
+    def test_state_dict_is_a_copy(self, rng):
+        toy = _Toy(rng)
+        state = toy.state_dict()
+        state["weight"][...] = 42.0
+        assert not np.allclose(toy.weight.data, 42.0)
+
+    def test_missing_key_raises(self, rng):
+        toy = _Toy(rng)
+        state = toy.state_dict()
+        del state["weight"]
+        with pytest.raises(KeyError):
+            toy.load_state_dict(state)
+
+    def test_unexpected_key_raises(self, rng):
+        toy = _Toy(rng)
+        state = toy.state_dict()
+        state["ghost"] = np.zeros(1)
+        with pytest.raises(KeyError):
+            toy.load_state_dict(state)
+
+    def test_shape_mismatch_raises(self, rng):
+        toy = _Toy(rng)
+        state = toy.state_dict()
+        state["weight"] = np.zeros((3, 3))
+        with pytest.raises(ValueError):
+            toy.load_state_dict(state)
+
+
+class TestSharedSubmodules:
+    """Regression: a module reachable through two attribute paths (the
+    TGCRN/TagSL shared time encoder) must be counted and stepped once."""
+
+    def _shared(self, rng):
+        inner = Linear(2, 2, rng=rng)
+
+        class Outer(Module):
+            def __init__(self):
+                super().__init__()
+                self.direct = inner
+                self.child = Module()
+                self.child.nested = inner
+
+        return Outer(), inner
+
+    def test_parameters_deduplicated(self, rng):
+        outer, inner = self._shared(rng)
+        assert len(outer.parameters()) == 2  # weight + bias, once
+        assert outer.num_parameters() == inner.num_parameters()
+
+    def test_named_parameters_unique_paths(self, rng):
+        outer, _ = self._shared(rng)
+        names = [n for n, _ in outer.named_parameters()]
+        assert len(names) == len(set(names)) == 2
+
+    def test_modules_visits_shared_child_once(self, rng):
+        outer, inner = self._shared(rng)
+        visited = list(outer.modules())
+        assert sum(1 for m in visited if m is inner) == 1
+
+    def test_optimizer_steps_shared_parameter_once(self, rng):
+        """With duplicates, Adam would apply two updates per step."""
+        from repro.autodiff import Tensor
+        from repro.nn import SGD
+        import numpy as np
+
+        outer, inner = self._shared(rng)
+        opt = SGD(outer.parameters(), lr=1.0)
+        out = outer.direct(Tensor(np.ones((1, 2)))).sum()
+        out.backward()
+        before = inner.weight.data.copy()
+        grad = inner.weight.grad.copy()
+        opt.step()
+        np.testing.assert_allclose(inner.weight.data, before - grad)
+
+
+class TestModuleList:
+    def test_registration_and_access(self, rng):
+        layers = ModuleList([Linear(2, 2, rng=rng), Linear(2, 2, rng=rng)])
+        assert len(layers) == 2
+        assert len(layers.parameters()) == 4
+        assert layers[1] is list(layers)[1]
+
+    def test_append(self, rng):
+        layers = ModuleList()
+        layers.append(Linear(2, 2, rng=rng))
+        assert len(layers) == 1
+        assert len(layers.parameters()) == 2
+
+
+class TestSequential:
+    def test_chains_modules_and_callables(self, rng):
+        seq = Sequential(Linear(3, 4, rng=rng), lambda x: x.relu(), Linear(4, 2, rng=rng))
+        out = seq(Tensor(np.ones((5, 3))))
+        assert out.shape == (5, 2)
+        assert len(seq.parameters()) == 4

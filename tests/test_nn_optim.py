@@ -1,0 +1,103 @@
+"""Tests for optimizers, schedule, and gradient clipping."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor, mse_loss
+from repro.nn import SGD, Adam, AdamW, MultiStepLR, Parameter, clip_grad_norm
+
+
+def _quadratic_minimize(optimizer_factory, steps=300):
+    """Minimize ||w - target||^2; returns final distance."""
+    target = np.array([3.0, -2.0, 0.5])
+    w = Parameter(np.zeros(3))
+    opt = optimizer_factory([w])
+    for _ in range(steps):
+        opt.zero_grad()
+        loss = mse_loss(w, Tensor(target))
+        loss.backward()
+        opt.step()
+    return float(np.abs(w.data - target).max())
+
+
+class TestConvergence:
+    def test_sgd(self):
+        assert _quadratic_minimize(lambda p: SGD(p, lr=0.1)) < 1e-3
+
+    def test_sgd_momentum(self):
+        assert _quadratic_minimize(lambda p: SGD(p, lr=0.05, momentum=0.9)) < 1e-3
+
+    def test_adam(self):
+        assert _quadratic_minimize(lambda p: Adam(p, lr=0.05)) < 1e-3
+
+    def test_adamw(self):
+        assert _quadratic_minimize(lambda p: AdamW(p, lr=0.05, weight_decay=1e-4)) < 1e-2
+
+    def test_empty_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            Adam([], lr=0.1)
+
+
+class TestWeightDecay:
+    def test_sgd_decay_shrinks_weights(self):
+        w = Parameter(np.array([10.0]))
+        opt = SGD([w], lr=0.1, weight_decay=0.5)
+        w.grad = np.zeros(1)
+        opt.step()
+        assert w.data[0] < 10.0
+
+    def test_adamw_decouples_decay(self):
+        """AdamW decays weights even when the gradient is zero."""
+        w = Parameter(np.array([10.0]))
+        opt = AdamW([w], lr=0.1, weight_decay=0.1)
+        w.grad = np.zeros(1)
+        opt.step()
+        assert w.data[0] == pytest.approx(10.0 * (1 - 0.1 * 0.1))
+
+    def test_none_grad_skipped(self):
+        w = Parameter(np.array([1.0]))
+        opt = Adam([w], lr=0.1)
+        opt.step()  # no grad set; should not crash or move
+        assert w.data[0] == 1.0
+
+
+class TestMultiStepLR:
+    def test_paper_schedule(self):
+        w = Parameter(np.zeros(1))
+        opt = Adam([w], lr=1e-3)
+        sched = MultiStepLR(opt, milestones=[5, 20], gamma=0.3)
+        for epoch in range(1, 25):
+            sched.step()
+            if epoch < 5:
+                assert opt.lr == pytest.approx(1e-3)
+            elif epoch < 20:
+                assert opt.lr == pytest.approx(1e-3 * 0.3)
+            else:
+                assert opt.lr == pytest.approx(1e-3 * 0.09)
+
+    def test_current_lr_property(self):
+        w = Parameter(np.zeros(1))
+        opt = Adam([w], lr=1e-2)
+        sched = MultiStepLR(opt, milestones=[1], gamma=0.5)
+        assert sched.current_lr == 1e-2
+        sched.step()
+        assert sched.current_lr == 5e-3
+
+
+class TestClipGradNorm:
+    def test_large_gradient_clipped(self):
+        w = Parameter(np.zeros(4))
+        w.grad = np.full(4, 10.0)
+        norm = clip_grad_norm([w], max_norm=1.0)
+        assert norm == pytest.approx(20.0)
+        assert np.linalg.norm(w.grad) == pytest.approx(1.0)
+
+    def test_small_gradient_untouched(self):
+        w = Parameter(np.zeros(4))
+        w.grad = np.full(4, 0.01)
+        clip_grad_norm([w], max_norm=1.0)
+        np.testing.assert_allclose(w.grad, 0.01)
+
+    def test_none_grads_ignored(self):
+        w = Parameter(np.zeros(4))
+        assert clip_grad_norm([w], max_norm=1.0) == 0.0

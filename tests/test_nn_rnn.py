@@ -1,0 +1,91 @@
+"""Tests for recurrent cells and sequence wrappers."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor, check_gradients, mse_loss, randn, zeros
+from repro.nn import GRU, LSTM, Adam, GRUCell, LSTMCell
+
+
+class TestGRUCell:
+    def test_shape(self, rng):
+        cell = GRUCell(3, 5, rng=rng)
+        h = cell(randn(4, 3, rng=rng), zeros(4, 5))
+        assert h.shape == (4, 5)
+
+    def test_hidden_bounded(self, rng):
+        cell = GRUCell(3, 5, rng=rng)
+        h = zeros(2, 5)
+        for _ in range(20):
+            h = cell(randn(2, 3, rng=rng), h)
+        assert (np.abs(h.data) <= 1.0 + 1e-9).all()
+
+    def test_gradient(self, rng):
+        cell = GRUCell(2, 3, rng=rng)
+        x = randn(2, 2, rng=rng)
+        h0 = randn(2, 3, rng=rng, requires_grad=True)
+        check_gradients(lambda: cell(x, h0).sum(), [h0] + cell.parameters(), rtol=1e-3)
+
+
+class TestLSTMCell:
+    def test_shapes(self, rng):
+        cell = LSTMCell(3, 5, rng=rng)
+        h, c = cell(randn(4, 3, rng=rng), (zeros(4, 5), zeros(4, 5)))
+        assert h.shape == (4, 5)
+        assert c.shape == (4, 5)
+
+    def test_forget_bias_initialized_to_one(self, rng):
+        cell = LSTMCell(3, 5, rng=rng)
+        np.testing.assert_allclose(cell.bias.data[5:10], 1.0)
+
+    def test_gradient(self, rng):
+        cell = LSTMCell(2, 3, rng=rng)
+        x = randn(2, 2, rng=rng)
+        h0 = randn(2, 3, rng=rng, requires_grad=True)
+        c0 = randn(2, 3, rng=rng, requires_grad=True)
+        check_gradients(lambda: cell(x, (h0, c0))[0].sum(), [h0, c0], rtol=1e-3)
+
+
+class TestSequenceWrappers:
+    @pytest.mark.parametrize("cls", [GRU, LSTM])
+    def test_output_shapes(self, cls, rng):
+        net = cls(3, 6, num_layers=2, rng=rng)
+        out, state = net(randn(4, 7, 3, rng=rng))
+        assert out.shape == (4, 7, 6)
+
+    def test_gru_state_continuity(self, rng):
+        """Running 2 steps at once equals running 1+1 with carried state."""
+        net = GRU(2, 4, rng=rng)
+        x = randn(3, 2, 2, rng=rng)
+        full, _ = net(x)
+        first, state = net(x[:, 0:1, :])
+        second, _ = net(x[:, 1:2, :], state)
+        np.testing.assert_allclose(full.data[:, 1], second.data[:, 0], atol=1e-10)
+
+    def test_lstm_state_continuity(self, rng):
+        net = LSTM(2, 4, rng=rng)
+        x = randn(3, 2, 2, rng=rng)
+        full, _ = net(x)
+        _, state = net(x[:, 0:1, :])
+        second, _ = net(x[:, 1:2, :], state)
+        np.testing.assert_allclose(full.data[:, 1], second.data[:, 0], atol=1e-10)
+
+    def test_lstm_learns_to_remember_first_input(self, rng):
+        """Convergence check: recall x[0] after 5 steps of noise."""
+        net = LSTM(1, 16, rng=rng)
+        from repro.nn import Linear
+
+        head = Linear(16, 1, rng=rng)
+        params = net.parameters() + head.parameters()
+        opt = Adam(params, lr=0.01)
+        losses = []
+        for step in range(150):
+            x = rng.normal(size=(16, 6, 1))
+            target = x[:, 0, :]
+            opt.zero_grad()
+            out, _ = net(Tensor(x))
+            loss = mse_loss(head(out[:, -1, :]), Tensor(target))
+            loss.backward()
+            opt.step()
+            losses.append(loss.item())
+        assert np.mean(losses[-10:]) < 0.5 * np.mean(losses[:10])

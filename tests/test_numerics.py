@@ -1,0 +1,95 @@
+"""Numerical-behavior tests: optimizer math, positional encodings, and
+stability under extreme values."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor, softmax
+from repro.nn import Adam, Parameter
+
+
+class TestAdamMath:
+    def test_first_step_is_signed_lr(self):
+        """After bias correction, Adam's first update is
+        lr * g / (|g| + eps) ≈ lr * sign(g)."""
+        w = Parameter(np.array([1.0, -2.0, 3.0]))
+        opt = Adam([w], lr=0.1)
+        w.grad = np.array([5.0, -0.01, 2.0])
+        before = w.data.copy()
+        opt.step()
+        update = before - w.data
+        np.testing.assert_allclose(update, 0.1 * np.sign(w.grad), rtol=1e-4)
+
+    def test_step_count_advances(self):
+        w = Parameter(np.zeros(1))
+        opt = Adam([w], lr=0.1)
+        w.grad = np.ones(1)
+        opt.step()
+        opt.step()
+        assert opt._step_count == 2
+
+    def test_l2_penalty_pulls_toward_zero_with_zero_grad(self):
+        w = Parameter(np.array([10.0]))
+        opt = Adam([w], lr=0.1, weight_decay=1.0)
+        w.grad = np.zeros(1)
+        opt.step()
+        assert w.data[0] < 10.0
+
+
+class TestPositionalEncoding:
+    def test_even_dim(self):
+        from repro.baselines.transformers import _positional_encoding
+
+        table = _positional_encoding(10, 8)
+        assert table.shape == (10, 8)
+        np.testing.assert_allclose(table[0, 0::2], 0.0)  # sin(0)
+        np.testing.assert_allclose(table[0, 1::2], 1.0)  # cos(0)
+
+    def test_odd_dim(self):
+        from repro.baselines.transformers import _positional_encoding
+
+        table = _positional_encoding(5, 7)
+        assert table.shape == (5, 7)
+        assert np.isfinite(table).all()
+
+    def test_positions_distinguishable(self):
+        from repro.baselines.transformers import _positional_encoding
+
+        table = _positional_encoding(20, 16)
+        for i in range(19):
+            assert not np.allclose(table[i], table[i + 1])
+
+
+class TestStability:
+    def test_softmax_huge_spread(self):
+        x = Tensor(np.array([[1e8, -1e8, 0.0]]))
+        out = softmax(x).data
+        assert np.isfinite(out).all()
+        assert out[0, 0] == pytest.approx(1.0)
+
+    def test_sigmoid_saturation_gradients_finite(self):
+        x = Tensor(np.array([700.0, -700.0]), requires_grad=True)
+        x.sigmoid().sum().backward()
+        assert np.isfinite(x.grad).all()
+
+    def test_log_of_tiny_values(self):
+        x = Tensor(np.array([1e-300]), requires_grad=True)
+        out = x.log()
+        assert np.isfinite(out.data).all()
+        out.sum().backward()
+        assert np.isfinite(x.grad).all()
+
+    def test_graph_normalization_of_zero_matrix(self):
+        from repro.graph import random_walk, sym_laplacian
+
+        zero = Tensor(np.zeros((4, 4)))
+        assert np.isfinite(random_walk(zero).data).all()
+        assert np.isfinite(sym_laplacian(zero, add_self_loops=False).data).all()
+
+    def test_scaler_with_extreme_magnitudes(self):
+        from repro.data import StandardScaler
+
+        values = np.array([[[1e12]], [[1e12 + 1e6]]])
+        scaler = StandardScaler().fit(values)
+        restored = scaler.inverse_transform(scaler.transform(values))
+        np.testing.assert_allclose(restored, values, rtol=1e-9)

@@ -1,0 +1,95 @@
+"""Tests for checkpoint and optimizer-state persistence."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor, mse_loss
+from repro.nn import (
+    Adam,
+    Linear,
+    load_checkpoint,
+    load_optimizer,
+    save_checkpoint,
+    save_optimizer,
+)
+
+
+def _model(seed=0):
+    return Linear(3, 2, rng=np.random.default_rng(seed))
+
+
+class TestCheckpoint:
+    def test_roundtrip(self, tmp_path):
+        a = _model(0)
+        b = _model(1)
+        save_checkpoint(tmp_path / "ck.npz", a, metadata={"epoch": 7})
+        meta = load_checkpoint(tmp_path / "ck.npz", b)
+        assert meta == {"epoch": 7}
+        np.testing.assert_allclose(a.weight.data, b.weight.data)
+        np.testing.assert_allclose(a.bias.data, b.bias.data)
+
+    def test_empty_metadata(self, tmp_path):
+        a = _model()
+        save_checkpoint(tmp_path / "ck.npz", a)
+        assert load_checkpoint(tmp_path / "ck.npz", _model(1)) == {}
+
+    def test_shape_mismatch_rejected(self, tmp_path):
+        save_checkpoint(tmp_path / "ck.npz", _model())
+        wrong = Linear(4, 2, rng=np.random.default_rng(0))
+        with pytest.raises((KeyError, ValueError)):
+            load_checkpoint(tmp_path / "ck.npz", wrong)
+
+    def test_full_model_checkpoint_preserves_predictions(self, tmp_path):
+        from repro.core import TGCRN
+
+        kwargs = dict(num_nodes=4, in_dim=2, out_dim=2, horizon=2, hidden_dim=6,
+                      num_layers=1, node_dim=4, time_dim=4, steps_per_day=24)
+        a = TGCRN(**kwargs, rng=np.random.default_rng(0))
+        b = TGCRN(**kwargs, rng=np.random.default_rng(99))
+        save_checkpoint(tmp_path / "tgcrn.npz", a)
+        load_checkpoint(tmp_path / "tgcrn.npz", b)
+        x = Tensor(np.random.default_rng(1).normal(size=(2, 3, 4, 2)))
+        t = np.arange(5)[None, :].repeat(2, axis=0)
+        np.testing.assert_allclose(a(x, t).data, b(x, t).data, atol=1e-12)
+
+
+class TestOptimizerState:
+    def _train_steps(self, model, opt, steps, seed=0):
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=(8, 3))
+        y = rng.normal(size=(8, 2))
+        for _ in range(steps):
+            opt.zero_grad()
+            loss = mse_loss(model(Tensor(x)), Tensor(y))
+            loss.backward()
+            opt.step()
+
+    def test_resume_matches_uninterrupted_run(self, tmp_path):
+        """train 5 then (save, load, train 5) == train 10 straight."""
+        straight = _model(0)
+        opt_straight = Adam(straight.parameters(), lr=0.05)
+        self._train_steps(straight, opt_straight, 10)
+
+        resumed = _model(0)
+        opt_resumed = Adam(resumed.parameters(), lr=0.05)
+        self._train_steps(resumed, opt_resumed, 5)
+        save_checkpoint(tmp_path / "m.npz", resumed)
+        save_optimizer(tmp_path / "o.npz", opt_resumed)
+
+        fresh = _model(3)
+        opt_fresh = Adam(fresh.parameters(), lr=0.05)
+        load_checkpoint(tmp_path / "m.npz", fresh)
+        load_optimizer(tmp_path / "o.npz", opt_fresh)
+        self._train_steps(fresh, opt_fresh, 5)
+
+        np.testing.assert_allclose(fresh.weight.data, straight.weight.data, atol=1e-12)
+
+    def test_optimizer_shape_mismatch(self, tmp_path):
+        model = _model()
+        opt = Adam(model.parameters(), lr=0.05)
+        self._train_steps(model, opt, 1)
+        save_optimizer(tmp_path / "o.npz", opt)
+        other = Linear(4, 2, rng=np.random.default_rng(0))
+        opt_other = Adam(other.parameters(), lr=0.05)
+        with pytest.raises(ValueError):
+            load_optimizer(tmp_path / "o.npz", opt_other)

@@ -1,0 +1,50 @@
+"""Tests for the dataset split protocol (paper §IV-A-1 partitions)."""
+
+import numpy as np
+import pytest
+
+from repro.data import load_task
+from repro.data.datasets import SPECS, _split_fractions
+
+
+class TestSplitFractions:
+    def test_hzmetro_day_counts(self):
+        """Paper re-split: Jan 1-19 train / Jan 20-21 val / rest test."""
+        train, val = _split_fractions(SPECS["hzmetro"], days=25)
+        assert train == pytest.approx(19 / 25)
+        assert val == pytest.approx(2 / 25)
+
+    def test_fraction_specs_pass_through(self):
+        train, val = _split_fractions(SPECS["nyc_bike"], days=28)
+        assert train == pytest.approx(0.7)
+        assert val == pytest.approx(0.15)
+
+    def test_shmetro_62_9_20(self):
+        train, val = _split_fractions(SPECS["shmetro"], days=92)
+        assert train == pytest.approx(62 / 91)
+        assert val == pytest.approx(9 / 91)
+
+
+class TestSplitRealization:
+    def test_hzmetro_split_proportions(self):
+        task = load_task("hzmetro", num_nodes=6, seed=0)  # full 25-day calendar
+        steps = task.dataset.num_steps
+        train_steps = task.train.time_indices[-1, -1] + 1
+        assert train_steps / steps == pytest.approx(19 / 25, abs=0.02)
+
+    def test_no_window_straddles_split_boundaries(self):
+        """Day-exact splitting windows each segment separately, so no
+        training window may contain validation-period steps."""
+        task = load_task("hzmetro", num_nodes=6, num_days=10, seed=0)
+        train_max = task.train.time_indices.max()
+        val_min = task.val.time_indices.min()
+        assert train_max < val_min
+
+    def test_window_counts_account_for_boundary_loss(self):
+        """Each segment loses P+Q-1 windows relative to naive sliding."""
+        task = load_task("hzmetro", num_nodes=6, num_days=10, seed=0)
+        span = task.history + task.horizon
+        total_steps = task.dataset.num_steps
+        total_windows = len(task.train) + len(task.val) + len(task.test)
+        naive = total_steps - span + 1
+        assert total_windows == naive - 2 * (span - 1)

@@ -1,0 +1,151 @@
+"""Tests for the Trainer, experiment runner, and table formatting."""
+
+import numpy as np
+import pytest
+
+from repro.core import TGCRN
+from repro.training import (
+    ExperimentResult,
+    Trainer,
+    TrainingConfig,
+    default_tgcrn_kwargs,
+    format_ablation_table,
+    format_cost_table,
+    format_demand_table,
+    format_electricity_table,
+    format_metro_table,
+    format_relative_series,
+    run_experiment,
+)
+
+
+def _small_model(task, seed=0, **overrides):
+    kwargs = default_tgcrn_kwargs(task, hidden_dim=8, node_dim=6, time_dim=4, num_layers=1)
+    kwargs.update(overrides)
+    return TGCRN(**kwargs, rng=np.random.default_rng(seed))
+
+
+class TestTrainer:
+    def test_fit_reduces_training_loss(self, tiny_task):
+        model = _small_model(tiny_task)
+        history = Trainer(TrainingConfig(epochs=3, batch_size=32)).fit(model, tiny_task)
+        assert history.train_losses[-1] < history.train_losses[0]
+        assert history.epochs_run == 3
+        assert len(history.epoch_seconds) == 3
+
+    def test_early_stopping_fires(self, tiny_task):
+        model = _small_model(tiny_task)
+        config = TrainingConfig(epochs=50, patience=1, lr=0.0, batch_size=64)
+        history = Trainer(config).fit(model, tiny_task)
+        assert history.stopped_early
+        assert history.epochs_run < 50
+
+    def test_best_weights_restored(self, tiny_task):
+        """After fit, validation MAE must equal the recorded best."""
+        model = _small_model(tiny_task)
+        trainer = Trainer(TrainingConfig(epochs=3, batch_size=32))
+        history = trainer.fit(model, tiny_task)
+        assert trainer.validate(model, tiny_task) == pytest.approx(history.best_val_mae, rel=1e-6)
+
+    def test_tdl_only_for_discrete_embedding(self, tiny_task):
+        trainer = Trainer(TrainingConfig())
+        rng = np.random.default_rng(0)
+        discrete = _small_model(tiny_task)
+        t2v = _small_model(tiny_task, time_encoder_kind="time2vec")
+        assert trainer._make_discrepancy(discrete, tiny_task, rng, None) is not None
+        assert trainer._make_discrepancy(t2v, tiny_task, rng, None) is None
+        assert trainer._make_discrepancy(discrete, tiny_task, rng, False) is None
+
+    def test_predict_returns_original_units(self, tiny_task):
+        model = _small_model(tiny_task)
+        trainer = Trainer(TrainingConfig(epochs=1, batch_size=64))
+        trainer.fit(model, tiny_task)
+        pred, target = trainer.predict(model, tiny_task, "test")
+        raw = tiny_task.inverse_targets(tiny_task.test.targets)
+        np.testing.assert_allclose(target, raw, atol=1e-9)
+        assert pred.shape == target.shape
+
+    def test_lambda_time_changes_optimization(self, tiny_task):
+        """λ > 0 must alter the learned time table versus λ = 0."""
+        cfg_on = TrainingConfig(epochs=1, batch_size=64, lambda_time=0.5, seed=0)
+        cfg_off = TrainingConfig(epochs=1, batch_size=64, lambda_time=0.0, seed=0)
+        m_on = _small_model(tiny_task, seed=0)
+        m_off = _small_model(tiny_task, seed=0)
+        Trainer(cfg_on).fit(m_on, tiny_task)
+        Trainer(cfg_off).fit(m_off, tiny_task)
+        assert not np.allclose(m_on.time_encoder.weight.data, m_off.time_encoder.weight.data)
+
+
+class TestRunExperiment:
+    def test_statistical_model(self, tiny_task):
+        result = run_experiment("ha", tiny_task)
+        assert result.num_parameters == 0
+        assert len(result.per_horizon) == tiny_task.horizon
+
+    def test_neural_baseline(self, tiny_task):
+        cfg = TrainingConfig(epochs=1, batch_size=64)
+        result = run_experiment("fclstm", tiny_task, cfg, hidden_dim=8, num_layers=1)
+        assert result.num_parameters > 0
+        assert result.seconds_per_epoch > 0
+        assert result.epochs_run == 1
+
+    def test_tgcrn_variant(self, tiny_task):
+        cfg = TrainingConfig(epochs=1, batch_size=64)
+        result = run_experiment(
+            "wo_pdf", tiny_task, cfg, hidden_dim=8,
+            model_kwargs=dict(node_dim=4, time_dim=4, num_layers=1),
+        )
+        assert result.model_name == "wo_pdf"
+
+    def test_unknown_model(self, tiny_task):
+        with pytest.raises(ValueError):
+            run_experiment("hypergraphormer", tiny_task)
+
+    def test_keep_model(self, tiny_task):
+        result = run_experiment("ha", tiny_task, keep_model=True)
+        assert result.model is not None
+
+    def test_horizon_metric_accessor(self, tiny_task):
+        result = run_experiment("ha", tiny_task)
+        maes = result.horizon_metric("mae")
+        assert len(maes) == tiny_task.horizon
+        assert all(m >= 0 for m in maes)
+
+
+class TestTables:
+    def _result(self, name="m", horizons=2):
+        from repro.metrics import MetricReport
+
+        report = MetricReport(mae=1.0, mse=4.0, rmse=2.0, mape=10.0, pcc=0.9)
+        return ExperimentResult(
+            model_name=name, dataset="d", overall=report,
+            per_horizon=[report] * horizons, num_parameters=123,
+            seconds_per_epoch=0.5, epochs_run=3,
+        )
+
+    def test_metro_table(self):
+        out = format_metro_table([self._result("tgcrn")], interval_minutes=15)
+        assert "tgcrn" in out and "15 min" in out and "30 min" in out
+
+    def test_metro_table_empty(self):
+        assert format_metro_table([]) == "(no results)"
+
+    def test_demand_table(self):
+        out = format_demand_table([self._result()])
+        assert "PCC" in out and "0.9" in out
+
+    def test_electricity_table(self):
+        out = format_electricity_table([self._result()])
+        assert "MSE" in out and "4.0" in out
+
+    def test_ablation_table(self):
+        out = format_ablation_table([self._result("wo_tdl")])
+        assert "wo_tdl" in out
+
+    def test_cost_table(self):
+        out = format_cost_table([("TGCRN (64,32)", 16675299, 10.14)])
+        assert "16,675,299" in out
+
+    def test_relative_series(self):
+        line = format_relative_series("tgcrn", [1.0, 2.0], [2.0, 2.0])
+        assert "0.500" in line and "1.000" in line

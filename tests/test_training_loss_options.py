@@ -1,0 +1,54 @@
+"""Tests for the configurable error criterion of Eq. 17."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor
+from repro.core import TGCRN
+from repro.training import Trainer, TrainingConfig, default_tgcrn_kwargs
+
+
+class TestErrorLoss:
+    def test_mae_is_default(self):
+        cfg = TrainingConfig()
+        pred = Tensor(np.array([1.0, 3.0]))
+        target = Tensor(np.array([0.0, 0.0]))
+        assert cfg.error_loss(pred, target).item() == pytest.approx(2.0)
+
+    def test_mse(self):
+        cfg = TrainingConfig(loss="mse")
+        pred = Tensor(np.array([1.0, 3.0]))
+        target = Tensor(np.array([0.0, 0.0]))
+        assert cfg.error_loss(pred, target).item() == pytest.approx(5.0)
+
+    def test_huber(self):
+        cfg = TrainingConfig(loss="huber")
+        pred = Tensor(np.array([0.5]))
+        target = Tensor(np.array([0.0]))
+        assert cfg.error_loss(pred, target).item() == pytest.approx(0.125)
+
+    def test_unknown_loss(self):
+        cfg = TrainingConfig(loss="quantile")
+        with pytest.raises(ValueError):
+            cfg.error_loss(Tensor(np.zeros(2)), Tensor(np.zeros(2)))
+
+    @pytest.mark.parametrize("loss", ["mae", "mse", "huber"])
+    def test_training_runs_under_each_criterion(self, tiny_task, loss):
+        model = TGCRN(
+            **default_tgcrn_kwargs(tiny_task, hidden_dim=8, node_dim=4, time_dim=4, num_layers=1),
+            rng=np.random.default_rng(0),
+        )
+        cfg = TrainingConfig(epochs=1, batch_size=64, loss=loss)
+        history = Trainer(cfg).fit(model, tiny_task)
+        assert np.isfinite(history.train_losses[0])
+
+    def test_different_losses_learn_different_weights(self, tiny_task):
+        def train(loss):
+            model = TGCRN(
+                **default_tgcrn_kwargs(tiny_task, hidden_dim=8, node_dim=4, time_dim=4, num_layers=1),
+                rng=np.random.default_rng(0),
+            )
+            Trainer(TrainingConfig(epochs=1, batch_size=64, loss=loss, seed=0)).fit(model, tiny_task)
+            return model.tagsl.node_embedding.data.copy()
+
+        assert not np.allclose(train("mae"), train("mse"))

@@ -1,0 +1,92 @@
+"""Tests for the hyper-parameter search module."""
+
+import numpy as np
+import pytest
+
+from repro.training import TrainingConfig
+from repro.tuning import SearchReport, grid_candidates, random_candidates, search
+
+
+class TestCandidateGeneration:
+    def test_grid_is_cartesian_product(self):
+        space = {"a": [1, 2], "b": ["x", "y", "z"]}
+        candidates = grid_candidates(space)
+        assert len(candidates) == 6
+        assert {"a": 2, "b": "y"} in candidates
+
+    def test_grid_empty_space(self):
+        assert grid_candidates({}) == [{}]
+
+    def test_grid_is_deterministic(self):
+        space = {"b": [1, 2], "a": [3]}
+        assert grid_candidates(space) == grid_candidates(space)
+
+    def test_random_samples_from_lists(self):
+        rng = np.random.default_rng(0)
+        space = {"a": [1, 2, 3], "b": [10]}
+        candidates = random_candidates(space, 20, rng)
+        assert len(candidates) == 20
+        assert all(c["a"] in (1, 2, 3) and c["b"] == 10 for c in candidates)
+
+    def test_random_is_seeded(self):
+        space = {"a": list(range(100))}
+        a = random_candidates(space, 5, np.random.default_rng(7))
+        b = random_candidates(space, 5, np.random.default_rng(7))
+        assert a == b
+
+
+class TestSearch:
+    def test_unknown_strategy(self, tiny_task):
+        with pytest.raises(ValueError):
+            search(tiny_task, {}, strategy="bayesian")
+
+    def test_empty_report_has_no_best(self):
+        with pytest.raises(ValueError):
+            SearchReport().best
+
+    def test_grid_search_ranks_by_val_mae(self, tiny_task):
+        report = search(
+            tiny_task,
+            {"node_dim": [2, 4]},
+            base_config=TrainingConfig(epochs=1, batch_size=64),
+            base_model_kwargs={"time_dim": 4, "num_layers": 1},
+            hidden_dim=8,
+        )
+        assert len(report.trials) == 2
+        assert report.best.val_mae == min(t.val_mae for t in report.trials)
+        assert "node_dim" in report.table()
+
+    def test_training_keys_route_to_config(self, tiny_task):
+        report = search(
+            tiny_task,
+            {"lambda_time": [0.0, 0.2]},
+            base_config=TrainingConfig(epochs=1, batch_size=64),
+            base_model_kwargs={"node_dim": 4, "time_dim": 4, "num_layers": 1},
+            hidden_dim=8,
+        )
+        assert len(report.trials) == 2
+        # Both trials trained the same architecture (params only differ in λ).
+        counts = {t.result.num_parameters for t in report.trials}
+        assert len(counts) == 1
+
+    def test_random_search_trial_count(self, tiny_task):
+        report = search(
+            tiny_task,
+            {"node_dim": [2, 4, 6]},
+            strategy="random",
+            num_samples=3,
+            base_config=TrainingConfig(epochs=1, batch_size=64),
+            base_model_kwargs={"time_dim": 4, "num_layers": 1},
+            hidden_dim=8,
+        )
+        assert len(report.trials) == 3
+
+    def test_search_over_baseline(self, tiny_task):
+        report = search(
+            tiny_task,
+            {},
+            model_name="fclstm",
+            base_config=TrainingConfig(epochs=1, batch_size=64),
+            hidden_dim=8,
+        )
+        assert report.best.result.model_name == "fclstm"

@@ -1,0 +1,108 @@
+"""Tests for t-SNE and heat-map utilities (Figs. 11-12 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.viz import (
+    joint_probabilities,
+    matrix_correlation,
+    ordering_score,
+    render_heatmap,
+    side_by_side,
+    tsne,
+)
+
+
+class TestJointProbabilities:
+    def test_symmetric_and_normalized(self, rng):
+        x = rng.normal(size=(20, 5))
+        p = joint_probabilities(x, perplexity=5)
+        np.testing.assert_allclose(p, p.T, atol=1e-12)
+        assert p.sum() == pytest.approx(1.0, abs=1e-9)
+        assert (p > 0).all()
+
+    def test_close_points_get_higher_probability(self):
+        x = np.array([[0.0], [0.1], [10.0]])
+        p = joint_probabilities(x, perplexity=1.5)
+        assert p[0, 1] > p[0, 2]
+
+
+class TestTSNE:
+    def test_output_shape(self, rng):
+        x = rng.normal(size=(15, 6))
+        y = tsne(x, dim=2, iterations=60, seed=0)
+        assert y.shape == (15, 2)
+        assert np.isfinite(y).all()
+
+    def test_needs_three_points(self):
+        with pytest.raises(ValueError):
+            tsne(np.zeros((2, 3)))
+
+    def test_separates_two_clusters(self, rng):
+        a = rng.normal(size=(10, 4))
+        b = rng.normal(size=(10, 4)) + 30.0
+        y = tsne(np.vstack([a, b]), iterations=250, seed=1)
+        centroid_gap = np.linalg.norm(y[:10].mean(0) - y[10:].mean(0))
+        within = max(y[:10].std(), y[10:].std())
+        assert centroid_gap > 2.0 * within
+
+    def test_line_manifold_stays_ordered(self):
+        """Points on a 1-D manifold must keep (coarse) sequential order —
+        exactly Fig. 12b's property for TDL-trained time embeddings."""
+        t = np.linspace(0, 4, 40)
+        x = np.stack([t, 2 * t + 0.01 * np.sin(t)], axis=1)
+        y = tsne(x, iterations=300, seed=2)
+        assert ordering_score(y) > 0.9
+
+
+class TestOrderingScore:
+    def test_perfect_line(self):
+        points = np.stack([np.arange(20.0), np.zeros(20)], axis=1)
+        assert ordering_score(points) == pytest.approx(1.0)
+
+    def test_random_is_low(self, rng):
+        points = rng.normal(size=(50, 2))
+        assert ordering_score(points) < 0.6
+
+
+class TestHeatmap:
+    def test_render_contains_rows(self):
+        out = render_heatmap(np.eye(3), labels=["a", "b", "c"], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert len(lines) == 4
+        assert lines[1].strip().startswith("a")
+
+    def test_constant_matrix_safe(self):
+        out = render_heatmap(np.ones((2, 2)))
+        assert len(out.splitlines()) == 2
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            render_heatmap(np.zeros(3))
+
+    def test_side_by_side_width(self):
+        left = render_heatmap(np.eye(2))
+        right = render_heatmap(np.eye(2))
+        combined = side_by_side(left, right)
+        assert len(combined.splitlines()) == 2
+
+
+class TestMatrixCorrelation:
+    def test_identical_matrices(self, rng):
+        m = rng.normal(size=(5, 5))
+        assert matrix_correlation(m, m) == pytest.approx(1.0)
+
+    def test_negated(self, rng):
+        m = rng.normal(size=(5, 5))
+        assert matrix_correlation(m, -m) == pytest.approx(-1.0)
+
+    def test_diagonal_excluded(self):
+        a = np.eye(4)
+        b = 5 * np.eye(4)
+        # Off-diagonal entries are all zero -> zero variance -> score 0.
+        assert matrix_correlation(a, b) == 0.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            matrix_correlation(np.zeros((2, 2)), np.zeros((3, 3)))
