@@ -18,17 +18,33 @@ def numerical_gradient(
     parameter: Tensor,
     epsilon: float = 1e-6,
 ) -> np.ndarray:
-    """Central finite-difference gradient of scalar ``fn()`` w.r.t. ``parameter``."""
+    """Central finite-difference gradient of scalar ``fn()`` w.r.t. ``parameter``.
+
+    The parameter payload is perturbed in place and restored under
+    ``try/finally``, so an exception raised by ``fn`` mid-sweep cannot leave
+    the parameter corrupted.  Only floating-point parameters are accepted —
+    perturbing an integer payload by ``epsilon`` silently rounds to a no-op
+    and would report a spurious zero gradient.
+    """
+    if not np.issubdtype(parameter.data.dtype, np.floating):
+        raise TypeError(
+            f"numerical_gradient requires a floating-point parameter, "
+            f"got dtype {parameter.data.dtype}"
+        )
     grad = np.zeros_like(parameter.data)
-    flat = parameter.data.reshape(-1)
     grad_flat = grad.reshape(-1)
-    for i in range(flat.size):
+    # ``.flat`` indexes the original buffer regardless of memory layout
+    # (``reshape(-1)`` can silently return a copy for non-contiguous data).
+    flat = parameter.data.flat
+    for i in range(parameter.data.size):
         original = flat[i]
-        flat[i] = original + epsilon
-        plus = fn().item()
-        flat[i] = original - epsilon
-        minus = fn().item()
-        flat[i] = original
+        try:
+            flat[i] = original + epsilon
+            plus = fn().item()
+            flat[i] = original - epsilon
+            minus = fn().item()
+        finally:
+            flat[i] = original
         grad_flat[i] = (plus - minus) / (2.0 * epsilon)
     return grad
 

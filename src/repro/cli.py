@@ -1,4 +1,4 @@
-"""Command-line interface: train, evaluate, compare, and inspect.
+"""Command-line interface: train, evaluate, compare, inspect, and verify.
 
 Usage::
 
@@ -6,6 +6,7 @@ Usage::
     python -m repro.cli compare --dataset hzmetro --models ha,agcrn,tgcrn
     python -m repro.cli inspect --dataset hzmetro
     python -m repro.cli evaluate --dataset hzmetro --checkpoint model.npz
+    python -m repro.cli verify              # correctness harness outside pytest
 
 Every command accepts ``--nodes/--days/--seed`` to control the synthetic
 dataset scale, so quick experiments stay quick.
@@ -171,6 +172,70 @@ def cmd_experiments(args) -> int:
     return 0
 
 
+def cmd_verify(args) -> int:
+    """Run the repro.verify harness: cross-checks, gradient oracle, golden trace."""
+    from pathlib import Path
+
+    from .autodiff import Tensor, mae_loss
+    from .verify import (
+        check_module_gradients,
+        compare_traces,
+        load_trace,
+        named_rng,
+        run_all,
+        run_golden_trace,
+        save_trace,
+    )
+
+    failures = 0
+
+    print("reference-vs-production cross-checks:")
+    for result in run_all(seed=args.seed):
+        print(f"  {result}")
+        failures += 0 if result.passed else 1
+
+    print("\ngradient oracle (tiny TGCRN, sampled coordinates):")
+    rng = named_rng(args.seed, "cli-verify-oracle")
+    model = TGCRN(
+        num_nodes=3, in_dim=1, out_dim=1, horizon=2, hidden_dim=3, num_layers=1,
+        node_dim=3, time_dim=3, steps_per_day=8, rng=rng,
+    )
+    x = Tensor(rng.normal(size=(2, 3, 3, 1)))
+    t = np.arange(5)[None, :].repeat(2, axis=0)
+    y = Tensor(rng.normal(size=(2, 2, 3, 1)))
+    report = check_module_gradients(
+        model,
+        lambda: mae_loss(model(x, t), y),
+        max_coords_per_param=args.sample if args.sample > 0 else None,
+        rng=np.random.default_rng(args.seed),
+    )
+    for line in str(report).splitlines():
+        print(f"  {line}")
+    failures += 0 if report.passed else 1
+
+    golden_path = Path(args.golden)
+    if args.update_golden:
+        trace = run_golden_trace()
+        golden_path.parent.mkdir(parents=True, exist_ok=True)
+        save_trace(golden_path, trace)
+        print(f"\ngolden trace regenerated at {golden_path}")
+    elif golden_path.exists():
+        print(f"\ngolden trace ({golden_path}):")
+        problems = compare_traces(run_golden_trace(), load_trace(golden_path))
+        if problems:
+            failures += 1
+            for problem in problems:
+                print(f"  FAIL {problem}")
+        else:
+            print("  ok   loss curve matches the committed fixture")
+    else:
+        print(f"\ngolden trace: fixture {golden_path} not found, skipping "
+              "(regenerate with --update-golden)")
+
+    print(f"\nverify: {'FAILED' if failures else 'PASSED'}")
+    return 1 if failures else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -209,6 +274,21 @@ def build_parser() -> argparse.ArgumentParser:
     experiments.add_argument("--smoke", action="store_true",
                              help="run at smoke-test scale (1 epoch, 6 nodes)")
     experiments.set_defaults(fn=cmd_experiments)
+
+    verify = sub.add_parser(
+        "verify",
+        help="run the correctness harness (reference cross-checks, gradient "
+             "oracle, golden trace) outside pytest",
+    )
+    verify.add_argument("--seed", type=int, default=0)
+    verify.add_argument("--sample", type=int, default=8,
+                        help="finite-difference coordinates per parameter "
+                             "(0 = exhaustive)")
+    verify.add_argument("--golden", default="tests/golden/tiny_tgcrn_loss.json",
+                        help="golden loss-curve fixture to compare against")
+    verify.add_argument("--update-golden", action="store_true",
+                        help="regenerate the golden fixture instead of comparing")
+    verify.set_defaults(fn=cmd_verify)
     return parser
 
 

@@ -4,6 +4,10 @@ The regularizer pushes the *ratio* of embedding-space distance to
 time-domain distance to be equal across adjacent, mid-distance, and
 distant sample pairs, which makes embedding similarity proportional to
 temporal proximity (the property visualized in Fig. 12).
+
+Any optimization of this path must keep
+``repro.verify.crosscheck.check_discrepancy_loss`` green — the loss is
+diffed against a naive loop-based rendition of Eq. 3–5.
 """
 
 from __future__ import annotations

@@ -6,6 +6,10 @@ instead of a full per-node tensor ``W ∈ R^{N×C_in×C_out}`` the cell learns
 a small pool ``W̃ ∈ R^{d_E×C_in×C_out}`` combined through the blended
 embedding ``Ê^t = [E_ν ; E_{τ,t}]`` (Eq. 12), i.e. ``W = Ê^t W̃`` — the
 matrix decomposition the paper uses to control the parameter scale.
+
+Any optimization of this path must keep
+``repro.verify.crosscheck.check_gcgru`` green — the cell is diffed
+elementwise against a naive loop-based rendition of Eq. 13–16.
 """
 
 from __future__ import annotations

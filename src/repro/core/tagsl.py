@@ -14,6 +14,10 @@ Ablation flags reproduce the Table VII variants: ``use_trend=False`` drops
 Eq. 7, ``use_pdf=False`` drops the periodic factor, and
 ``static_only=True`` degenerates to AGCRN's self-learning graph
 (the *w/o tagsl* row).
+
+Any optimization of this path must keep
+``repro.verify.crosscheck.check_tagsl`` green — the forward is diffed
+elementwise against a naive loop-based rendition of Eq. 6–9.
 """
 
 from __future__ import annotations

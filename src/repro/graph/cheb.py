@@ -35,7 +35,12 @@ def chebyshev_supports(normalized: Tensor, order: int = 2) -> list[Tensor]:
 
     ``normalized`` is an already-normalized (scaled) adjacency/Laplacian.
     ``order`` counts the matrices returned (order=2 → [I, L]).
+
+    Cross-checked against the loop-based recurrence in
+    ``repro.verify.reference.chebyshev_supports_reference``.
     """
+    if order < 1:
+        raise ValueError(f"order must be >= 1, got {order}")
     normalized = ensure_tensor(normalized)
     n = normalized.shape[-1]
     identity = Tensor(np.eye(n))

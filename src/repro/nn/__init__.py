@@ -6,7 +6,7 @@ from .rnn import GRU, LSTM, GRUCell, LSTMCell
 from .conv import Conv1d, GatedTCNBlock
 from .attention import MultiHeadAttention, TransformerBlock, causal_mask, scaled_dot_product_attention
 from .optim import SGD, Adam, AdamW, MultiStepLR, Optimizer, clip_grad_norm
-from .serialization import load_checkpoint, load_optimizer, save_checkpoint, save_optimizer
+from .serialization import load_checkpoint, load_optimizer, save_checkpoint, save_optimizer, state_hash
 from . import init
 
 __all__ = [
@@ -41,4 +41,5 @@ __all__ = [
     "save_checkpoint",
     "save_optimizer",
     "scaled_dot_product_attention",
+    "state_hash",
 ]

@@ -1,0 +1,60 @@
+"""Verification subsystem: reference implementations, gradient oracle,
+determinism harness.
+
+Three pillars keep the reproduction honest as the stack gets optimized:
+
+* :mod:`~repro.verify.reference` + :mod:`~repro.verify.crosscheck` — naive
+  loop-based renditions of the paper's equations, diffed elementwise
+  against the production ``repro.core`` / ``repro.graph`` paths;
+* :mod:`~repro.verify.oracle` — :func:`check_module_gradients`, a
+  module-walking finite-difference checker with a sampled-coordinate mode
+  for full-model checks inside tier-1 budgets;
+* :mod:`~repro.verify.determinism` — parameter-state hashing, named RNG
+  streams, and golden loss-curve traces for trainer/optimizer regressions.
+
+Runnable outside pytest via ``python -m repro.cli verify``.
+"""
+
+from .crosscheck import (
+    ALL_CHECKS,
+    CheckResult,
+    check_chebyshev,
+    check_discrepancy_loss,
+    check_gcgru,
+    check_node_adaptive_conv,
+    check_tagsl,
+    run_all,
+)
+from .determinism import (
+    GoldenTrace,
+    compare_traces,
+    load_trace,
+    named_rng,
+    run_golden_trace,
+    save_trace,
+    state_hash,
+)
+from .oracle import GradientCheckReport, ParameterCheck, check_module_gradients
+from . import reference
+
+__all__ = [
+    "ALL_CHECKS",
+    "CheckResult",
+    "GoldenTrace",
+    "GradientCheckReport",
+    "ParameterCheck",
+    "check_chebyshev",
+    "check_discrepancy_loss",
+    "check_gcgru",
+    "check_module_gradients",
+    "check_node_adaptive_conv",
+    "check_tagsl",
+    "compare_traces",
+    "load_trace",
+    "named_rng",
+    "reference",
+    "run_all",
+    "run_golden_trace",
+    "save_trace",
+    "state_hash",
+]

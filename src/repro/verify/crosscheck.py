@@ -1,0 +1,199 @@
+"""Reference-vs-production cross-checks.
+
+Each ``check_*`` function instantiates the production implementation
+(``repro.core`` / ``repro.graph``), runs the naive loop-based reference
+from :mod:`repro.verify.reference` on the *same* parameters and inputs, and
+compares elementwise.  :func:`run_all` drives every check — this is what
+``repro.cli verify`` and the tier-1 test suite call, and what any future
+vectorization/caching PR must keep green.
+
+The checks run on deliberately tiny shapes (the references are O(N³)
+python loops) with a tight ``rtol``: production and reference compute the
+same float64 math, so agreement should be near machine precision — a
+looser tolerance would hide exactly the class of silent bug this module
+exists to catch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..autodiff import Tensor
+from ..core.discrepancy import discrepancy_loss
+from ..core.gcgru import GCGRUCell, NodeAdaptiveGraphConv
+from ..core.sampling import sample_time_distances
+from ..core.tagsl import TagSL
+from ..core.time_encoding import DiscreteTimeEmbedding
+from ..graph.adjacency import row_softmax
+from ..graph.cheb import chebyshev_supports
+from . import reference
+from .determinism import named_rng
+
+__all__ = [
+    "CheckResult",
+    "check_chebyshev",
+    "check_discrepancy_loss",
+    "check_gcgru",
+    "check_node_adaptive_conv",
+    "check_tagsl",
+    "run_all",
+]
+
+#: default agreement tolerance (see module docstring / acceptance criteria)
+DEFAULT_RTOL = 1e-6
+_ATOL = 1e-9
+
+
+@dataclass
+class CheckResult:
+    """Outcome of one reference-vs-production comparison."""
+
+    name: str
+    max_abs_err: float
+    rtol: float
+    passed: bool
+    detail: str = ""
+
+    def __str__(self) -> str:
+        status = "ok" if self.passed else "FAIL"
+        extra = f"  {self.detail}" if self.detail else ""
+        return f"{status:4s} {self.name:<24s} max|Δ| {self.max_abs_err:.3e}{extra}"
+
+
+def _result(name: str, produced: np.ndarray, expected: np.ndarray, rtol: float, detail: str = "") -> CheckResult:
+    max_abs = float(np.max(np.abs(produced - expected))) if produced.size else 0.0
+    passed = bool(np.allclose(produced, expected, rtol=rtol, atol=_ATOL))
+    return CheckResult(name, max_abs, rtol, passed, detail)
+
+
+# --------------------------------------------------------------------- #
+
+
+def check_tagsl(seed: int = 0, rtol: float = DEFAULT_RTOL) -> CheckResult:
+    """TagSL Eq. 6–9 (+ softmax Norm of Eq. 11) against the loop reference."""
+    rng = named_rng(seed, "crosscheck-tagsl")
+    num_nodes, node_dim, time_dim, steps, batch = 5, 3, 4, 12, 3
+    encoder = DiscreteTimeEmbedding(steps, time_dim, rng=rng)
+    tagsl = TagSL(num_nodes, node_dim, encoder, alpha=0.3, rng=rng)
+    node_state = rng.normal(size=(batch, num_nodes, 2))
+    time_indices = rng.integers(0, steps * 2, size=batch)
+
+    produced = tagsl(Tensor(node_state), time_indices).data
+    expected = reference.tagsl_adjacency_reference(
+        tagsl.node_embedding.data,
+        encoder.weight.data,
+        node_state,
+        time_indices,
+        alpha=tagsl.alpha,
+    )
+    adjacency = _result("tagsl (Eq. 6-9)", produced, expected, rtol)
+    if not adjacency.passed:
+        return adjacency
+    normalized = row_softmax(Tensor(produced)).data
+    norm_expected = reference.row_softmax_reference(expected)
+    norm = _result("tagsl norm (Eq. 11)", normalized, norm_expected, rtol)
+    if not norm.passed:
+        return norm
+    return CheckResult(
+        "tagsl (Eq. 6-9, 11)",
+        max(adjacency.max_abs_err, norm.max_abs_err),
+        rtol,
+        True,
+        "adjacency + softmax norm",
+    )
+
+
+def check_discrepancy_loss(seed: int = 0, rtol: float = DEFAULT_RTOL) -> CheckResult:
+    """Discrepancy loss Eq. 3–5 on a batch of Algorithm-1 samples."""
+    rng = named_rng(seed, "crosscheck-discrepancy")
+    steps, time_dim, batch, window = 24, 5, 6, 8
+    encoder = DiscreteTimeEmbedding(steps, time_dim, rng=rng)
+    windows = (
+        np.arange(window)[None, :]
+        + rng.integers(0, steps * 7, size=batch)[:, None]
+    )
+    samples = sample_time_distances(windows, rng)
+    produced = np.asarray(discrepancy_loss(encoder, samples).item())
+    expected = np.asarray(
+        reference.discrepancy_loss_reference(
+            encoder.weight.data,
+            samples.anchor_values,
+            samples.adjacent_values,
+            samples.mid_values,
+            samples.distant_values,
+        )
+    )
+    return _result("discrepancy (Eq. 3-5)", produced, expected, rtol)
+
+
+def check_node_adaptive_conv(seed: int = 0, rtol: float = DEFAULT_RTOL) -> CheckResult:
+    """Node-adaptive graph convolution (Eq. 10 + 12)."""
+    rng = named_rng(seed, "crosscheck-conv")
+    batch, num_nodes, in_dim, out_dim, embed_dim, cheb_k = 2, 4, 3, 5, 6, 3
+    conv = NodeAdaptiveGraphConv(in_dim, out_dim, embed_dim, cheb_k, rng=rng)
+    x = rng.normal(size=(batch, num_nodes, in_dim))
+    adjacency = row_softmax(Tensor(rng.normal(size=(batch, num_nodes, num_nodes)))).data
+    node_embed = rng.normal(size=(batch, num_nodes, embed_dim))
+    produced = conv(Tensor(x), Tensor(adjacency), Tensor(node_embed)).data
+    expected = reference.node_adaptive_conv_reference(
+        x, adjacency, node_embed, conv.weight_pool.data, conv.bias_pool.data, cheb_k
+    )
+    return _result("node-adaptive conv", produced, expected, rtol)
+
+
+def check_gcgru(seed: int = 0, rtol: float = DEFAULT_RTOL) -> CheckResult:
+    """GCGRU gate math (Eq. 13–16)."""
+    rng = named_rng(seed, "crosscheck-gcgru")
+    batch, num_nodes, in_dim, hidden_dim, embed_dim, cheb_k = 2, 4, 2, 3, 5, 2
+    cell = GCGRUCell(in_dim, hidden_dim, embed_dim, cheb_k, rng=rng)
+    x = rng.normal(size=(batch, num_nodes, in_dim))
+    h = rng.normal(size=(batch, num_nodes, hidden_dim))
+    adjacency = row_softmax(Tensor(rng.normal(size=(batch, num_nodes, num_nodes)))).data
+    node_embed = rng.normal(size=(batch, num_nodes, embed_dim))
+    produced = cell(Tensor(x), Tensor(h), Tensor(adjacency), Tensor(node_embed)).data
+    expected = reference.gcgru_cell_reference(
+        x,
+        h,
+        adjacency,
+        node_embed,
+        cell.gate_conv.weight_pool.data,
+        cell.gate_conv.bias_pool.data,
+        cell.candidate_conv.weight_pool.data,
+        cell.candidate_conv.bias_pool.data,
+        cheb_k,
+    )
+    return _result("gcgru (Eq. 13-16)", produced, expected, rtol)
+
+
+def check_chebyshev(seed: int = 0, rtol: float = DEFAULT_RTOL) -> CheckResult:
+    """Chebyshev recurrence, single matrix and batched."""
+    rng = named_rng(seed, "crosscheck-cheb")
+    n, order = 5, 4
+    single = rng.normal(size=(n, n))
+    batched = rng.normal(size=(3, n, n))
+    worst = 0.0
+    for label, matrix in (("2-D", single), ("batched", batched)):
+        produced = chebyshev_supports(Tensor(matrix), order=order)
+        expected = reference.chebyshev_supports_reference(matrix, order=order)
+        for k, (prod, ref) in enumerate(zip(produced, expected)):
+            partial = _result(f"chebyshev[{label} T_{k}]", prod.data, ref, rtol)
+            worst = max(worst, partial.max_abs_err)
+            if not partial.passed:
+                return partial
+    return CheckResult("chebyshev propagation", worst, rtol, True, "orders 0-3, 2-D + batched")
+
+
+ALL_CHECKS = {
+    "tagsl": check_tagsl,
+    "discrepancy": check_discrepancy_loss,
+    "node_adaptive_conv": check_node_adaptive_conv,
+    "gcgru": check_gcgru,
+    "chebyshev": check_chebyshev,
+}
+
+
+def run_all(seed: int = 0, rtol: float = DEFAULT_RTOL) -> list[CheckResult]:
+    """Run every reference-vs-production cross-check."""
+    return [check(seed=seed, rtol=rtol) for check in ALL_CHECKS.values()]

@@ -1,0 +1,306 @@
+"""Deliberately naive reference implementations of the paper's equations.
+
+Every function here is a slow, loop-based, numpy-scalar rendition of a
+production path in ``repro.core`` / ``repro.graph`` — written directly from
+the paper's math (TagSL Eq. 6–9, the discrepancy loss Eq. 3–5, the GCGRU
+gate equations of §III-B, Chebyshev propagation) with no vectorization, no
+broadcasting tricks, and no shared code with the production modules.  They
+exist as *oracles*: any future optimization PR (vectorized kernels, graph
+caching, batching) must keep the production outputs elementwise equal to
+these references (see ``repro.verify.crosscheck``).
+
+Keep these functions boring.  Clarity and obvious one-to-one correspondence
+with the paper beat speed; they only ever run on tiny shapes.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = [
+    "chebyshev_supports_reference",
+    "discrepancy_loss_reference",
+    "gcgru_cell_reference",
+    "node_adaptive_conv_reference",
+    "periodic_discriminant_reference",
+    "row_softmax_reference",
+    "static_adjacency_reference",
+    "tagsl_adjacency_reference",
+    "trend_factor_reference",
+]
+
+
+def _sigmoid(value: float) -> float:
+    if value >= 0.0:
+        return 1.0 / (1.0 + math.exp(-value))
+    expv = math.exp(value)
+    return expv / (1.0 + expv)
+
+
+def _matmul_naive(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Triple-loop matrix product of two 2-D arrays."""
+    rows, inner = a.shape
+    inner2, cols = b.shape
+    assert inner == inner2, (a.shape, b.shape)
+    out = np.zeros((rows, cols))
+    for i in range(rows):
+        for j in range(cols):
+            acc = 0.0
+            for k in range(inner):
+                acc += a[i, k] * b[k, j]
+            out[i, j] = acc
+    return out
+
+
+# --------------------------------------------------------------------- #
+# TagSL (Eq. 6–9)
+# --------------------------------------------------------------------- #
+
+
+def static_adjacency_reference(node_embedding: np.ndarray) -> np.ndarray:
+    """Eq. 6: ``A_v[i, j] = ⟨E_v[i], E_v[j]⟩``, shape (N, N)."""
+    num_nodes = node_embedding.shape[0]
+    out = np.zeros((num_nodes, num_nodes))
+    for i in range(num_nodes):
+        for j in range(num_nodes):
+            acc = 0.0
+            for k in range(node_embedding.shape[1]):
+                acc += node_embedding[i, k] * node_embedding[j, k]
+            out[i, j] = acc
+    return out
+
+
+def trend_factor_reference(time_table: np.ndarray, time_indices: np.ndarray) -> np.ndarray:
+    """Eq. 7: ``η_t = ⟨E_τ^t, E_τ^{t-1}⟩`` per batch element, shape (B,).
+
+    ``time_table`` is the learned slot table (num_slots, d_τ); indices wrap
+    modulo ``num_slots`` exactly as ``DiscreteTimeEmbedding`` does, so the
+    step before slot 0 is the last slot of the previous day.
+    """
+    num_slots = time_table.shape[0]
+    out = np.zeros(len(time_indices))
+    for b, t in enumerate(np.asarray(time_indices, dtype=np.int64)):
+        current = time_table[int(t) % num_slots]
+        previous = time_table[int(t - 1) % num_slots]
+        acc = 0.0
+        for k in range(time_table.shape[1]):
+            acc += current[k] * previous[k]
+        out[b] = acc
+    return out
+
+
+def periodic_discriminant_reference(node_state: np.ndarray) -> np.ndarray:
+    """Eq. 8: ``A_p[b, i, j] = tanh(⟨X[b, i], X[b, j]⟩)``, shape (B, N, N)."""
+    batch, num_nodes, channels = node_state.shape
+    out = np.zeros((batch, num_nodes, num_nodes))
+    for b in range(batch):
+        for i in range(num_nodes):
+            for j in range(num_nodes):
+                acc = 0.0
+                for c in range(channels):
+                    acc += node_state[b, i, c] * node_state[b, j, c]
+                out[b, i, j] = math.tanh(acc)
+    return out
+
+
+def tagsl_adjacency_reference(
+    node_embedding: np.ndarray,
+    time_table: np.ndarray,
+    node_state: np.ndarray,
+    time_indices: np.ndarray,
+    alpha: float = 0.3,
+    use_trend: bool = True,
+    use_pdf: bool = True,
+) -> np.ndarray:
+    """Eq. 9: ``A^t = (1 + α·σ(A_p)) ⊙ (A_v + η_t)``, shape (B, N, N)."""
+    batch = len(np.asarray(time_indices))
+    num_nodes = node_embedding.shape[0]
+    static = static_adjacency_reference(node_embedding)
+    trend = trend_factor_reference(time_table, time_indices) if use_trend else np.zeros(batch)
+    periodic = periodic_discriminant_reference(node_state) if use_pdf else None
+    out = np.zeros((batch, num_nodes, num_nodes))
+    for b in range(batch):
+        for i in range(num_nodes):
+            for j in range(num_nodes):
+                value = static[i, j] + trend[b]
+                if use_pdf:
+                    gate = 1.0 + alpha * _sigmoid(periodic[b, i, j])
+                    value = gate * value
+                out[b, i, j] = value
+    return out
+
+
+def row_softmax_reference(adjacency: np.ndarray) -> np.ndarray:
+    """Eq. 11's default Norm: softmax over each adjacency row."""
+    out = np.zeros_like(adjacency)
+    flat_rows = adjacency.reshape(-1, adjacency.shape[-1])
+    out_rows = out.reshape(-1, adjacency.shape[-1])
+    for r in range(flat_rows.shape[0]):
+        row = flat_rows[r]
+        peak = max(float(v) for v in row)
+        exps = [math.exp(float(v) - peak) for v in row]
+        total = sum(exps)
+        for c, e in enumerate(exps):
+            out_rows[r, c] = e / total
+    return out
+
+
+# --------------------------------------------------------------------- #
+# Time Discrepancy Learning (Eq. 3–5)
+# --------------------------------------------------------------------- #
+
+
+def discrepancy_loss_reference(
+    time_table: np.ndarray,
+    anchor_values: np.ndarray,
+    adjacent_values: np.ndarray,
+    mid_values: np.ndarray,
+    distant_values: np.ndarray,
+    l2_eps: float = 1e-12,
+) -> float:
+    """Eq. 3–5 on one batch of Algorithm-1 samples, as a plain float.
+
+    ζ (Eq. 4) is the Euclidean distance between slot embeddings; d (Eq. 5)
+    is the L1 distance between *within-day* slot positions floored at 1 —
+    the day-periodic table makes absolute-index distances unsatisfiable, so
+    F_dist works on slot positions exactly as ``core.discrepancy`` does.
+    ``l2_eps`` mirrors the numerical floor inside ``autodiff.l2_norm``.
+    """
+    num_slots = time_table.shape[0]
+    batch = len(anchor_values)
+    loss = 0.0
+    for b in range(batch):
+        anchor_slot = int(anchor_values[b]) % num_slots
+        anchor_vec = time_table[anchor_slot]
+        ratios = []
+        for values in (adjacent_values, mid_values, distant_values):
+            slot = int(values[b]) % num_slots
+            vec = time_table[slot]
+            squared = 0.0
+            for k in range(time_table.shape[1]):
+                squared += (vec[k] - anchor_vec[k]) ** 2
+            zeta = math.sqrt(squared + l2_eps)
+            delta = abs(float(slot) - float(anchor_slot))
+            dist = max(delta, 1.0)
+            ratios.append(zeta / dist)
+        loss += (
+            abs(ratios[0] - ratios[1])
+            + abs(ratios[0] - ratios[2])
+            + abs(ratios[1] - ratios[2])
+        )
+    return loss / batch
+
+
+# --------------------------------------------------------------------- #
+# GCGRU (§III-B, Eq. 10–16)
+# --------------------------------------------------------------------- #
+
+
+def node_adaptive_conv_reference(
+    x: np.ndarray,
+    adjacency: np.ndarray,
+    node_embed: np.ndarray,
+    weight_pool: np.ndarray,
+    bias_pool: np.ndarray,
+    cheb_k: int,
+) -> np.ndarray:
+    """Node-adaptive graph convolution (Eq. 10 + 12), shape (B, N, C_out).
+
+    Per node *n*: gather the polynomial supports ``[x, Âx, Â²x, ...]``,
+    concatenate along channels, then apply the weights ``W_n = Ê[n]·W̃``
+    and bias ``b_n = Ê[n]·b̃`` materialized from the pools.
+    """
+    batch, num_nodes, in_dim = x.shape
+    out_dim = bias_pool.shape[1]
+    out = np.zeros((batch, num_nodes, out_dim))
+    for b in range(batch):
+        # polynomial supports, each (N, C_in)
+        terms = [x[b]]
+        for _ in range(cheb_k - 1):
+            terms.append(_matmul_naive(adjacency[b], terms[-1]))
+        for n in range(num_nodes):
+            conv = np.concatenate([term[n] for term in terms])  # (K*C_in,)
+            # materialize this node's weight matrix from the pool
+            pooled = np.zeros(weight_pool.shape[1])
+            for e in range(node_embed.shape[-1]):
+                pooled += node_embed[b, n, e] * weight_pool[e]
+            weight = pooled.reshape(cheb_k * in_dim, out_dim)
+            bias = np.zeros(out_dim)
+            for e in range(node_embed.shape[-1]):
+                bias += node_embed[b, n, e] * bias_pool[e]
+            for j in range(out_dim):
+                acc = 0.0
+                for k in range(cheb_k * in_dim):
+                    acc += conv[k] * weight[k, j]
+                out[b, n, j] = acc + bias[j]
+    return out
+
+
+def gcgru_cell_reference(
+    x: np.ndarray,
+    h: np.ndarray,
+    adjacency: np.ndarray,
+    node_embed: np.ndarray,
+    gate_weight_pool: np.ndarray,
+    gate_bias_pool: np.ndarray,
+    candidate_weight_pool: np.ndarray,
+    candidate_bias_pool: np.ndarray,
+    cheb_k: int,
+) -> np.ndarray:
+    """One GCGRU step (Eq. 13–16), shape (B, N, H).
+
+    Matches ``core.gcgru.GCGRUCell``: the gate convolution produces
+    ``[z ; r]`` stacked along channels (update gate first), the candidate
+    convolution sees ``[x ; r⊙h]``, and the new state is
+    ``(1 − z)·h + z·h̃``.
+    """
+    batch, num_nodes, hidden_dim = h.shape
+    xh = np.concatenate([x, h], axis=-1)
+    gates = node_adaptive_conv_reference(
+        xh, adjacency, node_embed, gate_weight_pool, gate_bias_pool, cheb_k
+    )
+    z = np.zeros((batch, num_nodes, hidden_dim))
+    r = np.zeros((batch, num_nodes, hidden_dim))
+    for b in range(batch):
+        for n in range(num_nodes):
+            for c in range(hidden_dim):
+                z[b, n, c] = _sigmoid(gates[b, n, c])                # Eq. 13
+                r[b, n, c] = _sigmoid(gates[b, n, hidden_dim + c])  # Eq. 14
+    xrh = np.concatenate([x, r * h], axis=-1)
+    candidate = node_adaptive_conv_reference(
+        xrh, adjacency, node_embed, candidate_weight_pool, candidate_bias_pool, cheb_k
+    )
+    out = np.zeros((batch, num_nodes, hidden_dim))
+    for b in range(batch):
+        for n in range(num_nodes):
+            for c in range(hidden_dim):
+                h_tilde = math.tanh(candidate[b, n, c])              # Eq. 15
+                out[b, n, c] = (1.0 - z[b, n, c]) * h[b, n, c] + z[b, n, c] * h_tilde  # Eq. 16
+    return out
+
+
+# --------------------------------------------------------------------- #
+# Chebyshev propagation
+# --------------------------------------------------------------------- #
+
+
+def chebyshev_supports_reference(normalized: np.ndarray, order: int = 2) -> list[np.ndarray]:
+    """Chebyshev recurrence ``T_0 = I, T_1 = L, T_k = 2·L·T_{k-1} − T_{k-2}``.
+
+    Accepts a single (N, N) matrix or a batch (B, N, N); returns ``order``
+    matrices of the input shape, matching ``graph.cheb.chebyshev_supports``.
+    """
+    arr = np.asarray(normalized, dtype=float)
+    if arr.ndim == 2:
+        n = arr.shape[-1]
+        supports = [np.eye(n), arr.copy()]
+        for _ in range(order - 2):
+            supports.append(2.0 * _matmul_naive(arr, supports[-1]) - supports[-2])
+        return supports[:order]
+    # batched: run the 2-D recurrence per element and restack
+    stacked: list[list[np.ndarray]] = [
+        chebyshev_supports_reference(arr[b], order) for b in range(arr.shape[0])
+    ]
+    return [np.stack([per_b[k] for per_b in stacked]) for k in range(order)]

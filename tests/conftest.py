@@ -1,4 +1,13 @@
-"""Shared fixtures: deterministic RNGs and a cached tiny forecasting task."""
+"""Shared fixtures (deterministic RNGs, cached tiny tasks) and test tiers.
+
+Two tiers (docs/testing.md):
+
+* **tier1** — everything not marked ``slow``; the fast subset run on every
+  push (``pytest -m "not slow"`` or equivalently ``-m tier1``).  The marker
+  is applied automatically here, so tests never need to opt in.
+* **slow** — exhaustive property sweeps and full-coordinate gradient
+  checks; excluded from tier-1 and run as a scheduled job.
+"""
 
 from __future__ import annotations
 
@@ -6,6 +15,13 @@ import numpy as np
 import pytest
 
 from repro.data import load_task
+
+
+def pytest_collection_modifyitems(config, items):
+    """Auto-apply ``tier1`` to every test that is not marked ``slow``."""
+    for item in items:
+        if item.get_closest_marker("slow") is None:
+            item.add_marker(pytest.mark.tier1)
 
 
 @pytest.fixture
@@ -23,3 +39,30 @@ def tiny_task():
 def tiny_demand_task():
     """A small NYC-Bike-style task (P=Q=12, 30-min slots)."""
     return load_task("nyc_bike", num_nodes=8, num_days=8, seed=7, history=6, horizon=6)
+
+
+@pytest.fixture
+def tiny_tgcrn_setup():
+    """A tiny TGCRN plus a deterministic scalar loss closure for the oracle.
+
+    Returns ``(model, loss_fn)`` — small enough that a sampled-coordinate
+    :func:`repro.verify.check_module_gradients` pass stays well inside the
+    tier-1 time budget.
+    """
+    from repro.autodiff import Tensor, mae_loss
+    from repro.core import TGCRN
+    from repro.verify import named_rng
+
+    rng = named_rng(7, "tiny-tgcrn-fixture")
+    model = TGCRN(
+        num_nodes=3, in_dim=1, out_dim=1, horizon=2, hidden_dim=3,
+        num_layers=1, node_dim=3, time_dim=3, steps_per_day=8, rng=rng,
+    )
+    x = Tensor(rng.normal(size=(2, 3, 3, 1)))
+    t = np.arange(5)[None, :].repeat(2, axis=0)
+    y = Tensor(rng.normal(size=(2, 2, 3, 1)))
+
+    def loss_fn():
+        return mae_loss(model(x, t), y)
+
+    return model, loss_fn

@@ -68,3 +68,42 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "per-horizon MAE" in out
         assert "best baseline" in out
+
+
+class TestVerifyCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["verify"])
+        assert args.sample == 8
+        assert not args.update_golden
+
+    def test_verify_passes_without_golden_fixture(self, tmp_path, capsys):
+        code = main(["verify", "--golden", str(tmp_path / "missing.json")])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cross-checks" in out
+        assert "gradient oracle PASSED" in out
+        assert "not found, skipping" in out
+        assert "verify: PASSED" in out
+
+    def test_verify_update_then_compare_golden(self, tmp_path, capsys):
+        golden = str(tmp_path / "golden.json")
+        assert main(["verify", "--golden", golden, "--update-golden"]) == 0
+        assert "regenerated" in capsys.readouterr().out
+        assert main(["verify", "--golden", golden]) == 0
+        assert "matches the committed fixture" in capsys.readouterr().out
+
+    def test_verify_fails_on_stale_golden(self, tmp_path, capsys):
+        """A drifted fixture must flip the exit code to 1."""
+        import json
+
+        from repro.verify import run_golden_trace, save_trace
+
+        trace = run_golden_trace()
+        trace.train_losses[0] += 0.1
+        golden = tmp_path / "stale.json"
+        save_trace(golden, trace)
+        assert json.loads(golden.read_text())["train_losses"]  # sanity
+        assert main(["verify", "--golden", str(golden)]) == 1
+        out = capsys.readouterr().out
+        assert "FAIL" in out
+        assert "verify: FAILED" in out

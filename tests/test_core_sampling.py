@@ -41,6 +41,57 @@ class TestBasics:
         assert s.distant_rows[0] == 0  # falls back to the same row
 
 
+class TestEdgeCases:
+    def test_minimal_two_step_window(self, rng):
+        """T=2: the band is a single column, mid falls back to the farthest."""
+        windows = _windows(3, 2)
+        s = sample_time_distances(windows, rng)
+        # the only non-anchor column is adjacent; mid must use the fallback
+        assert (np.abs(s.adjacent_positions - s.anchor_positions) == 1).all()
+        assert (s.mid_positions != s.anchor_positions).all()
+        assert (s.mid_positions < 2).all() and (s.mid_positions >= 0).all()
+
+    def test_single_row_distant_fallback_values(self, rng):
+        """B=1: distant values must still come from the (only) row so the
+        Eq. 3 loss stays defined."""
+        windows = _windows(1, 8)
+        for _ in range(10):
+            s = sample_time_distances(windows, rng)
+            assert s.distant_rows[0] == 0
+            assert s.distant_values[0] in windows[0]
+
+    def test_mid_range_auto_widens_past_adjacent(self):
+        """γ_◇ ≤ γ_Δ would empty the mid band; it must widen to γ_Δ + 1."""
+        windows = _windows(40, 10)
+        s = sample_time_distances(
+            windows, np.random.default_rng(0), adjacent_range=3, mid_range=2
+        )
+        mid_dist = np.abs(s.mid_positions - s.anchor_positions)
+        max_possible = np.maximum(s.anchor_positions, 10 - 1 - s.anchor_positions)
+        # widened band: strictly outside γ_Δ, at most γ_Δ + 1 away — except
+        # for anchors whose only reachable column is the documented fallback
+        assert ((mid_dist == 4) | (mid_dist == max_possible)).all()
+        assert (np.abs(s.adjacent_positions - s.anchor_positions) <= 3).all()
+
+    def test_fully_deterministic_under_fixed_generator(self):
+        """Every output field is a pure function of (windows, seed)."""
+        windows = _windows(6, 12)
+        a = sample_time_distances(windows, np.random.default_rng(99))
+        b = sample_time_distances(windows, np.random.default_rng(99))
+        for name in (
+            "anchor_values", "adjacent_values", "mid_values", "distant_values",
+            "anchor_positions", "adjacent_positions", "mid_positions",
+            "distant_positions", "distant_rows",
+        ):
+            np.testing.assert_array_equal(getattr(a, name), getattr(b, name))
+
+    def test_different_seeds_differ(self):
+        windows = _windows(8, 12)
+        a = sample_time_distances(windows, np.random.default_rng(1))
+        b = sample_time_distances(windows, np.random.default_rng(2))
+        assert not np.array_equal(a.anchor_positions, b.anchor_positions)
+
+
 @given(
     batch=st.integers(min_value=2, max_value=10),
     length=st.integers(min_value=3, max_value=24),

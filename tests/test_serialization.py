@@ -39,6 +39,28 @@ class TestCheckpoint:
         with pytest.raises((KeyError, ValueError)):
             load_checkpoint(tmp_path / "ck.npz", wrong)
 
+    def test_corrupted_checkpoint_rejected(self, tmp_path):
+        """The embedded state hash must catch a tampered parameter payload."""
+        save_checkpoint(tmp_path / "ck.npz", _model(0))
+        with np.load(tmp_path / "ck.npz") as archive:
+            arrays = {name: archive[name].copy() for name in archive.files}
+        arrays["weight"][0, 0] += 1e-3  # flip some bits
+        np.savez(tmp_path / "ck.npz", **arrays)
+        with pytest.raises(ValueError, match="corrupted"):
+            load_checkpoint(tmp_path / "ck.npz", _model(1))
+
+    def test_legacy_checkpoint_without_hash_loads(self, tmp_path):
+        """Pre-hash checkpoints (no __state_hash__ entry) still load."""
+        model = _model(0)
+        arrays = dict(model.state_dict())
+        import json
+
+        arrays["__checkpoint_meta__"] = np.frombuffer(
+            json.dumps({"legacy": True}).encode(), dtype=np.uint8
+        )
+        np.savez(tmp_path / "legacy.npz", **arrays)
+        assert load_checkpoint(tmp_path / "legacy.npz", _model(1)) == {"legacy": True}
+
     def test_full_model_checkpoint_preserves_predictions(self, tmp_path):
         from repro.core import TGCRN
 
@@ -51,6 +73,44 @@ class TestCheckpoint:
         x = Tensor(np.random.default_rng(1).normal(size=(2, 3, 4, 2)))
         t = np.arange(5)[None, :].repeat(2, axis=0)
         np.testing.assert_allclose(a(x, t).data, b(x, t).data, atol=1e-12)
+
+
+class TestTrainedRoundTrip:
+    def test_trained_tgcrn_roundtrip_is_bitwise_exact(self, tmp_path):
+        """Train a tiny TGCRN, checkpoint it, reload into a fresh model:
+        parameters must be bitwise equal and forward outputs identical."""
+        from repro.core import TGCRN
+        from repro.data import load_task
+        from repro.training import Trainer, TrainingConfig
+        from repro.verify import state_hash
+
+        task = load_task("hzmetro", num_nodes=4, num_days=4, seed=3)
+        kwargs = dict(
+            num_nodes=task.num_nodes, in_dim=task.in_dim, out_dim=task.out_dim,
+            horizon=task.horizon, hidden_dim=4, num_layers=1, node_dim=3,
+            time_dim=3, steps_per_day=task.steps_per_day,
+        )
+        trained = TGCRN(**kwargs, rng=np.random.default_rng(0))
+        Trainer(TrainingConfig(epochs=1, batch_size=16, seed=3)).fit(trained, task)
+
+        save_checkpoint(tmp_path / "trained.npz", trained, metadata={"epochs": 1})
+        fresh = TGCRN(**kwargs, rng=np.random.default_rng(42))
+        meta = load_checkpoint(tmp_path / "trained.npz", fresh)
+        assert meta == {"epochs": 1}
+
+        # bitwise-equal parameters (hash compares names + bytes)
+        assert state_hash(fresh) == state_hash(trained)
+        for (name, a), (_, b) in zip(
+            trained.named_parameters(), fresh.named_parameters()
+        ):
+            np.testing.assert_array_equal(a.data, b.data, err_msg=name)
+
+        # identical forward pass on unseen inputs
+        rng = np.random.default_rng(9)
+        x = Tensor(rng.normal(size=(2, task.history, task.num_nodes, task.in_dim)))
+        t = np.arange(task.history + task.horizon)[None, :].repeat(2, axis=0)
+        trained.eval(), fresh.eval()
+        np.testing.assert_array_equal(trained(x, t).data, fresh(x, t).data)
 
 
 class TestOptimizerState:

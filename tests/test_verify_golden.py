@@ -1,0 +1,113 @@
+"""Determinism & golden-trace harness tests (repro.verify.determinism)."""
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.nn import Linear
+from repro.verify import (
+    GoldenTrace,
+    compare_traces,
+    load_trace,
+    named_rng,
+    run_golden_trace,
+    save_trace,
+    state_hash,
+)
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+
+class TestStateHash:
+    def test_identical_inits_share_hash(self):
+        a = Linear(3, 2, rng=np.random.default_rng(0))
+        b = Linear(3, 2, rng=np.random.default_rng(0))
+        assert state_hash(a) == state_hash(b)
+
+    def test_single_bit_flip_changes_hash(self):
+        model = Linear(3, 2, rng=np.random.default_rng(0))
+        before = state_hash(model)
+        model.weight.data[0, 0] = np.nextafter(model.weight.data[0, 0], np.inf)
+        assert state_hash(model) != before
+
+    def test_accepts_state_dict(self):
+        model = Linear(3, 2, rng=np.random.default_rng(0))
+        assert state_hash(model) == state_hash(model.state_dict())
+
+    def test_hash_covers_names(self):
+        payload = np.ones((2, 2))
+        assert state_hash({"a": payload}) != state_hash({"b": payload})
+
+
+class TestNamedRng:
+    def test_same_name_same_stream(self):
+        a = named_rng(7, "shuffle").random(5)
+        b = named_rng(7, "shuffle").random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_names_independent_streams(self):
+        a = named_rng(7, "shuffle").random(5)
+        b = named_rng(7, "init").random(5)
+        assert not np.array_equal(a, b)
+
+    def test_seed_still_matters(self):
+        a = named_rng(7, "shuffle").random(5)
+        b = named_rng(8, "shuffle").random(5)
+        assert not np.array_equal(a, b)
+
+
+class TestGoldenTrace:
+    def test_run_is_bitwise_reproducible(self):
+        first = run_golden_trace()
+        second = run_golden_trace()
+        assert compare_traces(first, second, rtol=0.0, atol=0.0, strict_hash=True) == []
+
+    def test_matches_committed_fixture(self):
+        """The regression gate for trainer/optimizer refactors.
+
+        Regenerate after an *intentional* change with::
+
+            PYTHONPATH=src python -m repro.cli verify --update-golden
+        """
+        golden = load_trace(GOLDEN_DIR / "tiny_tgcrn_loss.json")
+        actual = run_golden_trace(**{
+            k: golden.config[k] for k in ("epochs", "seed", "num_nodes", "num_days")
+        })
+        problems = compare_traces(actual, golden, rtol=1e-6)
+        assert problems == [], "\n".join(problems)
+
+    def test_save_load_roundtrip(self, tmp_path):
+        trace = GoldenTrace(
+            config={"epochs": 1},
+            train_losses=[0.5, 0.25],
+            val_maes=[1.0],
+            final_state_hash="abc123",
+        )
+        save_trace(tmp_path / "t.json", trace)
+        assert load_trace(tmp_path / "t.json") == trace
+
+    def test_compare_flags_curve_drift(self):
+        golden = GoldenTrace(config={}, train_losses=[1.0, 0.5], val_maes=[2.0])
+        drifted = GoldenTrace(config={}, train_losses=[1.0, 0.6], val_maes=[2.0])
+        problems = compare_traces(drifted, golden, rtol=1e-6)
+        assert len(problems) == 1 and "train_losses[1]" in problems[0]
+
+    def test_compare_flags_length_and_config_mismatch(self):
+        golden = GoldenTrace(config={"epochs": 2}, train_losses=[1.0, 0.5], val_maes=[2.0])
+        other = GoldenTrace(config={"epochs": 3}, train_losses=[1.0], val_maes=[2.0])
+        problems = compare_traces(other, golden)
+        assert any("config" in p for p in problems)
+        assert any("length" in p for p in problems)
+
+    def test_strict_hash_mode(self):
+        golden = GoldenTrace(config={}, train_losses=[1.0], val_maes=[], final_state_hash="x")
+        other = GoldenTrace(config={}, train_losses=[1.0], val_maes=[], final_state_hash="y")
+        assert compare_traces(other, golden) == []
+        assert compare_traces(other, golden, strict_hash=True) != []
+
+    @pytest.mark.slow
+    def test_longer_trace_reproducible(self):
+        first = run_golden_trace(epochs=5, num_days=5)
+        second = run_golden_trace(epochs=5, num_days=5)
+        assert compare_traces(first, second, rtol=0.0, atol=0.0, strict_hash=True) == []

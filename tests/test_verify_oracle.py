@@ -1,0 +1,224 @@
+"""Gradient oracle tests (repro.verify.oracle + the grad_check hardening).
+
+Covers: the full-model sampled-coordinate check on a tiny TGCRN (the
+acceptance criterion: completes inside tier-1 budgets), dtype/finiteness
+guards, try/finally parameter restoration, and detection of a genuinely
+wrong backward implementation.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor, mae_loss, mse_loss, numerical_gradient
+from repro.nn import Linear, Module, Parameter
+from repro.verify import check_module_gradients
+
+
+class TestFullModel:
+    def test_tiny_tgcrn_sampled_check_passes_fast(self, tiny_tgcrn_setup):
+        model, loss_fn = tiny_tgcrn_setup
+        start = time.perf_counter()
+        report = check_module_gradients(
+            model, loss_fn, max_coords_per_param=8, rng=np.random.default_rng(0)
+        )
+        elapsed = time.perf_counter() - start
+        report.raise_if_failed()
+        assert elapsed < 60.0, f"sampled full-model check took {elapsed:.1f}s"
+        # every parameter tensor of the model was visited
+        assert len(report.checks) == len(model.parameters())
+        assert report.coords_checked >= len(report.checks)
+
+    def test_sampled_mode_limits_coordinates(self, tiny_tgcrn_setup):
+        model, loss_fn = tiny_tgcrn_setup
+        report = check_module_gradients(
+            model, loss_fn, max_coords_per_param=2, rng=np.random.default_rng(1)
+        )
+        assert all(check.coords_checked <= 2 for check in report.checks)
+        report.raise_if_failed()
+
+    @pytest.mark.slow
+    def test_tiny_tgcrn_exhaustive_check(self, tiny_tgcrn_setup):
+        """Every coordinate of every parameter — the scheduled deep sweep."""
+        model, loss_fn = tiny_tgcrn_setup
+        report = check_module_gradients(model, loss_fn, max_coords_per_param=None)
+        report.raise_if_failed()
+        assert report.coords_checked == sum(p.size for p in model.parameters())
+
+
+class TestGuards:
+    def test_rejects_non_float_parameters(self):
+        class IntModule(Module):
+            def __init__(self):
+                super().__init__()
+                self.table = Parameter(np.arange(4))
+                self.table.data = self.table.data.astype(np.int64)
+
+        module = IntModule()
+        with pytest.raises(TypeError, match="non-float"):
+            check_module_gradients(module, lambda: Tensor(0.0), max_coords_per_param=None)
+
+    def test_rejects_non_scalar_loss(self, rng):
+        model = Linear(3, 2, rng=rng)
+        x = Tensor(np.ones((4, 3)))
+        with pytest.raises(ValueError, match="scalar"):
+            check_module_gradients(model, lambda: model(x))
+
+    def test_rejects_parameterless_module(self):
+        with pytest.raises(ValueError, match="no parameters"):
+            check_module_gradients(Module(), lambda: Tensor(0.0))
+
+    def test_non_finite_loss_reported_as_failure(self, rng):
+        model = Linear(2, 1, rng=rng)
+        report = check_module_gradients(model, lambda: Tensor(np.nan))
+        assert not report.passed
+        assert "non-finite loss" in report.failures[0].note
+
+    def test_parameters_restored_after_crashing_loss(self, rng):
+        """A loss that explodes mid-sweep must not corrupt the model."""
+        model = Linear(3, 2, rng=rng)
+        before = {name: p.data.copy() for name, p in model.named_parameters()}
+        calls = {"n": 0}
+
+        def flaky_loss():
+            calls["n"] += 1
+            if calls["n"] > 3:
+                raise RuntimeError("boom")
+            return mse_loss(model(Tensor(np.ones((2, 3)))), Tensor(np.zeros((2, 2))))
+
+        with pytest.raises(RuntimeError):
+            check_module_gradients(model, flaky_loss, max_coords_per_param=None)
+        for name, p in model.named_parameters():
+            np.testing.assert_array_equal(p.data, before[name])
+
+
+class TestDetection:
+    def test_catches_wrong_backward(self):
+        """A module whose backward doubles the true gradient must fail."""
+
+        class BuggyScale(Module):
+            def __init__(self):
+                super().__init__()
+                self.scale = Parameter(np.array([1.5]))
+
+            def forward(self, x: Tensor) -> Tensor:
+                param = self.scale
+                out_data = x.data * param.data
+
+                def backward_fn(grad):
+                    # deliberate bug: factor of 2 on the parameter gradient
+                    param._accumulate(np.array([2.0 * float((grad * x.data).sum())]))
+
+                return Tensor._make(out_data, (param,), backward_fn)
+
+        module = BuggyScale()
+        x = Tensor(np.array([1.0, 2.0, 3.0]))
+        report = check_module_gradients(
+            module, lambda: module(x).sum(), max_coords_per_param=None
+        )
+        assert not report.passed
+        assert report.failures[0].name == "scale"
+
+
+class TestNumericalGradientHardening:
+    """Satellite: grad_check.numerical_gradient restoration + dtype guard."""
+
+    def test_restores_parameter_after_exception(self):
+        w = Tensor(np.array([1.0, 2.0, 3.0]), requires_grad=True)
+        original = w.data.copy()
+        calls = {"n": 0}
+
+        def crashing_fn():
+            calls["n"] += 1
+            if calls["n"] == 4:  # fail on the second coordinate's +eps eval
+                raise ValueError("mid-sweep crash")
+            return (w * w).sum()
+
+        with pytest.raises(ValueError, match="mid-sweep"):
+            numerical_gradient(crashing_fn, w)
+        np.testing.assert_array_equal(w.data, original)
+
+    def test_rejects_integer_parameter(self):
+        w = Tensor(np.array([1.0]), requires_grad=True)
+        w.data = w.data.astype(np.int32)
+        with pytest.raises(TypeError, match="floating-point"):
+            numerical_gradient(lambda: Tensor(0.0), w)
+
+    def test_still_computes_correct_gradient(self):
+        w = Tensor(np.array([[1.0, -2.0], [0.5, 3.0]]), requires_grad=True)
+        grad = numerical_gradient(lambda: (w * w).sum(), w)
+        np.testing.assert_allclose(grad, 2.0 * w.data, rtol=1e-6, atol=1e-8)
+
+    def test_non_contiguous_parameter(self):
+        """``.flat`` indexing must hit the real buffer even for views."""
+        base = np.arange(8, dtype=float).reshape(2, 4)
+        view = base[:, ::2]  # non-contiguous view
+        w = Tensor(np.array([0.0]), requires_grad=True)
+        w.data = view
+        grad = numerical_gradient(lambda: Tensor((w.data ** 2).sum()), w)
+        np.testing.assert_allclose(grad, 2.0 * view, rtol=1e-6, atol=1e-8)
+        np.testing.assert_array_equal(base, np.arange(8, dtype=float).reshape(2, 4))
+
+
+class TestAttentionConvCoverage:
+    """Satellite: oracle coverage for nn/attention.py and nn/conv.py."""
+
+    def test_multi_head_attention_gradients(self, rng):
+        from repro.nn.attention import MultiHeadAttention, causal_mask
+
+        attn = MultiHeadAttention(model_dim=4, num_heads=2, rng=rng)
+        x = Tensor(rng.normal(size=(2, 3, 4)))
+        target = Tensor(rng.normal(size=(2, 3, 4)))
+        mask = causal_mask(3)
+
+        report = check_module_gradients(
+            attn,
+            lambda: mse_loss(attn(x, x, x, mask=mask), target),
+            max_coords_per_param=6,
+            rng=np.random.default_rng(2),
+        )
+        report.raise_if_failed()
+
+    def test_transformer_block_gradients(self, rng):
+        from repro.nn.attention import TransformerBlock
+
+        block = TransformerBlock(model_dim=4, num_heads=2, ff_dim=6, rng=rng)
+        x = Tensor(rng.normal(size=(2, 3, 4)))
+        target = Tensor(rng.normal(size=(2, 3, 4)))
+        report = check_module_gradients(
+            block,
+            lambda: mae_loss(block(x), target),
+            max_coords_per_param=4,
+            rng=np.random.default_rng(3),
+            epsilon=1e-6,
+        )
+        report.raise_if_failed()
+
+    def test_dilated_causal_conv_gradients(self, rng):
+        from repro.nn.conv import Conv1d
+
+        conv = Conv1d(2, 3, kernel_size=3, dilation=2, rng=rng)
+        x = Tensor(rng.normal(size=(2, 6, 2)))
+        target = Tensor(rng.normal(size=(2, 6, 3)))
+        report = check_module_gradients(
+            conv,
+            lambda: mse_loss(conv(x), target),
+            max_coords_per_param=None,  # small enough to be exhaustive
+        )
+        report.raise_if_failed()
+        assert report.coords_checked == sum(p.size for p in conv.parameters())
+
+    def test_gated_tcn_block_gradients(self, rng):
+        from repro.nn.conv import GatedTCNBlock
+
+        block = GatedTCNBlock(channels=2, kernel_size=2, dilation=1, rng=rng)
+        x = Tensor(rng.normal(size=(2, 5, 2)))
+        target = Tensor(rng.normal(size=(2, 5, 2)))
+        report = check_module_gradients(
+            block,
+            lambda: mse_loss(block(x), target),
+            max_coords_per_param=6,
+            rng=np.random.default_rng(4),
+        )
+        report.raise_if_failed()

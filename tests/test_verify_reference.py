@@ -1,0 +1,133 @@
+"""Reference-vs-production cross-checks (repro.verify.reference/crosscheck).
+
+The acceptance bar: TagSL, the discrepancy loss, GCGRU, and Chebyshev
+propagation must agree with the naive loop-based references at
+rtol ≤ 1e-6.  A sensitivity test guards the guards: a deliberately
+perturbed production parameter must make its cross-check fail.
+"""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor, softmax
+from repro.verify import ALL_CHECKS, run_all
+from repro.verify import reference
+from repro.verify.crosscheck import DEFAULT_RTOL, check_tagsl
+
+
+class TestCrossChecks:
+    @pytest.mark.parametrize("name", sorted(ALL_CHECKS))
+    def test_production_matches_reference(self, name):
+        result = ALL_CHECKS[name](seed=0)
+        assert result.passed, str(result)
+        assert result.rtol <= 1e-6
+
+    def test_run_all_covers_every_check(self):
+        results = run_all(seed=1)
+        assert len(results) == len(ALL_CHECKS)
+        assert all(r.passed for r in results), "\n".join(map(str, results))
+
+    @pytest.mark.parametrize("seed", range(2, 5))
+    def test_agreement_is_seed_independent(self, seed):
+        assert all(r.passed for r in run_all(seed=seed))
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("seed", range(5, 25))
+    def test_exhaustive_seed_sweep(self, seed):
+        assert all(r.passed for r in run_all(seed=seed))
+
+
+class TestSensitivity:
+    """A wrong production path must be *caught*, not absorbed by tolerance."""
+
+    def test_perturbed_tagsl_embedding_fails_check(self, monkeypatch):
+        from repro.core.tagsl import TagSL
+
+        original_forward = TagSL.forward
+
+        def buggy_forward(self, node_state, time_indices):
+            out = original_forward(self, node_state, time_indices)
+            return out * 1.0001  # a 1e-4 relative error — sub-seed-variance
+
+        monkeypatch.setattr(TagSL, "forward", buggy_forward)
+        result = check_tagsl(seed=0)
+        assert not result.passed
+
+    def test_reference_detects_gate_order_swap(self):
+        """Swapping z and r in the reference must disagree with production
+        (guards against both paths sharing the same transposed bug)."""
+        from repro.verify.crosscheck import check_gcgru
+
+        swapped = reference.gcgru_cell_reference
+
+        def gate_swapped(x, h, adjacency, node_embed, gw, gb, cw, cb, cheb_k):
+            # reverse the gate pool halves: z reads r's channels and vice versa
+            hidden = h.shape[-1]
+            out_dim = 2 * hidden
+            perm = np.concatenate([np.arange(hidden, out_dim), np.arange(hidden)])
+            gw_swapped = gw.reshape(gw.shape[0], -1, out_dim)[..., perm].reshape(gw.shape)
+            gb_swapped = gb[:, perm]
+            return swapped(x, h, adjacency, node_embed, gw_swapped, gb_swapped, cw, cb, cheb_k)
+
+        import repro.verify.crosscheck as crosscheck
+
+        original = reference.gcgru_cell_reference
+        reference.gcgru_cell_reference = gate_swapped
+        try:
+            result = crosscheck.check_gcgru(seed=0)
+        finally:
+            reference.gcgru_cell_reference = original
+        assert not result.passed
+
+
+class TestReferencePrimitives:
+    """Direct checks of the naive implementations on hand-sized inputs."""
+
+    def test_static_adjacency_is_gram_matrix(self, rng):
+        emb = rng.normal(size=(4, 3))
+        np.testing.assert_allclose(
+            reference.static_adjacency_reference(emb), emb @ emb.T, rtol=1e-12
+        )
+
+    def test_trend_factor_wraps_at_day_boundary(self, rng):
+        """η at slot 0 must pair with the *last* slot of the previous day."""
+        table = rng.normal(size=(6, 4))
+        eta = reference.trend_factor_reference(table, np.array([0]))
+        assert eta[0] == pytest.approx(float(table[0] @ table[5]))
+
+    def test_periodic_discriminant_is_symmetric_and_bounded(self, rng):
+        state = rng.normal(size=(2, 5, 3))
+        disc = reference.periodic_discriminant_reference(state)
+        np.testing.assert_allclose(disc, disc.swapaxes(-1, -2), rtol=1e-12)
+        assert np.all(np.abs(disc) <= 1.0)
+
+    def test_row_softmax_matches_autodiff_softmax(self, rng):
+        scores = rng.normal(size=(3, 4, 4)) * 5.0
+        expected = softmax(Tensor(scores), axis=-1).data
+        np.testing.assert_allclose(
+            reference.row_softmax_reference(scores), expected, rtol=1e-12
+        )
+
+    def test_chebyshev_recurrence_order_three(self, rng):
+        matrix = rng.normal(size=(4, 4))
+        supports = reference.chebyshev_supports_reference(matrix, order=3)
+        np.testing.assert_allclose(supports[0], np.eye(4), rtol=1e-12)
+        np.testing.assert_allclose(supports[1], matrix, rtol=1e-12)
+        np.testing.assert_allclose(
+            supports[2], 2.0 * matrix @ matrix - np.eye(4), rtol=1e-9
+        )
+
+    def test_discrepancy_zero_for_identical_ratios(self):
+        """A table where ζ/d is constant across the three pairs gives 0 loss."""
+        # one-hot-free construction: embeddings spaced so distance == slot gap
+        table = np.zeros((8, 1))
+        table[:, 0] = np.arange(8, dtype=float)
+        loss = reference.discrepancy_loss_reference(
+            table,
+            anchor_values=np.array([0]),
+            adjacent_values=np.array([1]),
+            mid_values=np.array([3]),
+            distant_values=np.array([6]),
+            l2_eps=0.0,
+        )
+        assert loss == pytest.approx(0.0, abs=1e-12)
