@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from bench_utils import report, scale, tgcrn_kwargs
+from bench_utils import perf_snapshot, report, scale, tgcrn_kwargs
 
 from repro.baselines import build_baseline
 from repro.core import TGCRN
@@ -54,16 +54,21 @@ def _timed_epochs() -> dict[str, float]:
     return seconds
 
 
-def _run() -> str:
+def _run() -> tuple[str, dict]:
     params = dict(_paper_scale_parameters())
     seconds = _timed_epochs()
     rows = []
     for name, count in params.items():
         timing_key = name.split(" ")[0]
         rows.append((name, count, seconds.get(timing_key, float("nan"))))
-    return format_cost_table(rows)
+    data = {
+        "parameters": params,
+        "seconds_per_epoch": seconds,
+    }
+    return format_cost_table(rows), data
 
 
 def test_table8_cost(benchmark):
-    table = benchmark.pedantic(_run, rounds=1, iterations=1)
-    report("table8_cost", table)
+    table, data = benchmark.pedantic(_run, rounds=1, iterations=1)
+    report("table8_cost", table, data=data)
+    perf_snapshot("table8_cost", data)

@@ -14,11 +14,14 @@ Rendered tables are printed and archived under ``benchmarks/results/``.
 
 from __future__ import annotations
 
+import json
 import os
+import time
 from dataclasses import dataclass
 from pathlib import Path
 
 RESULTS_DIR = Path(__file__).parent / "results"
+REPO_ROOT = Path(__file__).parent.parent
 
 
 @dataclass(frozen=True)
@@ -65,12 +68,17 @@ def tgcrn_kwargs(s: BenchScale) -> dict:
     return dict(node_dim=s.node_dim, time_dim=s.time_dim, num_layers=s.num_layers)
 
 
-def report(name: str, text: str) -> None:
+def report(name: str, text: str, data: dict | list | None = None) -> None:
     """Print a rendered table and archive it under benchmarks/results/.
 
     Printing goes to the *real* stdout so the tables appear in the
     terminal / tee output even when pytest captures test output (i.e.
     without ``-s``).
+
+    Besides the rendered ``.txt``, every bench also gets a
+    machine-readable ``.json`` sibling holding the scale, a timestamp,
+    the text, and — when the bench passes one — its structured ``data``
+    payload, so the perf/metric trajectory can be diffed across commits.
     """
     import sys
 
@@ -80,3 +88,25 @@ def report(name: str, text: str) -> None:
     stream.write(banner + text + "\n")
     stream.flush()
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    payload = {
+        "name": name,
+        "scale": scale().name,
+        "ts": time.time(),
+        "text": text,
+    }
+    if data is not None:
+        payload["data"] = data
+    (RESULTS_DIR / f"{name}.json").write_text(json.dumps(payload, indent=2, default=float) + "\n")
+
+
+def perf_snapshot(name: str, data: dict) -> Path:
+    """Write a ``BENCH_<name>.json`` perf snapshot at the repo root.
+
+    These files seed the cross-commit bench trajectory (see ROADMAP.md):
+    each snapshot records the scale it was measured at plus whatever
+    structured numbers the bench provides.
+    """
+    path = REPO_ROOT / f"BENCH_{name}.json"
+    payload = {"name": name, "scale": scale().name, "ts": time.time(), "data": data}
+    path.write_text(json.dumps(payload, indent=2, default=float) + "\n")
+    return path

@@ -16,6 +16,7 @@ are summed out on the way back (:func:`unbroadcast`).
 from __future__ import annotations
 
 import contextlib
+from time import perf_counter
 from typing import Callable, Iterable, Sequence
 
 import numpy as np
@@ -25,6 +26,32 @@ DEFAULT_DTYPE = np.float64
 # Global switch consulted when building the graph.  Inside ``no_grad()``
 # blocks no backward closures are recorded, mirroring torch.no_grad().
 _GRAD_ENABLED = True
+
+# --------------------------------------------------------------------- #
+# observability hook points (installed by repro.obs.trace)
+#
+# ``_MAKE_HOOK(data, backward_fn)`` fires on every op result so a tracer
+# can count calls and bytes; ``_BACKWARD_OP_HOOK(backward_fn, started,
+# seconds)`` fires after each backward closure with its wall-time.  Both
+# default to None; the disabled cost is one global load + None check.
+# --------------------------------------------------------------------- #
+
+_MAKE_HOOK: Callable[[np.ndarray, Callable | None], None] | None = None
+_BACKWARD_OP_HOOK: Callable[[Callable, float, float], None] | None = None
+
+
+def set_make_hook(hook: Callable | None) -> Callable | None:
+    """Install (or clear) the op-creation hook; returns the previous one."""
+    global _MAKE_HOOK
+    previous, _MAKE_HOOK = _MAKE_HOOK, hook
+    return previous
+
+
+def set_backward_op_hook(hook: Callable | None) -> Callable | None:
+    """Install (or clear) the per-closure backward hook; returns the previous one."""
+    global _BACKWARD_OP_HOOK
+    previous, _BACKWARD_OP_HOOK = _BACKWARD_OP_HOOK, hook
+    return previous
 
 
 @contextlib.contextmanager
@@ -151,6 +178,8 @@ class Tensor:
     @staticmethod
     def _make(data: np.ndarray, parents: Sequence["Tensor"], backward_fn) -> "Tensor":
         """Build an op result, recording the closure only if needed."""
+        if _MAKE_HOOK is not None:
+            _MAKE_HOOK(data, backward_fn)
         needs_grad = _GRAD_ENABLED and any(p.requires_grad for p in parents)
         if not needs_grad:
             return Tensor(data)
@@ -194,9 +223,17 @@ class Tensor:
                     stack.append((parent, False))
 
         self._accumulate(grad)
-        for node in reversed(topo):
-            if node._backward_fn is not None and node.grad is not None:
-                node._backward_fn(node.grad)
+        hook = _BACKWARD_OP_HOOK
+        if hook is None:
+            for node in reversed(topo):
+                if node._backward_fn is not None and node.grad is not None:
+                    node._backward_fn(node.grad)
+        else:
+            for node in reversed(topo):
+                if node._backward_fn is not None and node.grad is not None:
+                    started = perf_counter()
+                    node._backward_fn(node.grad)
+                    hook(node._backward_fn, started, perf_counter() - started)
 
     # ------------------------------------------------------------------ #
     # arithmetic

@@ -1,4 +1,4 @@
-"""Command-line interface: train, evaluate, compare, inspect, and verify.
+"""Command-line interface: train, evaluate, compare, inspect, profile, verify.
 
 Usage::
 
@@ -6,10 +6,13 @@ Usage::
     python -m repro.cli compare --dataset hzmetro --models ha,agcrn,tgcrn
     python -m repro.cli inspect --dataset hzmetro
     python -m repro.cli evaluate --dataset hzmetro --checkpoint model.npz
+    python -m repro.cli profile --dataset hzmetro --epochs 1   # hot-op table
     python -m repro.cli verify              # correctness harness outside pytest
 
 Every command accepts ``--nodes/--days/--seed`` to control the synthetic
-dataset scale, so quick experiments stay quick.
+dataset scale, so quick experiments stay quick.  ``--quiet`` silences the
+console (benchmark mode); ``--log-jsonl PATH`` records structured
+per-epoch run logs; ``--trace`` profiles autodiff ops (docs/observability.md).
 """
 
 from __future__ import annotations
@@ -25,6 +28,7 @@ from .core.variants import VARIANTS
 from .data import load_task
 from .data.datasets import SPECS
 from .nn.serialization import load_checkpoint, save_checkpoint
+from .obs import Console, trace
 from .training import Trainer, TrainingConfig, default_tgcrn_kwargs, run_experiment
 from .training.analysis import horizon_curve_text, improvement_table
 from .viz import render_heatmap, side_by_side
@@ -48,6 +52,18 @@ def _add_training_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--lambda-time", type=float, default=0.1)
 
 
+def _add_obs_args(parser: argparse.ArgumentParser, tracing: bool = False) -> None:
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress console chatter (for benchmark scripts)")
+    parser.add_argument("--log-jsonl", default=None, metavar="PATH",
+                        help="write structured per-epoch run records (JSONL)")
+    if tracing:
+        parser.add_argument("--trace", action="store_true",
+                            help="profile autodiff ops and print a hot-op table")
+        parser.add_argument("--trace-out", default="trace.json", metavar="PATH",
+                            help="Chrome-trace JSON destination (with --trace)")
+
+
 def _load(args) -> "ForecastingTask":
     return load_task(args.dataset, size=args.size, seed=args.seed,
                      num_nodes=args.nodes, num_days=args.days)
@@ -56,34 +72,63 @@ def _load(args) -> "ForecastingTask":
 def _config(args) -> TrainingConfig:
     return TrainingConfig(
         epochs=args.epochs, batch_size=args.batch_size,
-        lambda_time=args.lambda_time, seed=args.seed, verbose=True,
+        lambda_time=args.lambda_time, seed=args.seed,
+        verbose=not getattr(args, "quiet", False),
+        log_path=getattr(args, "log_jsonl", None),
+    )
+
+
+def _console(args) -> Console:
+    return Console(enabled=not getattr(args, "quiet", False))
+
+
+def _run_traced(args, fn):
+    """Run ``fn()`` under the op tracer when ``--trace`` is set.
+
+    Prints the hot-op table and writes the Chrome trace afterwards.
+    """
+    console = _console(args)
+    if not getattr(args, "trace", False):
+        return fn()
+    with trace() as tracer:
+        result = fn()
+    console.print()
+    console.print(tracer.table())
+    path = tracer.export_chrome_trace(args.trace_out)
+    console.print(f"chrome trace written to {path} "
+                  f"({len(tracer.events)} events; open in chrome://tracing)")
+    return result
+
+
+def _train_once(args, task, keep_model: bool = True):
+    """Shared train/profile path: run one experiment from CLI args."""
+    if args.model == "tgcrn" or args.model in VARIANTS:
+        return run_experiment(
+            args.model, task, _config(args), hidden_dim=args.hidden,
+            model_kwargs=dict(node_dim=args.node_dim, time_dim=args.time_dim,
+                              num_layers=args.layers),
+            keep_model=keep_model,
+        )
+    return run_experiment(
+        args.model, task, _config(args), hidden_dim=args.hidden,
+        num_layers=args.layers, keep_model=keep_model,
     )
 
 
 def cmd_train(args) -> int:
+    console = _console(args)
     task = _load(args)
-    if args.model == "tgcrn" or args.model in VARIANTS:
-        result = run_experiment(
-            args.model, task, _config(args), hidden_dim=args.hidden,
-            model_kwargs=dict(node_dim=args.node_dim, time_dim=args.time_dim,
-                              num_layers=args.layers),
-            keep_model=True,
-        )
-    else:
-        result = run_experiment(
-            args.model, task, _config(args), hidden_dim=args.hidden,
-            num_layers=args.layers, keep_model=True,
-        )
-    print(f"\n{args.model} on {args.dataset}: {result.overall}")
-    print(f"parameters: {result.num_parameters:,}  time/epoch: {result.seconds_per_epoch:.2f}s")
+    result = _run_traced(args, lambda: _train_once(args, task))
+    console.print(f"\n{args.model} on {args.dataset}: {result.overall}")
+    console.print(f"parameters: {result.num_parameters:,}  time/epoch: {result.seconds_per_epoch:.2f}s")
     if args.summary and hasattr(result.model, "summary"):
-        print()
-        print(result.model.summary())
+        console.print()
+        console.print(result.model.summary())
     if result.history is not None and result.history.val_maes:
         from .viz import training_curve
 
-        print()
-        print(training_curve(result.history.train_losses, result.history.val_maes))
+        console.print()
+        console.print(training_curve(result.history.train_losses, result.history.val_maes))
     if args.save and hasattr(result.model, "state_dict"):
         save_checkpoint(args.save, result.model, metadata={
             "model": args.model, "dataset": args.dataset,
@@ -91,11 +136,31 @@ def cmd_train(args) -> int:
             "node_dim": args.node_dim, "time_dim": args.time_dim,
             "nodes": task.num_nodes, "test_mae": result.overall.mae,
         })
-        print(f"checkpoint written to {args.save}")
+        console.print(f"checkpoint written to {args.save}")
+    return 0
+
+
+def cmd_profile(args) -> int:
+    """Train briefly under the op tracer; report the hot-op table."""
+    console = _console(args)
+    task = _load(args)
+    with trace(max_events=args.max_events) as tracer:
+        result = _train_once(args, task, keep_model=False)
+    console.print(f"\nprofile: {args.model} on {args.dataset}, "
+                  f"{result.epochs_run} epoch(s), "
+                  f"{result.seconds_per_epoch:.2f}s/epoch")
+    console.print()
+    console.print(tracer.table(args.top_k))
+    path = tracer.export_chrome_trace(args.trace_out)
+    console.print(f"\nchrome trace written to {path} "
+                  f"({len(tracer.events)} events"
+                  + (f", {tracer.events_dropped} dropped" if tracer.events_dropped else "")
+                  + "; open in chrome://tracing)")
     return 0
 
 
 def cmd_evaluate(args) -> int:
+    console = _console(args)
     task = _load(args)
     model = TGCRN(
         **default_tgcrn_kwargs(task, hidden_dim=args.hidden, node_dim=args.node_dim,
@@ -105,55 +170,75 @@ def cmd_evaluate(args) -> int:
     metadata = load_checkpoint(args.checkpoint, model)
     trainer = Trainer(TrainingConfig(batch_size=args.batch_size))
     overall, per_horizon = trainer.test_report(model, task)
-    print(f"checkpoint metadata: {metadata}")
-    print(f"test: {overall}")
+    console.print(f"checkpoint metadata: {metadata}")
+    console.print(f"test: {overall}")
     for q, report in enumerate(per_horizon, start=1):
-        print(f"  t+{q}: MAE {report.mae:.3f}  RMSE {report.rmse:.3f}")
+        console.print(f"  t+{q}: MAE {report.mae:.3f}  RMSE {report.rmse:.3f}")
     return 0
 
 
 def cmd_compare(args) -> int:
+    console = _console(args)
     task = _load(args)
     config = _config(args)
     config.verbose = False
+    logger = None
+    if args.log_jsonl:
+        from .obs import RunLogger
+
+        logger = RunLogger(path=args.log_jsonl, console=False,
+                           metadata={"command": "compare", "dataset": args.dataset,
+                                     "models": args.models})
     results = []
-    for name in args.models.split(","):
-        name = name.strip()
-        kwargs = {}
-        if name == "tgcrn" or name in VARIANTS:
-            kwargs["model_kwargs"] = dict(
-                node_dim=args.node_dim, time_dim=args.time_dim, num_layers=args.layers
-            )
-        else:
-            kwargs["num_layers"] = args.layers
-        print(f"running {name}...", flush=True)
-        results.append(run_experiment(name, task, config, hidden_dim=args.hidden, **kwargs))
-    print(f"\n{'model':<14} {'MAE':>8} {'RMSE':>8} {'MAPE%':>7} {'PCC':>7} {'#params':>10}")
+
+    def _run_all():
+        for name in args.models.split(","):
+            name = name.strip()
+            kwargs = {}
+            if name == "tgcrn" or name in VARIANTS:
+                kwargs["model_kwargs"] = dict(
+                    node_dim=args.node_dim, time_dim=args.time_dim, num_layers=args.layers
+                )
+            else:
+                kwargs["num_layers"] = args.layers
+            console.print(f"running {name}...", flush=True)
+            if logger is not None:
+                logger.log("model_start", model=name)
+            results.append(run_experiment(name, task, config, hidden_dim=args.hidden,
+                                          logger=logger, **kwargs))
+
+    try:
+        _run_traced(args, _run_all)
+    finally:
+        if logger is not None:
+            logger.close()
+    console.print(f"\n{'model':<14} {'MAE':>8} {'RMSE':>8} {'MAPE%':>7} {'PCC':>7} {'#params':>10}")
     for r in results:
         o = r.overall
-        print(f"{r.model_name:<14} {o.mae:8.3f} {o.rmse:8.3f} {o.mape:7.2f} {o.pcc:7.4f} "
-              f"{r.num_parameters:10,d}")
-    print()
-    print(horizon_curve_text(results))
+        console.print(f"{r.model_name:<14} {o.mae:8.3f} {o.rmse:8.3f} {o.mape:7.2f} {o.pcc:7.4f} "
+                      f"{r.num_parameters:10,d}")
+    console.print()
+    console.print(horizon_curve_text(results))
     if any(r.model_name == "tgcrn" for r in results) and len(results) > 1:
-        print()
-        print(improvement_table(results))
+        console.print()
+        console.print(improvement_table(results))
     return 0
 
 
 def cmd_inspect(args) -> int:
+    console = _console(args)
     task = _load(args)
     ds = task.dataset
-    print(f"{args.dataset}: {task.num_nodes} nodes, {ds.num_steps} steps "
-          f"({task.steps_per_day}/day), P={task.history} Q={task.horizon}")
-    print(f"windows: train {len(task.train)}, val {len(task.val)}, test {len(task.test)}")
+    console.print(f"{args.dataset}: {task.num_nodes} nodes, {ds.num_steps} steps "
+                  f"({task.steps_per_day}/day), P={task.history} Q={task.horizon}")
+    console.print(f"windows: train {len(task.train)}, val {len(task.val)}, test {len(task.test)}")
     areas = {0: "residential", 1: "business", 2: "shopping"}
     counts = {areas[a]: int((ds.areas == a).sum()) for a in np.unique(ds.areas)}
-    print(f"functional areas: {counts}")
+    console.print(f"functional areas: {counts}")
     spd = task.steps_per_day
     slot = spd // 6
-    print("\nGround-truth OD transfer (weekday vs weekend, same morning slot):")
-    print(side_by_side(
+    console.print("\nGround-truth OD transfer (weekday vs weekend, same morning slot):")
+    console.print(side_by_side(
         render_heatmap(ds.od_matrix(0 * spd + slot), title="Monday"),
         render_heatmap(ds.od_matrix(5 * spd + slot), title="Saturday"),
     ))
@@ -187,14 +272,15 @@ def cmd_verify(args) -> int:
         save_trace,
     )
 
+    console = _console(args)
     failures = 0
 
-    print("reference-vs-production cross-checks:")
+    console.print("reference-vs-production cross-checks:")
     for result in run_all(seed=args.seed):
-        print(f"  {result}")
+        console.print(f"  {result}")
         failures += 0 if result.passed else 1
 
-    print("\ngradient oracle (tiny TGCRN, sampled coordinates):")
+    console.print("\ngradient oracle (tiny TGCRN, sampled coordinates):")
     rng = named_rng(args.seed, "cli-verify-oracle")
     model = TGCRN(
         num_nodes=3, in_dim=1, out_dim=1, horizon=2, hidden_dim=3, num_layers=1,
@@ -210,29 +296,29 @@ def cmd_verify(args) -> int:
         rng=np.random.default_rng(args.seed),
     )
     for line in str(report).splitlines():
-        print(f"  {line}")
+        console.print(f"  {line}")
     failures += 0 if report.passed else 1
 
     golden_path = Path(args.golden)
     if args.update_golden:
-        trace = run_golden_trace()
+        golden_trace = run_golden_trace()
         golden_path.parent.mkdir(parents=True, exist_ok=True)
-        save_trace(golden_path, trace)
-        print(f"\ngolden trace regenerated at {golden_path}")
+        save_trace(golden_path, golden_trace)
+        console.print(f"\ngolden trace regenerated at {golden_path}")
     elif golden_path.exists():
-        print(f"\ngolden trace ({golden_path}):")
+        console.print(f"\ngolden trace ({golden_path}):")
         problems = compare_traces(run_golden_trace(), load_trace(golden_path))
         if problems:
             failures += 1
             for problem in problems:
-                print(f"  FAIL {problem}")
+                console.print(f"  FAIL {problem}")
         else:
-            print("  ok   loss curve matches the committed fixture")
+            console.print("  ok   loss curve matches the committed fixture")
     else:
-        print(f"\ngolden trace: fixture {golden_path} not found, skipping "
-              "(regenerate with --update-golden)")
+        console.print(f"\ngolden trace: fixture {golden_path} not found, skipping "
+                      "(regenerate with --update-golden)")
 
-    print(f"\nverify: {'FAILED' if failures else 'PASSED'}")
+    console.print(f"\nverify: {'FAILED' if failures else 'PASSED'}")
     return 1 if failures else 0
 
 
@@ -243,6 +329,7 @@ def build_parser() -> argparse.ArgumentParser:
     train = sub.add_parser("train", help="train one model and report test metrics")
     _add_dataset_args(train)
     _add_training_args(train)
+    _add_obs_args(train, tracing=True)
     train.add_argument("--model", default="tgcrn",
                        help=f"tgcrn, a variant {sorted(VARIANTS)}, or one of {ALL_BASELINES}")
     train.add_argument("--save", default=None, help="write a .npz checkpoint")
@@ -253,17 +340,37 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate = sub.add_parser("evaluate", help="evaluate a saved TGCRN checkpoint")
     _add_dataset_args(evaluate)
     _add_training_args(evaluate)
+    _add_obs_args(evaluate)
     evaluate.add_argument("--checkpoint", required=True)
     evaluate.set_defaults(fn=cmd_evaluate)
 
     compare = sub.add_parser("compare", help="train several models and rank them")
     _add_dataset_args(compare)
     _add_training_args(compare)
+    _add_obs_args(compare, tracing=True)
     compare.add_argument("--models", default="ha,agcrn,tgcrn", help="comma-separated names")
     compare.set_defaults(fn=cmd_compare)
 
+    profile = sub.add_parser(
+        "profile",
+        help="train briefly under the op tracer and report the hot-op table",
+    )
+    _add_dataset_args(profile)
+    _add_training_args(profile)
+    _add_obs_args(profile)
+    profile.add_argument("--model", default="tgcrn",
+                         help=f"tgcrn, a variant {sorted(VARIANTS)}, or one of {ALL_BASELINES}")
+    profile.add_argument("--top-k", type=int, default=12,
+                         help="rows in the hot-op table")
+    profile.add_argument("--trace-out", default="trace.json", metavar="PATH",
+                         help="Chrome-trace JSON destination")
+    profile.add_argument("--max-events", type=int, default=200_000,
+                         help="Chrome-trace event cap")
+    profile.set_defaults(fn=cmd_profile, epochs=1)
+
     inspect = sub.add_parser("inspect", help="describe a dataset and its OD dynamics")
     _add_dataset_args(inspect)
+    _add_obs_args(inspect)
     inspect.set_defaults(fn=cmd_inspect)
 
     experiments = sub.add_parser(
@@ -288,6 +395,8 @@ def build_parser() -> argparse.ArgumentParser:
                         help="golden loss-curve fixture to compare against")
     verify.add_argument("--update-golden", action="store_true",
                         help="regenerate the golden fixture instead of comparing")
+    verify.add_argument("--quiet", action="store_true",
+                        help="suppress console output (exit code still reports pass/fail)")
     verify.set_defaults(fn=cmd_verify)
     return parser
 

@@ -1,0 +1,45 @@
+"""Observability: op-level tracing, metrics, run logging, graph monitors.
+
+Four pillars (see docs/observability.md):
+
+* :mod:`~repro.obs.trace` — ``with trace() as tr:`` op profiler over the
+  autodiff engine (hot-op table, Chrome-trace export, strict no-op when
+  inactive).
+* :mod:`~repro.obs.metrics` — counters/gauges/histograms/timers with
+  JSONL emission; one schema for trainer, benches, and CLI.
+* :mod:`~repro.obs.runlog` — structured per-epoch run logger replacing
+  the trainer's bare ``print`` (JSONL file + compatible console line).
+* :mod:`~repro.obs.graphwatch` — TagSL monitors: adjacency
+  entropy/sparsity, trend-factor magnitude, saturation-gate activation,
+  embedding-table drift (§IV-E, live).
+"""
+
+from .graphwatch import (
+    GraphWatch,
+    adjacency_entropy,
+    adjacency_sparsity,
+    embedding_drift,
+    gate_activation_rate,
+)
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry, read_jsonl
+from .runlog import Console, RunLogger
+from .trace import OpStats, Tracer, is_tracing, trace
+
+__all__ = [
+    "Console",
+    "Counter",
+    "Gauge",
+    "GraphWatch",
+    "Histogram",
+    "MetricsRegistry",
+    "OpStats",
+    "RunLogger",
+    "Tracer",
+    "adjacency_entropy",
+    "adjacency_sparsity",
+    "embedding_drift",
+    "gate_activation_rate",
+    "is_tracing",
+    "read_jsonl",
+    "trace",
+]

@@ -1,0 +1,152 @@
+"""TagSL graph-drift monitors — a live counterpart to the paper's §IV-E.
+
+The analysis sections of the paper inspect the *learned* time-aware
+adjacencies offline (heat maps, t-SNE of the time table).  During
+training the same quantities are cheap to compute per epoch and catch
+structure-learning pathologies early:
+
+* **adjacency entropy** — mean per-row Shannon entropy of Â^t; collapse
+  towards 0 means every node attends to one neighbour, ``log N`` means
+  the graph learned nothing (uniform rows).
+* **adjacency sparsity** — fraction of near-zero edges after Norm(·).
+* **trend-factor magnitude** — mean |η_t| (Eq. 7/8): how strongly the
+  time representation's evolution modulates the graph.
+* **saturation-gate activation** — fraction of periodic-discriminant
+  gates σ(A_p) past 0.5 (Eq. 9), plus the mean gate value.
+* **embedding drift** — relative Frobenius drift of the time-embedding
+  table and node embeddings since watch construction.
+
+All heavy lifting is pure numpy on detached values; a snapshot never
+touches the autodiff graph.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autodiff import Tensor, no_grad
+
+_EPS = 1e-12
+
+
+# ---------------------------------------------------------------------- #
+# stateless helpers (unit-testable on hand-computed matrices)
+# ---------------------------------------------------------------------- #
+
+
+def adjacency_entropy(adjacency: np.ndarray) -> float:
+    """Mean per-row Shannon entropy (nats) of an adjacency batch.
+
+    Rows are renormalized from their absolute values, so the measure is
+    exact for softmax-normalized graphs and still meaningful for raw A^t.
+    """
+    a = np.abs(np.asarray(adjacency, dtype=float))
+    rows = a / (a.sum(axis=-1, keepdims=True) + _EPS)
+    ent = -(rows * np.log(rows + _EPS)).sum(axis=-1)
+    return float(ent.mean())
+
+
+def adjacency_sparsity(adjacency: np.ndarray, threshold: float = 1e-3) -> float:
+    """Fraction of entries with ``|a| <= threshold``."""
+    a = np.abs(np.asarray(adjacency, dtype=float))
+    return float((a <= threshold).mean())
+
+
+def gate_activation_rate(periodic_discriminant: np.ndarray, midpoint: float = 0.5) -> float:
+    """Fraction of saturation gates σ(A_p) above ``midpoint`` (Eq. 9)."""
+    gate = 1.0 / (1.0 + np.exp(-np.asarray(periodic_discriminant, dtype=float)))
+    return float((gate > midpoint).mean())
+
+
+def embedding_drift(current: np.ndarray, initial: np.ndarray) -> float:
+    """Relative Frobenius drift ``||W - W0|| / ||W0||``."""
+    current = np.asarray(current, dtype=float)
+    initial = np.asarray(initial, dtype=float)
+    return float(np.linalg.norm(current - initial) / (np.linalg.norm(initial) + _EPS))
+
+
+# ---------------------------------------------------------------------- #
+# stateful watcher
+# ---------------------------------------------------------------------- #
+
+
+class GraphWatch:
+    """Per-epoch monitor of a TagSL-carrying model (TGCRN or bare TagSL).
+
+    The trainer calls :meth:`observe_batch` with the first batch of every
+    epoch (raw inputs — exactly what the first encoder layer feeds TagSL)
+    and :meth:`snapshot` after the epoch; models without a TagSL module
+    (baselines) yield ``available == False`` and empty snapshots.
+    """
+
+    def __init__(self, model, max_sample: int = 4, sparsity_threshold: float = 1e-3):
+        from ..core.tagsl import TagSL  # local import: obs must not cycle with core
+
+        self.tagsl = model if isinstance(model, TagSL) else getattr(model, "tagsl", None)
+        self.norm = getattr(model, "norm", "softmax")
+        self.sparsity_threshold = sparsity_threshold
+        self.max_sample = max_sample
+        self._sample_state: np.ndarray | None = None
+        self._sample_times: np.ndarray | None = None
+        self._initial_time_table: np.ndarray | None = None
+        self._initial_node: np.ndarray | None = None
+        if self.tagsl is not None:
+            with no_grad():
+                self._initial_time_table = self.tagsl.time_encoder.table().data.copy()
+            self._initial_node = self.tagsl.node_embedding.data.copy()
+
+    @property
+    def available(self) -> bool:
+        return self.tagsl is not None
+
+    def observe_batch(self, x: np.ndarray, time_indices: np.ndarray) -> None:
+        """Stash the first observed batch of the epoch as the probe input."""
+        if not self.available or self._sample_state is not None:
+            return
+        x = np.asarray(x)
+        t = np.asarray(time_indices)
+        self._sample_state = np.array(x[: self.max_sample, 0], dtype=float)
+        self._sample_times = np.atleast_1d(t[: self.max_sample, 0]).astype(np.int64)
+
+    def snapshot(self) -> dict[str, float]:
+        """Compute all monitors; resets the stashed batch for the next epoch."""
+        if not self.available:
+            return {}
+        tagsl = self.tagsl
+        state_np = self._sample_state
+        times = self._sample_times
+        self._sample_state = None
+        self._sample_times = None
+        if times is None:
+            times = np.arange(min(self.max_sample, tagsl.time_encoder.num_slots), dtype=np.int64)
+        if state_np is None:
+            # zero node-state keeps the gate defined (σ(0) = 0.5) when the
+            # watcher is used without observe_batch.
+            state_np = np.zeros((len(times), tagsl.num_nodes, 1))
+        stats: dict[str, float] = {}
+        with no_grad():
+            state = Tensor(state_np)
+            adjacency = tagsl.normalized(state, times, mode=self.norm).data
+            stats["adj_entropy"] = adjacency_entropy(adjacency)
+            stats["adj_sparsity"] = adjacency_sparsity(adjacency, self.sparsity_threshold)
+            if tagsl.use_trend:
+                eta = tagsl.trend_factor(times).data
+                stats["trend_eta_abs"] = float(np.abs(eta).mean())
+            else:
+                stats["trend_eta_abs"] = 0.0
+            if tagsl.use_pdf:
+                a_p = tagsl.periodic_discriminant(state).data
+                stats["gate_rate"] = gate_activation_rate(a_p)
+                stats["gate_mean"] = float(
+                    (1.0 + tagsl.alpha / (1.0 + np.exp(-a_p))).mean()
+                )
+            else:
+                stats["gate_rate"] = 0.0
+                stats["gate_mean"] = 1.0
+            time_table = tagsl.time_encoder.table().data
+        stats["time_norm"] = float(np.linalg.norm(time_table))
+        stats["time_drift"] = embedding_drift(time_table, self._initial_time_table)
+        node = tagsl.node_embedding.data
+        stats["node_norm"] = float(np.linalg.norm(node))
+        stats["node_drift"] = embedding_drift(node, self._initial_node)
+        return stats

@@ -1,0 +1,166 @@
+"""A tiny metrics registry: counters, gauges, histograms, timers → JSONL.
+
+One schema for every emitter (trainer, benchmarks, CLI)::
+
+    {"ts": 1720000000.0, "run": "train-hzmetro", "counters": {...},
+     "gauges": {...}, "histograms": {"epoch_seconds": {"count": 8, ...}}}
+
+Usage::
+
+    from repro.obs import MetricsRegistry
+
+    m = MetricsRegistry(run="train-hzmetro")
+    m.counter("batches").inc()
+    m.gauge("lr").set(1e-3)
+    with m.timer("epoch"):
+        ...
+    m.emit("metrics.jsonl")     # appends one JSONL record
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+from contextlib import contextmanager
+from pathlib import Path
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a gauge for signed values")
+        self.value += amount
+
+
+class Gauge:
+    """Last-write-wins scalar."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = float("nan")
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """Streaming summary (count/sum/min/max/mean/std/last) of observations."""
+
+    __slots__ = ("count", "total", "sumsq", "low", "high", "last")
+
+    def __init__(self):
+        self.count = 0
+        self.total = 0.0
+        self.sumsq = 0.0
+        self.low = math.inf
+        self.high = -math.inf
+        self.last = float("nan")
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        self.sumsq += value * value
+        self.low = min(self.low, value)
+        self.high = max(self.high, value)
+        self.last = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else float("nan")
+
+    @property
+    def std(self) -> float:
+        if not self.count:
+            return float("nan")
+        variance = max(self.sumsq / self.count - self.mean ** 2, 0.0)
+        return math.sqrt(variance)
+
+    def summary(self) -> dict:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.low if self.count else float("nan"),
+            "max": self.high if self.count else float("nan"),
+            "mean": self.mean,
+            "std": self.std,
+            "last": self.last,
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create store of named metrics with JSONL emission."""
+
+    def __init__(self, run: str | None = None):
+        self.run = run
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # -- access --------------------------------------------------------- #
+
+    def counter(self, name: str) -> Counter:
+        return self._counters.setdefault(name, Counter())
+
+    def gauge(self, name: str) -> Gauge:
+        return self._gauges.setdefault(name, Gauge())
+
+    def histogram(self, name: str) -> Histogram:
+        return self._histograms.setdefault(name, Histogram())
+
+    @contextmanager
+    def timer(self, name: str):
+        """Time a block into the histogram ``name`` (seconds)."""
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.histogram(name).observe(time.perf_counter() - started)
+
+    # -- emission ------------------------------------------------------- #
+
+    def snapshot(self) -> dict:
+        """One JSON-ready record of every metric's current state."""
+        record = {
+            "ts": time.time(),
+            "counters": {k: c.value for k, c in self._counters.items()},
+            "gauges": {k: g.value for k, g in self._gauges.items()},
+            "histograms": {k: h.summary() for k, h in self._histograms.items()},
+        }
+        if self.run is not None:
+            record["run"] = self.run
+        return record
+
+    def emit(self, path: str | Path) -> dict:
+        """Append one snapshot record to a JSONL file; returns the record."""
+        record = self.snapshot()
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("a") as fh:
+            fh.write(json.dumps(record, allow_nan=True) + "\n")
+        return record
+
+    def reset(self) -> None:
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+
+def read_jsonl(path: str | Path) -> list[dict]:
+    """Parse a JSONL file (as written by ``emit`` / ``RunLogger``)."""
+    records = []
+    with Path(path).open() as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records

@@ -1,0 +1,139 @@
+"""Structured run logging: per-epoch JSONL records + a console line.
+
+:class:`RunLogger` replaces the trainer's bare ``print``: every epoch
+becomes one machine-readable record (event ``"epoch"``) in a JSONL file,
+while the human-readable console line of the old ``verbose`` mode is kept
+for backwards compatibility.  A run starts with an ``"start"`` record
+(metadata) and ends with an ``"end"`` record (best epoch, totals).
+
+:class:`Console` is the chatter valve for the CLI: a print-compatible
+writer that a ``--quiet`` flag can silence wholesale.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+
+class Console:
+    """``print``-compatible writer that can be muted (``--quiet``)."""
+
+    def __init__(self, enabled: bool = True, stream=None):
+        self.enabled = enabled
+        self._stream = stream
+
+    @property
+    def stream(self):
+        return self._stream if self._stream is not None else sys.stdout
+
+    def print(self, *args, **kwargs) -> None:
+        if self.enabled:
+            kwargs.setdefault("file", self.stream)
+            print(*args, **kwargs)
+
+
+class RunLogger:
+    """Write structured run records to JSONL and/or the console.
+
+    Parameters
+    ----------
+    path:
+        JSONL destination; ``None`` disables file output (console-only,
+        or a silent sink when ``console`` is also false).
+    console:
+        Echo a human-readable line per epoch/summary to ``stream``.
+    metadata:
+        Arbitrary JSON-ready fields recorded in the ``"start"`` record.
+    """
+
+    def __init__(
+        self,
+        path: str | Path | None = None,
+        console: bool = False,
+        metadata: dict | None = None,
+        stream=None,
+    ):
+        self.path = Path(path) if path is not None else None
+        self.console = Console(enabled=console, stream=stream)
+        self._fh = None
+        self._epochs = 0
+        self._started = time.time()
+        if self.path is not None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = self.path.open("w")
+        self.log("start", **(metadata or {}))
+
+    # -- low-level ------------------------------------------------------ #
+
+    def log(self, event: str, **fields) -> dict:
+        """Append one ``{"event": ..., "ts": ..., **fields}`` record."""
+        record = {"event": event, "ts": time.time(), **fields}
+        if self._fh is not None:
+            self._fh.write(json.dumps(record, allow_nan=True, default=_jsonify) + "\n")
+            self._fh.flush()
+        return record
+
+    # -- structured events ---------------------------------------------- #
+
+    def log_epoch(self, epoch: int, **fields) -> dict:
+        """Record one training epoch; echoes the classic verbose line."""
+        self._epochs += 1
+        record = self.log("epoch", epoch=epoch, **fields)
+        self.console.print(self._epoch_line(epoch, fields))
+        return record
+
+    def log_summary(self, **fields) -> dict:
+        """Record the end-of-run summary (best epoch, totals, ...)."""
+        record = self.log("end", epochs=self._epochs,
+                          seconds=time.time() - self._started, **fields)
+        if fields:
+            parts = " ".join(f"{k} {_fmt(v)}" for k, v in fields.items())
+            self.console.print(f"run end: {parts}")
+        return record
+
+    @staticmethod
+    def _epoch_line(epoch: int, fields: dict) -> str:
+        # Same prefix as the pre-obs ``cfg.verbose`` print, extras appended.
+        parts = [f"epoch {epoch:3d}"]
+        if "train_loss" in fields:
+            parts.append(f"loss {fields['train_loss']:.4f}")
+        if "val_mae" in fields:
+            parts.append(f"val MAE {fields['val_mae']:.4f}")
+        if "lr" in fields:
+            parts.append(f"lr {fields['lr']:.2e}")
+        if "grad_norm" in fields:
+            parts.append(f"grad {fields['grad_norm']:.3f}")
+        if "epoch_seconds" in fields:
+            parts.append(f"({fields['epoch_seconds']:.2f}s)")
+        return " ".join(parts)
+
+    # -- lifecycle ------------------------------------------------------ #
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "RunLogger":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.4f}"
+    return str(value)
+
+
+def _jsonify(value):
+    """Fallback serializer: numpy scalars/arrays -> python."""
+    if hasattr(value, "item") and getattr(value, "size", 2) == 1:
+        return value.item()
+    if hasattr(value, "tolist"):
+        return value.tolist()
+    return str(value)

@@ -1,0 +1,384 @@
+"""Op-level profiler for the autodiff engine.
+
+Usage::
+
+    from repro.obs import trace
+
+    with trace() as tr:
+        loss = model(x, t).sum()
+        loss.backward()
+    print(tr.table())                 # top-K hot-op table
+    tr.export_chrome_trace("t.json")  # open in chrome://tracing / Perfetto
+
+Three instrumentation channels feed one :class:`Tracer`:
+
+* **forward wall-time** — while at least one trace is active, the hot
+  ``Tensor`` methods (matmul, add, mul, ...) are swapped for timing
+  wrappers.  Self-time is separated from child-time via a frame stack,
+  so composites (``mean`` = sum·mul) don't double-bill their primitives.
+* **op counts / bytes** — ``Tensor._make`` fires a hook on *every* op
+  result (including module-level ops like ``concat`` and functional ops
+  like ``softmax`` whose call sites hold direct references and therefore
+  cannot be patched); the op name is derived from the backward closure's
+  qualname.
+* **backward wall-time** — ``Tensor.backward`` times each closure and
+  reports it through a second hook, again attributed by qualname.
+
+When no trace is active everything is restored: the methods are the
+originals and both hooks are ``None``, so the disabled overhead is one
+global None-check inside ``_make`` (far below the 5% budget).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import functools
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from time import perf_counter
+
+from ..autodiff.tensor import Tensor, set_backward_op_hook, set_make_hook
+
+# ---------------------------------------------------------------------- #
+# op-name resolution
+# ---------------------------------------------------------------------- #
+
+#: dunder method -> canonical op label
+_CANONICAL = {
+    "__add__": "add",
+    "__radd__": "add",
+    "__sub__": "sub",
+    "__rsub__": "sub",
+    "__mul__": "mul",
+    "__rmul__": "mul",
+    "__truediv__": "div",
+    "__rtruediv__": "div",
+    "__neg__": "neg",
+    "__pow__": "pow",
+    "__matmul__": "matmul",
+    "__rmatmul__": "matmul",
+    "__getitem__": "getitem",
+}
+
+_NAME_CACHE: dict[str, str] = {}
+
+
+def _closure_op_name(backward_fn) -> str:
+    """Map a backward closure to its op label via the enclosing qualname.
+
+    ``Tensor.__matmul__.<locals>.backward_fn`` -> ``matmul``,
+    ``softmax.<locals>.backward_fn`` -> ``softmax``, etc.
+    """
+    if backward_fn is None:
+        return "leaf"
+    qual = getattr(backward_fn, "__qualname__", "") or "op"
+    cached = _NAME_CACHE.get(qual)
+    if cached is not None:
+        return cached
+    # The closure's immediately enclosing function sits before the *last*
+    # "<locals>" marker (closures defined inside nested helpers included).
+    name = qual
+    parts = qual.split(".")
+    for i in range(len(parts) - 1, 0, -1):
+        if parts[i] == "<locals>":
+            name = _CANONICAL.get(parts[i - 1], parts[i - 1].strip("_"))
+            break
+    _NAME_CACHE[qual] = name
+    return name
+
+
+# ---------------------------------------------------------------------- #
+# per-op statistics
+# ---------------------------------------------------------------------- #
+
+
+@dataclass
+class OpStats:
+    """Accumulated statistics for one op label."""
+
+    calls: int = 0                  # op results created (via Tensor._make)
+    bytes_allocated: int = 0        # sum of output nbytes over all calls
+    forward_calls: int = 0          # timed forward invocations (patched methods)
+    forward_seconds: float = 0.0    # inclusive forward wall-time
+    forward_self_seconds: float = 0.0  # forward time minus timed children
+    backward_calls: int = 0
+    backward_seconds: float = 0.0
+
+    @property
+    def total_seconds(self) -> float:
+        """Ranking key for the hot-op table (self fwd + bwd)."""
+        return self.forward_self_seconds + self.backward_seconds
+
+
+class Tracer:
+    """Collects per-op statistics and Chrome-trace events for one region."""
+
+    def __init__(self, max_events: int = 200_000):
+        self.stats: dict[str, OpStats] = {}
+        self.events: list[dict] = []
+        self.max_events = max_events
+        self.events_dropped = 0
+        self.graph_nodes = 0            # total op results created
+        self.bytes_allocated = 0        # total output bytes over all ops
+        self.backward_passes = 0
+        self.backward_total_seconds = 0.0
+        self._origin = perf_counter()
+        self.wall_seconds = 0.0
+
+    # -- recording (called by the module-level dispatchers) ------------- #
+
+    def _stat(self, name: str) -> OpStats:
+        stat = self.stats.get(name)
+        if stat is None:
+            stat = self.stats[name] = OpStats()
+        return stat
+
+    def _event(self, name: str, category: str, started: float, seconds: float) -> None:
+        if len(self.events) >= self.max_events:
+            self.events_dropped += 1
+            return
+        self.events.append({
+            "name": name,
+            "cat": category,
+            "ph": "X",
+            "ts": (started - self._origin) * 1e6,
+            "dur": seconds * 1e6,
+            "pid": 1,
+            "tid": 1,
+        })
+
+    def _record_make(self, name: str, nbytes: int) -> None:
+        stat = self._stat(name)
+        stat.calls += 1
+        stat.bytes_allocated += nbytes
+        self.graph_nodes += 1
+        self.bytes_allocated += nbytes
+
+    def _record_forward(self, name: str, started: float, seconds: float, self_seconds: float) -> None:
+        stat = self._stat(name)
+        stat.forward_calls += 1
+        stat.forward_seconds += seconds
+        stat.forward_self_seconds += self_seconds
+        self._event(name, "forward", started, seconds)
+
+    def _record_backward(self, name: str, started: float, seconds: float) -> None:
+        stat = self._stat(name)
+        stat.backward_calls += 1
+        stat.backward_seconds += seconds
+        self._event(name, "backward", started, seconds)
+
+    def _record_backward_pass(self, started: float, seconds: float) -> None:
+        self.backward_passes += 1
+        self.backward_total_seconds += seconds
+        self._event("backward", "backward-pass", started, seconds)
+
+    # -- reporting ------------------------------------------------------ #
+
+    def hot_ops(self, top_k: int = 12) -> list[tuple[str, OpStats]]:
+        """Ops ranked by self forward + backward wall-time, then by calls."""
+        ranked = sorted(
+            self.stats.items(),
+            key=lambda item: (item[1].total_seconds, item[1].calls),
+            reverse=True,
+        )
+        return ranked[:top_k]
+
+    def table(self, top_k: int = 12) -> str:
+        """Human-readable top-K hot-op table."""
+        header = (
+            f"{'op':<14} {'calls':>9} {'fwd ms':>9} {'fwd self':>9} "
+            f"{'bwd ms':>9} {'MB out':>8}"
+        )
+        lines = [header, "-" * len(header)]
+        for name, s in self.hot_ops(top_k):
+            lines.append(
+                f"{name:<14} {s.calls:>9,d} {s.forward_seconds * 1e3:>9.1f} "
+                f"{s.forward_self_seconds * 1e3:>9.1f} {s.backward_seconds * 1e3:>9.1f} "
+                f"{s.bytes_allocated / 1e6:>8.1f}"
+            )
+        lines.append(
+            f"{'total':<14} {self.graph_nodes:>9,d} "
+            f"{sum(s.forward_seconds for s in self.stats.values()) * 1e3:>9.1f} "
+            f"{sum(s.forward_self_seconds for s in self.stats.values()) * 1e3:>9.1f} "
+            f"{sum(s.backward_seconds for s in self.stats.values()) * 1e3:>9.1f} "
+            f"{self.bytes_allocated / 1e6:>8.1f}"
+        )
+        lines.append(
+            f"traced {self.wall_seconds:.2f}s wall, {self.backward_passes} backward "
+            f"pass(es) totalling {self.backward_total_seconds * 1e3:.1f} ms"
+        )
+        return "\n".join(lines)
+
+    def summary(self) -> dict:
+        """JSON-friendly snapshot of everything the tracer saw."""
+        return {
+            "wall_seconds": self.wall_seconds,
+            "graph_nodes": self.graph_nodes,
+            "bytes_allocated": self.bytes_allocated,
+            "backward_passes": self.backward_passes,
+            "backward_total_seconds": self.backward_total_seconds,
+            "events": len(self.events),
+            "events_dropped": self.events_dropped,
+            "ops": {
+                name: {
+                    "calls": s.calls,
+                    "bytes_allocated": s.bytes_allocated,
+                    "forward_calls": s.forward_calls,
+                    "forward_seconds": s.forward_seconds,
+                    "forward_self_seconds": s.forward_self_seconds,
+                    "backward_calls": s.backward_calls,
+                    "backward_seconds": s.backward_seconds,
+                }
+                for name, s in self.stats.items()
+            },
+        }
+
+    def chrome_trace(self) -> dict:
+        """Chrome-trace (``chrome://tracing``) JSON object."""
+        return {"traceEvents": list(self.events), "displayTimeUnit": "ms"}
+
+    def export_chrome_trace(self, path: str | Path) -> Path:
+        """Write the Chrome-trace JSON and return its path."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.chrome_trace()))
+        return path
+
+
+# ---------------------------------------------------------------------- #
+# activation: method patching + engine hooks
+# ---------------------------------------------------------------------- #
+
+#: attribute on Tensor -> op label; only methods that call ``_make`` exactly
+#: once are listed, so wrapper timing and ``_make`` counting agree.  The
+#: composites (mean, min, squeeze, ...) are billed as their primitives.
+_TIMED_METHODS = {
+    "__add__": "add",
+    "__radd__": "add",
+    "__sub__": "sub",
+    "__mul__": "mul",
+    "__rmul__": "mul",
+    "__truediv__": "div",
+    "__neg__": "neg",
+    "__pow__": "pow",
+    "__matmul__": "matmul",
+    "__getitem__": "getitem",
+    "exp": "exp",
+    "log": "log",
+    "sqrt": "sqrt",
+    "sin": "sin",
+    "cos": "cos",
+    "tanh": "tanh",
+    "sigmoid": "sigmoid",
+    "relu": "relu",
+    "leaky_relu": "leaky_relu",
+    "abs": "abs",
+    "clip": "clip",
+    "sum": "sum",
+    "max": "max",
+    "reshape": "reshape",
+    "transpose": "transpose",
+    "broadcast_to": "broadcast_to",
+}
+
+_ACTIVE: list[Tracer] = []
+_ORIGINALS: dict[str, object] = {}
+_FRAMES: list[list[float]] = []  # per-wrapped-call child-time accumulators
+
+
+def _method_wrapper(op_name: str, orig):
+    @functools.wraps(orig)
+    def wrapped(*args, **kwargs):
+        if not _ACTIVE:  # pragma: no cover - methods are unpatched when idle
+            return orig(*args, **kwargs)
+        frame = [0.0]
+        _FRAMES.append(frame)
+        started = perf_counter()
+        try:
+            out = orig(*args, **kwargs)
+        finally:
+            seconds = perf_counter() - started
+            _FRAMES.pop()
+            if _FRAMES:
+                _FRAMES[-1][0] += seconds
+        self_seconds = max(seconds - frame[0], 0.0)
+        for tracer in _ACTIVE:
+            tracer._record_forward(op_name, started, seconds, self_seconds)
+        return out
+
+    return wrapped
+
+
+def _backward_wrapper(orig):
+    @functools.wraps(orig)
+    def wrapped(self, grad=None):
+        started = perf_counter()
+        try:
+            return orig(self, grad)
+        finally:
+            seconds = perf_counter() - started
+            for tracer in _ACTIVE:
+                tracer._record_backward_pass(started, seconds)
+
+    return wrapped
+
+
+def _on_make(data, backward_fn) -> None:
+    name = _closure_op_name(backward_fn)
+    nbytes = int(getattr(data, "nbytes", 0))
+    for tracer in _ACTIVE:
+        tracer._record_make(name, nbytes)
+
+
+def _on_backward_op(backward_fn, started: float, seconds: float) -> None:
+    name = _closure_op_name(backward_fn)
+    for tracer in _ACTIVE:
+        tracer._record_backward(name, started, seconds)
+
+
+def _patch() -> None:
+    for attr, op_name in _TIMED_METHODS.items():
+        orig = getattr(Tensor, attr)
+        _ORIGINALS[attr] = orig
+        setattr(Tensor, attr, _method_wrapper(op_name, orig))
+    _ORIGINALS["backward"] = Tensor.backward
+    Tensor.backward = _backward_wrapper(Tensor.backward)
+    set_make_hook(_on_make)
+    set_backward_op_hook(_on_backward_op)
+
+
+def _unpatch() -> None:
+    for attr, orig in _ORIGINALS.items():
+        setattr(Tensor, attr, orig)
+    _ORIGINALS.clear()
+    _FRAMES.clear()
+    set_make_hook(None)
+    set_backward_op_hook(None)
+
+
+def is_tracing() -> bool:
+    """Whether at least one :func:`trace` region is currently active."""
+    return bool(_ACTIVE)
+
+
+@contextlib.contextmanager
+def trace(max_events: int = 200_000):
+    """Profile every autodiff op in the enclosed region.
+
+    Yields a :class:`Tracer`.  Regions nest: an inner ``trace()`` sees only
+    its own ops while the outer one keeps accumulating.  On exit of the
+    outermost region all instrumentation is removed.
+    """
+    tracer = Tracer(max_events=max_events)
+    if not _ACTIVE:
+        _patch()
+    _ACTIVE.append(tracer)
+    started = perf_counter()
+    try:
+        yield tracer
+    finally:
+        tracer.wall_seconds = perf_counter() - started
+        _ACTIVE.remove(tracer)
+        if not _ACTIVE:
+            _unpatch()

@@ -63,11 +63,13 @@ def run_experiment(
     num_layers: int = 2,
     seed: int = 0,
     keep_model: bool = False,
+    logger=None,
 ) -> ExperimentResult:
     """Train/fit ``model_name`` on ``task`` and report test metrics.
 
     ``model_name`` is "tgcrn", a variant key ("wo_tagsl", ...), or any
-    baseline name from the registry.
+    baseline name from the registry.  ``logger`` is an optional
+    :class:`~repro.obs.RunLogger` forwarded to :meth:`Trainer.fit`.
     """
     config = config or TrainingConfig(seed=seed)
     trainer = Trainer(config)
@@ -102,7 +104,7 @@ def run_experiment(
     else:
         raise ValueError(f"unknown model {model_name!r}")
 
-    history = trainer.fit(model, task, use_tdl=use_tdl)
+    history = trainer.fit(model, task, use_tdl=use_tdl, logger=logger)
     overall, per_horizon = trainer.test_report(model, task)
     return ExperimentResult(
         model_name=model_name,

@@ -20,6 +20,7 @@ from ..core.time_encoding import DiscreteTimeEmbedding
 from ..data.datasets import ForecastingTask
 from ..metrics.errors import MetricReport, evaluate, horizon_report
 from ..nn import Adam, Module, MultiStepLR, clip_grad_norm
+from ..obs import GraphWatch, RunLogger
 
 
 @dataclass
@@ -37,6 +38,8 @@ class TrainingConfig:
     lambda_time: float = 0.1
     seed: int = 0
     verbose: bool = False
+    # Structured run log (repro.obs.RunLogger): JSONL destination, or None.
+    log_path: str | None = None
     # Error term of Eq. 17: "mae" (the paper), "mse", or "huber".
     loss: str = "mae"
     # Inverse-sigmoid decay constant for scheduled sampling (DCRNN's
@@ -67,6 +70,11 @@ class TrainingHistory:
     train_losses: list[float] = field(default_factory=list)
     val_maes: list[float] = field(default_factory=list)
     epoch_seconds: list[float] = field(default_factory=list)
+    # Eq. 17 split: train_losses = error_losses + λ·time_losses.
+    error_losses: list[float] = field(default_factory=list)
+    time_losses: list[float] = field(default_factory=list)
+    lrs: list[float] = field(default_factory=list)
+    grad_norms: list[float] = field(default_factory=list)  # mean pre-clip L2
     best_epoch: int = -1
     best_val_mae: float = float("inf")
     stopped_early: bool = False
@@ -95,12 +103,16 @@ class Trainer:
         task: ForecastingTask,
         use_tdl: bool | None = None,
         augmenter=None,
+        logger: RunLogger | None = None,
     ) -> TrainingHistory:
         """Train ``model`` on ``task``.
 
         ``augmenter`` is an optional callable (e.g.
         :class:`~repro.data.augmentation.WindowAugmenter`) applied to each
         training input batch; validation/test batches are never augmented.
+        ``logger`` is an optional :class:`~repro.obs.RunLogger`; when
+        omitted, one is built from the config (``log_path`` for the JSONL
+        file, ``verbose`` for the console echo) and closed at exit.
         """
         cfg = self.config
         rng = np.random.default_rng(cfg.seed)
@@ -111,53 +123,93 @@ class Trainer:
         history = TrainingHistory()
         best_state = model.state_dict()
         bad_epochs = 0
+        owns_logger = logger is None
+        if logger is None:
+            logger = RunLogger(
+                path=cfg.log_path, console=cfg.verbose,
+                metadata={"task": task.name, "model": type(model).__name__,
+                          "epochs": cfg.epochs, "batch_size": cfg.batch_size,
+                          "lr": cfg.lr, "lambda_time": cfg.lambda_time,
+                          "seed": cfg.seed},
+            )
+        watch = GraphWatch(model)
 
-        for epoch in range(cfg.epochs):
-            start = time.perf_counter()
-            model.train()
-            probability = cfg.sampling_probability(epoch)
-            if probability is not None and hasattr(model, "scheduled_sampling"):
-                model.scheduled_sampling = probability
-            epoch_loss = 0.0
-            batches = 0
-            for x, y, t in loader:
-                if augmenter is not None:
-                    x = augmenter(x)
-                optimizer.zero_grad()
-                if getattr(model, "scheduled_sampling", 0.0) > 0.0:
-                    prediction = model(Tensor(x), t, targets=Tensor(y))
-                else:
-                    prediction = model(Tensor(x), t)
-                loss = cfg.error_loss(prediction, Tensor(y))
-                if discrepancy is not None:
-                    loss = loss + cfg.lambda_time * discrepancy(t)
-                loss.backward()
-                clip_grad_norm(model.parameters(), cfg.grad_clip)
-                optimizer.step()
-                epoch_loss += loss.item()
-                batches += 1
-            scheduler.step()
-            history.train_losses.append(epoch_loss / max(batches, 1))
-            history.epoch_seconds.append(time.perf_counter() - start)
+        try:
+            for epoch in range(cfg.epochs):
+                start = time.perf_counter()
+                model.train()
+                probability = cfg.sampling_probability(epoch)
+                if probability is not None and hasattr(model, "scheduled_sampling"):
+                    model.scheduled_sampling = probability
+                epoch_loss = 0.0
+                epoch_error = 0.0
+                epoch_time_loss = 0.0
+                epoch_grad_norm = 0.0
+                batches = 0
+                for x, y, t in loader:
+                    if augmenter is not None:
+                        x = augmenter(x)
+                    watch.observe_batch(x, t)
+                    optimizer.zero_grad()
+                    if getattr(model, "scheduled_sampling", 0.0) > 0.0:
+                        prediction = model(Tensor(x), t, targets=Tensor(y))
+                    else:
+                        prediction = model(Tensor(x), t)
+                    error = cfg.error_loss(prediction, Tensor(y))
+                    loss = error
+                    if discrepancy is not None:
+                        time_loss = discrepancy(t)
+                        loss = error + cfg.lambda_time * time_loss
+                        epoch_time_loss += time_loss.item()
+                    loss.backward()
+                    epoch_grad_norm += clip_grad_norm(model.parameters(), cfg.grad_clip)
+                    optimizer.step()
+                    epoch_loss += loss.item()
+                    epoch_error += error.item()
+                    batches += 1
+                lr = scheduler.current_lr
+                scheduler.step()
+                denominator = max(batches, 1)
+                history.train_losses.append(epoch_loss / denominator)
+                history.error_losses.append(epoch_error / denominator)
+                history.time_losses.append(epoch_time_loss / denominator)
+                history.lrs.append(lr)
+                history.grad_norms.append(epoch_grad_norm / denominator)
+                history.epoch_seconds.append(time.perf_counter() - start)
 
-            val_mae = self.validate(model, task)
-            history.val_maes.append(val_mae)
-            if cfg.verbose:
-                print(
-                    f"epoch {epoch:3d} loss {history.train_losses[-1]:.4f} "
-                    f"val MAE {val_mae:.4f} lr {scheduler.current_lr:.2e}"
+                val_mae = self.validate(model, task)
+                history.val_maes.append(val_mae)
+                logger.log_epoch(
+                    epoch,
+                    train_loss=history.train_losses[-1],
+                    l_error=history.error_losses[-1],
+                    l_time=history.time_losses[-1],
+                    val_mae=val_mae,
+                    lr=lr,
+                    grad_norm=history.grad_norms[-1],
+                    epoch_seconds=history.epoch_seconds[-1],
+                    graph=watch.snapshot(),
                 )
-            if val_mae < history.best_val_mae - 1e-9:
-                history.best_val_mae = val_mae
-                history.best_epoch = epoch
-                best_state = model.state_dict()
-                bad_epochs = 0
-            else:
-                bad_epochs += 1
-                if bad_epochs >= cfg.patience:
-                    history.stopped_early = True
-                    break
+                if val_mae < history.best_val_mae - 1e-9:
+                    history.best_val_mae = val_mae
+                    history.best_epoch = epoch
+                    best_state = model.state_dict()
+                    bad_epochs = 0
+                else:
+                    bad_epochs += 1
+                    if bad_epochs >= cfg.patience:
+                        history.stopped_early = True
+                        break
 
+            logger.log_summary(
+                best_epoch=history.best_epoch,
+                best_val_mae=history.best_val_mae,
+                epochs_run=history.epochs_run,
+                stopped_early=history.stopped_early,
+            )
+        finally:
+            if owns_logger:
+                logger.close()
         model.load_state_dict(best_state)
         return history
 

@@ -1,0 +1,267 @@
+"""Metrics registry, run logger, graphwatch, and trainer/CLI integration."""
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.obs import (
+    GraphWatch,
+    MetricsRegistry,
+    RunLogger,
+    adjacency_entropy,
+    adjacency_sparsity,
+    embedding_drift,
+    gate_activation_rate,
+    read_jsonl,
+)
+
+
+class TestMetricsRegistry:
+    def test_counter_gauge_histogram(self):
+        m = MetricsRegistry()
+        m.counter("batches").inc()
+        m.counter("batches").inc(2)
+        m.gauge("lr").set(1e-3)
+        for v in (1.0, 2.0, 3.0):
+            m.histogram("loss").observe(v)
+        snap = m.snapshot()
+        assert snap["counters"]["batches"] == 3
+        assert snap["gauges"]["lr"] == 1e-3
+        h = snap["histograms"]["loss"]
+        assert h["count"] == 3 and h["min"] == 1.0 and h["max"] == 3.0
+        assert h["mean"] == pytest.approx(2.0)
+        assert h["std"] == pytest.approx(math.sqrt(2.0 / 3.0))
+        assert h["last"] == 3.0
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("x").inc(-1)
+
+    def test_timer_observes_seconds(self):
+        m = MetricsRegistry()
+        with m.timer("block"):
+            sum(range(1000))
+        h = m.histogram("block")
+        assert h.count == 1
+        assert h.last > 0.0
+
+    def test_emit_jsonl_round_trip(self, tmp_path):
+        path = tmp_path / "metrics.jsonl"
+        m = MetricsRegistry(run="unit")
+        m.counter("n").inc(5)
+        m.gauge("g").set(2.5)
+        m.histogram("h").observe(1.0)
+        m.emit(path)
+        m.counter("n").inc()
+        m.emit(path)
+        records = read_jsonl(path)
+        assert len(records) == 2
+        for record in records:
+            assert set(record) >= {"ts", "run", "counters", "gauges", "histograms"}
+            assert record["run"] == "unit"
+        assert records[0]["counters"]["n"] == 5
+        assert records[1]["counters"]["n"] == 6
+        assert records[0]["histograms"]["h"]["count"] == 1
+
+
+class TestRunLogger:
+    def test_epoch_records_and_console_line(self, tmp_path, capsys):
+        path = tmp_path / "run.jsonl"
+        with RunLogger(path=path, console=True, metadata={"model": "unit"}) as log:
+            log.log_epoch(0, train_loss=0.5, val_mae=1.25, lr=1e-3,
+                          grad_norm=0.7, epoch_seconds=0.01)
+            log.log_summary(best_epoch=0)
+        out = capsys.readouterr().out
+        assert "epoch   0 loss 0.5000 val MAE 1.2500 lr 1.00e-03" in out
+        records = read_jsonl(path)
+        assert [r["event"] for r in records] == ["start", "epoch", "end"]
+        assert records[0]["model"] == "unit"
+        assert records[1]["epoch"] == 0
+        assert records[2]["epochs"] == 1
+
+    def test_silent_sink_without_path(self, capsys):
+        log = RunLogger()  # no path, no console
+        log.log_epoch(0, train_loss=1.0)
+        log.close()
+        assert capsys.readouterr().out == ""
+
+    def test_numpy_values_serialize(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with RunLogger(path=path) as log:
+            log.log("custom", value=np.float64(1.5), arr=np.arange(3))
+        record = read_jsonl(path)[1]
+        assert record["value"] == 1.5
+        assert record["arr"] == [0, 1, 2]
+
+
+class TestGraphwatchHelpers:
+    def test_entropy_hand_computed_2x2(self):
+        # row [0.5, 0.5] -> ln 2; row [1, 0] -> 0; mean = ln(2)/2
+        adj = np.array([[0.5, 0.5], [1.0, 0.0]])
+        assert adjacency_entropy(adj) == pytest.approx(math.log(2) / 2, abs=1e-6)
+
+    def test_entropy_uniform_is_log_n(self):
+        adj = np.full((3, 3), 1.0 / 3.0)
+        assert adjacency_entropy(adj) == pytest.approx(math.log(3), abs=1e-6)
+
+    def test_sparsity_hand_computed(self):
+        adj = np.array([[0.9, 0.0], [1e-6, 0.4]])
+        assert adjacency_sparsity(adj, threshold=1e-3) == pytest.approx(0.5)
+
+    def test_gate_activation_rate(self):
+        # sigmoid > 0.5 iff input > 0: exactly 2 of 4 entries
+        a_p = np.array([[1.0, -1.0], [0.5, -0.2]])
+        assert gate_activation_rate(a_p) == pytest.approx(0.5)
+
+    def test_embedding_drift(self):
+        w0 = np.eye(2)
+        assert embedding_drift(w0, w0) == pytest.approx(0.0)
+        assert embedding_drift(2 * w0, w0) == pytest.approx(1.0)
+
+
+class TestGraphWatch:
+    @pytest.fixture
+    def tiny_model(self):
+        from repro.core import TGCRN
+
+        return TGCRN(
+            num_nodes=3, in_dim=1, out_dim=1, horizon=2, hidden_dim=4,
+            num_layers=1, node_dim=3, time_dim=3, steps_per_day=8,
+            rng=np.random.default_rng(0),
+        )
+
+    def test_snapshot_schema(self, tiny_model):
+        watch = GraphWatch(tiny_model)
+        assert watch.available
+        watch.observe_batch(np.random.default_rng(0).normal(size=(2, 4, 3, 1)),
+                            np.arange(6)[None, :].repeat(2, axis=0))
+        stats = watch.snapshot()
+        expected = {"adj_entropy", "adj_sparsity", "trend_eta_abs", "gate_rate",
+                    "gate_mean", "time_norm", "time_drift", "node_norm", "node_drift"}
+        assert set(stats) == expected
+        assert all(np.isfinite(v) for v in stats.values())
+        # entropy of a 3-node softmax graph lies in (0, ln 3]
+        assert 0.0 < stats["adj_entropy"] <= math.log(3) + 1e-9
+        assert stats["time_drift"] == pytest.approx(0.0)  # untrained
+        assert stats["node_drift"] == pytest.approx(0.0)
+
+    def test_drift_moves_with_parameters(self, tiny_model):
+        watch = GraphWatch(tiny_model)
+        tiny_model.tagsl.node_embedding.data += 1.0
+        tiny_model.time_encoder.weight.data *= 2.0
+        stats = watch.snapshot()
+        assert stats["node_drift"] > 0.0
+        assert stats["time_drift"] > 0.0
+
+    def test_unavailable_for_plain_models(self):
+        class Dummy:
+            pass
+
+        watch = GraphWatch(Dummy())
+        assert not watch.available
+        assert watch.snapshot() == {}
+        watch.observe_batch(np.zeros((1, 2, 2, 1)), np.zeros((1, 4)))  # no-op
+
+    def test_snapshot_without_observe_batch(self, tiny_model):
+        stats = GraphWatch(tiny_model).snapshot()
+        assert np.isfinite(stats["adj_entropy"])
+        # zero node-state: every gate sits exactly at sigma(0) = 0.5
+        assert stats["gate_rate"] == pytest.approx(0.0)
+
+
+class TestTrainerRunLog:
+    def test_one_record_per_epoch(self, tmp_path, tiny_task):
+        from repro.core import TGCRN
+        from repro.training import Trainer, TrainingConfig, default_tgcrn_kwargs
+
+        path = tmp_path / "train.jsonl"
+        config = TrainingConfig(epochs=2, batch_size=8, seed=0,
+                                log_path=str(path), verbose=False)
+        model = TGCRN(**default_tgcrn_kwargs(task=tiny_task, hidden_dim=4,
+                                             node_dim=3, time_dim=3, num_layers=1),
+                      rng=np.random.default_rng(0))
+        history = Trainer(config).fit(model, tiny_task)
+
+        records = read_jsonl(path)
+        epochs = [r for r in records if r["event"] == "epoch"]
+        assert len(epochs) == history.epochs_run == 2
+        for record in epochs:
+            for key in ("train_loss", "l_error", "l_time", "val_mae", "lr",
+                        "grad_norm", "epoch_seconds", "graph"):
+                assert key in record, f"missing {key}"
+            assert record["graph"]["adj_entropy"] > 0.0
+            assert record["epoch_seconds"] > 0.0
+            assert record["grad_norm"] >= 0.0
+        assert records[0]["event"] == "start"
+        assert records[-1]["event"] == "end"
+        assert records[-1]["best_val_mae"] == pytest.approx(history.best_val_mae)
+
+    def test_history_gains_lr_and_grad_norm(self, tiny_task):
+        from repro.core import TGCRN
+        from repro.training import Trainer, TrainingConfig, default_tgcrn_kwargs
+
+        config = TrainingConfig(epochs=2, batch_size=8, seed=0,
+                                lr_milestones=(1,), lr_gamma=0.5)
+        model = TGCRN(**default_tgcrn_kwargs(task=tiny_task, hidden_dim=4,
+                                             node_dim=3, time_dim=3, num_layers=1),
+                      rng=np.random.default_rng(0))
+        history = Trainer(config).fit(model, tiny_task)
+        assert len(history.lrs) == len(history.grad_norms) == 2
+        assert history.lrs[0] == pytest.approx(1e-3)
+        assert history.lrs[1] == pytest.approx(5e-4)  # decayed at milestone 1
+        assert all(g > 0.0 for g in history.grad_norms)
+        # Eq. 17 split is recorded and recombines into the joint loss
+        assert len(history.error_losses) == len(history.time_losses) == 2
+        for total, err, tl in zip(history.train_losses, history.error_losses,
+                                  history.time_losses):
+            assert total == pytest.approx(err + config.lambda_time * tl, rel=1e-9)
+
+
+class TestCliObservability:
+    _DS = ["--dataset", "hzmetro", "--nodes", "6", "--days", "5"]
+    _TINY = ["--epochs", "1", "--hidden", "4", "--node-dim", "3", "--time-dim", "3"]
+
+    def test_profile_writes_trace_and_prints_table(self, tmp_path, capsys):
+        from repro.cli import main
+
+        trace_out = tmp_path / "trace.json"
+        log_out = tmp_path / "run.jsonl"
+        code = main(["profile", *self._DS, *self._TINY,
+                     "--trace-out", str(trace_out), "--log-jsonl", str(log_out)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "matmul" in out
+        assert "chrome trace written" in out
+        payload = json.loads(trace_out.read_text())
+        assert payload["traceEvents"]
+        epochs = [r for r in read_jsonl(log_out) if r["event"] == "epoch"]
+        assert len(epochs) == 1
+
+    def test_train_quiet_suppresses_stdout(self, capsys):
+        from repro.cli import main
+
+        code = main(["train", *self._DS, *self._TINY, "--model", "ha", "--quiet"])
+        assert code == 0
+        assert capsys.readouterr().out == ""
+
+    def test_train_log_jsonl(self, tmp_path, capsys):
+        from repro.cli import main
+
+        log_out = tmp_path / "run.jsonl"
+        code = main(["train", *self._DS, *self._TINY, "--quiet",
+                     "--log-jsonl", str(log_out)])
+        assert code == 0
+        assert capsys.readouterr().out == ""
+        epochs = [r for r in read_jsonl(log_out) if r["event"] == "epoch"]
+        assert len(epochs) == 1
+        assert "graph" in epochs[0]
+
+    def test_verify_quiet(self, tmp_path, capsys):
+        from repro.cli import main
+
+        code = main(["verify", "--quiet", "--sample", "2",
+                     "--golden", str(tmp_path / "missing.json")])
+        assert code == 0
+        assert capsys.readouterr().out == ""

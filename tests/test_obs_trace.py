@@ -1,0 +1,186 @@
+"""Op tracer: counts, timing, nesting, Chrome export, disabled-is-free."""
+
+import json
+
+import numpy as np
+import pytest
+
+import importlib
+
+from repro.autodiff import Tensor, softmax
+
+# ``repro.autodiff`` re-exports a ``tensor()`` convenience function that
+# shadows the submodule attribute, so fetch the module itself explicitly.
+tensor_mod = importlib.import_module("repro.autodiff.tensor")
+from repro.obs import is_tracing, trace
+from repro.obs.trace import _closure_op_name
+
+
+class TestOpCounts:
+    def test_counts_and_bytes_per_op(self):
+        a = Tensor(np.ones((4, 4)), requires_grad=True)
+        b = Tensor(np.ones((4, 4)), requires_grad=True)
+        with trace() as tr:
+            c = a @ b
+            d = c @ b
+            _ = (d + a).sum()
+        assert tr.stats["matmul"].calls == 2
+        assert tr.stats["add"].calls == 1
+        assert tr.stats["sum"].calls == 1
+        # each matmul output is 4x4 float64 = 128 bytes
+        assert tr.stats["matmul"].bytes_allocated == 2 * 128
+        assert tr.graph_nodes == 4
+
+    def test_counts_cover_unpatched_module_ops(self):
+        """concat/softmax can't be method-patched; _make still counts them."""
+        a = Tensor(np.ones((2, 3)), requires_grad=True)
+        with trace() as tr:
+            _ = softmax(a, axis=-1)
+        assert tr.stats["softmax"].calls == 1
+
+    def test_composites_bill_their_primitives(self):
+        a = Tensor(np.ones((3, 3)), requires_grad=True)
+        with trace() as tr:
+            a.mean().backward()
+        assert "mean" not in tr.stats
+        assert tr.stats["sum"].calls == 1
+        assert tr.stats["mul"].calls == 1
+
+    def test_backward_attribution(self):
+        a = Tensor(np.random.default_rng(0).normal(size=(8, 8)), requires_grad=True)
+        b = Tensor(np.random.default_rng(1).normal(size=(8, 8)), requires_grad=True)
+        with trace() as tr:
+            (a @ b).tanh().sum().backward()
+        for op in ("matmul", "tanh", "sum"):
+            assert tr.stats[op].backward_calls == 1
+            assert tr.stats[op].backward_seconds >= 0.0
+        assert tr.backward_passes == 1
+        assert tr.backward_total_seconds > 0.0
+
+    def test_forward_timing_recorded(self):
+        a = Tensor(np.random.default_rng(0).normal(size=(64, 64)), requires_grad=True)
+        with trace() as tr:
+            _ = a @ a
+        s = tr.stats["matmul"]
+        assert s.forward_calls == 1
+        assert s.forward_seconds > 0.0
+        assert s.forward_self_seconds <= s.forward_seconds + 1e-12
+
+
+class TestNesting:
+    def test_inner_sees_only_its_region(self):
+        a = Tensor(np.ones((2, 2)), requires_grad=True)
+        with trace() as outer:
+            _ = a @ a
+            with trace() as inner:
+                _ = a + a
+            _ = a * a
+        assert set(inner.stats) == {"add"}
+        assert {"matmul", "add", "mul"} <= set(outer.stats)
+        assert outer.stats["matmul"].calls == 1
+
+    def test_nested_exit_keeps_outer_active(self):
+        a = Tensor(np.ones((2, 2)), requires_grad=True)
+        with trace() as outer:
+            with trace():
+                pass
+            assert is_tracing()
+            _ = a + a
+        assert outer.stats["add"].calls == 1
+        assert not is_tracing()
+
+
+class TestDisabledIsFree:
+    def test_everything_restored_on_exit(self):
+        original_matmul = Tensor.__matmul__
+        original_backward = Tensor.backward
+        with trace():
+            assert Tensor.__matmul__ is not original_matmul
+            assert tensor_mod._MAKE_HOOK is not None
+            assert tensor_mod._BACKWARD_OP_HOOK is not None
+        assert Tensor.__matmul__ is original_matmul
+        assert Tensor.backward is original_backward
+        assert tensor_mod._MAKE_HOOK is None
+        assert tensor_mod._BACKWARD_OP_HOOK is None
+
+    def test_restored_after_exception(self):
+        original = Tensor.__add__
+        with pytest.raises(RuntimeError):
+            with trace():
+                raise RuntimeError("boom")
+        assert Tensor.__add__ is original
+        assert tensor_mod._MAKE_HOOK is None
+
+    def test_ops_outside_trace_not_recorded(self):
+        a = Tensor(np.ones((2, 2)), requires_grad=True)
+        with trace() as tr:
+            pass
+        _ = a @ a
+        assert "matmul" not in tr.stats
+
+
+class TestChromeTrace:
+    def test_export_is_valid_chrome_json(self, tmp_path):
+        a = Tensor(np.ones((4, 4)), requires_grad=True)
+        with trace() as tr:
+            (a @ a).sum().backward()
+        path = tr.export_chrome_trace(tmp_path / "trace.json")
+        payload = json.loads(path.read_text())
+        events = payload["traceEvents"]
+        assert events, "expected at least one event"
+        for event in events:
+            assert event["ph"] == "X"
+            assert event["ts"] >= 0.0
+            assert event["dur"] >= 0.0
+            assert isinstance(event["name"], str)
+        assert {"matmul", "sum", "backward"} <= {e["name"] for e in events}
+
+    def test_event_cap_counts_drops(self):
+        a = Tensor(np.ones(2), requires_grad=True)
+        with trace(max_events=3) as tr:
+            for _ in range(10):
+                a = a + 1.0
+        assert len(tr.events) == 3
+        assert tr.events_dropped > 0
+
+
+class TestReporting:
+    def test_table_ranks_matmul_hot(self):
+        rng = np.random.default_rng(0)
+        a = Tensor(rng.normal(size=(128, 128)), requires_grad=True)
+        b = Tensor(rng.normal(size=(128, 128)), requires_grad=True)
+        with trace() as tr:
+            loss = ((a @ b) @ (a @ b)).sum() + a.sum() * 2.0
+            loss.backward()
+        top_name, _ = tr.hot_ops(1)[0]
+        assert top_name == "matmul"
+        table = tr.table(5)
+        assert "matmul" in table.splitlines()[2]  # first data row
+
+    def test_summary_round_trips_as_json(self):
+        a = Tensor(np.ones((2, 2)), requires_grad=True)
+        with trace() as tr:
+            (a * a).sum().backward()
+        summary = json.loads(json.dumps(tr.summary()))
+        assert summary["graph_nodes"] == 2
+        assert summary["backward_passes"] == 1
+        assert set(summary["ops"]) == {"mul", "sum"}
+
+
+class TestClosureNames:
+    def test_dunder_and_plain_names(self):
+        def op():
+            def backward_fn(grad):  # noqa: ARG001
+                pass
+
+            return backward_fn
+
+        assert _closure_op_name(op()) == "op"
+        assert _closure_op_name(None) == "leaf"
+
+    def test_known_tensor_closures(self):
+        a = Tensor(np.ones(2), requires_grad=True)
+        out = a + a
+        assert _closure_op_name(out._backward_fn) == "add"
+        out = a @ Tensor(np.ones(2))
+        assert _closure_op_name(out._backward_fn) == "matmul"
