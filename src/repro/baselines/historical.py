@@ -25,6 +25,18 @@ class HistoricalAverage:
         self._table: np.ndarray | None = None        # (2, slots, N, d)
         self._global_mean: np.ndarray | None = None  # (N, d)
 
+    @classmethod
+    def for_task(cls, task: ForecastingTask) -> "HistoricalAverage":
+        """Build and fit the baseline for a task in one call.
+
+        The always-available fallback model: ``repro.resilience.degrade``
+        swaps this in when a neural model's output fails validation.
+        """
+        dataset = getattr(task, "dataset", None)
+        day_of_week = getattr(dataset, "day_of_week", None)
+        start = int(day_of_week[0]) if day_of_week is not None and len(day_of_week) else 0
+        return cls(task.steps_per_day, start_weekday=start).fit(task)
+
     # ------------------------------------------------------------------ #
 
     def _slot_and_type(self, time_index: np.ndarray) -> tuple[np.ndarray, np.ndarray]:

@@ -1,18 +1,23 @@
-"""Command-line interface: train, evaluate, compare, inspect, profile, verify.
+"""Command-line interface: train, evaluate, compare, inspect, profile,
+verify, chaos.
 
 Usage::
 
     python -m repro.cli train --dataset hzmetro --model tgcrn --epochs 10
+    python -m repro.cli train --checkpoint run.npz --resume   # crash recovery
     python -m repro.cli compare --dataset hzmetro --models ha,agcrn,tgcrn
     python -m repro.cli inspect --dataset hzmetro
     python -m repro.cli evaluate --dataset hzmetro --checkpoint model.npz
     python -m repro.cli profile --dataset hzmetro --epochs 1   # hot-op table
     python -m repro.cli verify              # correctness harness outside pytest
+    python -m repro.cli chaos               # fault-injection recovery smoke
 
 Every command accepts ``--nodes/--days/--seed`` to control the synthetic
 dataset scale, so quick experiments stay quick.  ``--quiet`` silences the
 console (benchmark mode); ``--log-jsonl PATH`` records structured
 per-epoch run logs; ``--trace`` profiles autodiff ops (docs/observability.md).
+``train`` takes ``--checkpoint/--resume/--guard`` for fault-tolerant runs
+(docs/resilience.md).
 """
 
 from __future__ import annotations
@@ -69,12 +74,33 @@ def _load(args) -> "ForecastingTask":
                      num_nodes=args.nodes, num_days=args.days)
 
 
+def _add_resilience_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--checkpoint", default=None, metavar="PATH",
+                        help="write an atomic full-training-state checkpoint "
+                             "(.npz) for crash recovery (docs/resilience.md)")
+    parser.add_argument("--checkpoint-every", type=int, default=1, metavar="N",
+                        help="epochs between checkpoints (default 1)")
+    parser.add_argument("--resume", action="store_true",
+                        help="resume bit-compatibly from --checkpoint if it exists")
+    parser.add_argument("--guard", action="store_true",
+                        help="wrap training in the divergence sentinel: roll back "
+                             "to the last checkpoint with lr backoff on NaN/Inf "
+                             "loss or exploding gradients")
+    parser.add_argument("--max-retries", type=int, default=3,
+                        help="recovery attempts before a structured failure (with --guard)")
+    parser.add_argument("--lr-backoff", type=float, default=0.5,
+                        help="lr multiplier applied on each rollback (with --guard)")
+
+
 def _config(args) -> TrainingConfig:
     return TrainingConfig(
         epochs=args.epochs, batch_size=args.batch_size,
         lambda_time=args.lambda_time, seed=args.seed,
         verbose=not getattr(args, "quiet", False),
         log_path=getattr(args, "log_jsonl", None),
+        checkpoint_path=getattr(args, "checkpoint", None),
+        checkpoint_every=getattr(args, "checkpoint_every", 1),
+        resume=getattr(args, "resume", False),
     )
 
 
@@ -100,18 +126,34 @@ def _run_traced(args, fn):
     return result
 
 
+def _trainer(args) -> "Trainer":
+    """Build the trainer from CLI args: guarded when ``--guard`` is set."""
+    config = _config(args)
+    if getattr(args, "guard", False):
+        from .resilience import DivergenceSentinel, GuardedTrainer
+
+        if config.checkpoint_path is None:
+            raise SystemExit("--guard needs --checkpoint PATH (rollback target)")
+        return GuardedTrainer(
+            Trainer(config), sentinel=DivergenceSentinel(),
+            max_retries=args.max_retries, lr_backoff=args.lr_backoff,
+        )
+    return Trainer(config)
+
+
 def _train_once(args, task, keep_model: bool = True):
     """Shared train/profile path: run one experiment from CLI args."""
+    trainer = _trainer(args)
     if args.model == "tgcrn" or args.model in VARIANTS:
         return run_experiment(
-            args.model, task, _config(args), hidden_dim=args.hidden,
+            args.model, task, hidden_dim=args.hidden,
             model_kwargs=dict(node_dim=args.node_dim, time_dim=args.time_dim,
                               num_layers=args.layers),
-            keep_model=keep_model,
+            keep_model=keep_model, trainer=trainer,
         )
     return run_experiment(
-        args.model, task, _config(args), hidden_dim=args.hidden,
-        num_layers=args.layers, keep_model=keep_model,
+        args.model, task, hidden_dim=args.hidden,
+        num_layers=args.layers, keep_model=keep_model, trainer=trainer,
     )
 
 
@@ -160,6 +202,11 @@ def cmd_profile(args) -> int:
 
 
 def cmd_evaluate(args) -> int:
+    from .metrics import evaluate as evaluate_metrics
+    from .metrics import horizon_report
+    from .nn.serialization import CheckpointCorruptionError
+    from .resilience import safe_predict
+
     console = _console(args)
     task = _load(args)
     model = TGCRN(
@@ -167,9 +214,24 @@ def cmd_evaluate(args) -> int:
                                time_dim=args.time_dim, num_layers=args.layers),
         rng=np.random.default_rng(args.seed),
     )
-    metadata = load_checkpoint(args.checkpoint, model)
+    try:
+        metadata = load_checkpoint(args.checkpoint, model)
+    except FileNotFoundError:
+        console.print(f"error: checkpoint {args.checkpoint} does not exist")
+        return 2
+    except CheckpointCorruptionError as exc:
+        console.print(f"error: {exc}")
+        console.print("the file is damaged (truncated write, bit rot, or manual "
+                      "edit) — re-train or restore it from a backup; checkpoints "
+                      "written by this version are atomic and integrity-hashed")
+        return 2
     trainer = Trainer(TrainingConfig(batch_size=args.batch_size))
-    overall, per_horizon = trainer.test_report(model, task)
+    result = safe_predict(trainer, model, task, "test")
+    if result.degraded:
+        console.print(f"WARNING: model output invalid ({result.reason}); metrics "
+                      "below come from the historical-average fallback")
+    overall = evaluate_metrics(result.prediction, result.target)
+    per_horizon = horizon_report(result.prediction, result.target)
     console.print(f"checkpoint metadata: {metadata}")
     console.print(f"test: {overall}")
     for q, report in enumerate(per_horizon, start=1):
@@ -257,6 +319,109 @@ def cmd_experiments(args) -> int:
     return 0
 
 
+def cmd_chaos(args) -> int:
+    """Fault-injection smoke harness: prove the recovery paths fire.
+
+    Two staged scenarios on a tiny synthetic task (docs/resilience.md):
+
+    A. **kill/resume determinism** — a run aborted mid-training (simulated
+       SIGTERM between epochs) and resumed from its checkpoint must finish
+       with the *same* final ``state_hash`` and loss curve as an
+       uninterrupted twin;
+    B. **divergence recovery** — NaN gradients injected mid-run must
+       trigger sentinel → rollback → lr backoff → completed training, with
+       every event visible in the JSONL run log.
+    """
+    import json as _json
+    from pathlib import Path
+
+    from .nn import state_hash
+    from .obs import RunLogger
+    from .resilience import (
+        AbortInjector,
+        DivergenceSentinel,
+        GuardedTrainer,
+        NaNGradientInjector,
+        SimulatedCrash,
+    )
+    from .verify import named_rng
+
+    console = _console(args)
+    task = _load(args)
+    ckpt_dir = Path(args.checkpoint_dir)
+    ckpt_dir.mkdir(parents=True, exist_ok=True)
+    failures = 0
+
+    def build_model():
+        return TGCRN(
+            **default_tgcrn_kwargs(task, hidden_dim=args.hidden, node_dim=args.node_dim,
+                                   time_dim=args.time_dim, num_layers=args.layers),
+            rng=named_rng(args.seed, "chaos-model-init"),
+        )
+
+    def config(**overrides):
+        base = dict(epochs=args.epochs, batch_size=args.batch_size,
+                    lambda_time=args.lambda_time, seed=args.seed, verbose=False)
+        base.update(overrides)
+        return TrainingConfig(**base)
+
+    # -- scenario A: kill between epochs, resume, demand bit-compatibility
+    console.print("chaos A: SIGTERM-style abort + resume vs uninterrupted twin")
+    straight = build_model()
+    straight_history = Trainer(config()).fit(straight, task)
+    straight_hash = state_hash(straight)
+
+    ckpt_a = str(ckpt_dir / "chaos_resume.npz")
+    killed = build_model()
+    try:
+        Trainer(config(checkpoint_path=ckpt_a)).fit(
+            killed, task, fault_hook=AbortInjector(epoch=args.epochs // 2))
+        console.print("  FAIL injected abort never fired")
+        failures += 1
+    except SimulatedCrash:
+        resumed = build_model()
+        resumed_history = Trainer(config(checkpoint_path=ckpt_a, resume=True)).fit(resumed, task)
+        hash_ok = state_hash(resumed) == straight_hash
+        curve_ok = (resumed_history.train_losses == straight_history.train_losses
+                    and resumed_history.val_maes == straight_history.val_maes)
+        console.print(f"  {'ok  ' if hash_ok else 'FAIL'} final state_hash "
+                      f"{'matches' if hash_ok else 'differs from'} uninterrupted run")
+        console.print(f"  {'ok  ' if curve_ok else 'FAIL'} loss curves "
+                      f"{'identical' if curve_ok else 'diverged'}")
+        failures += (0 if hash_ok else 1) + (0 if curve_ok else 1)
+
+    # -- scenario B: NaN gradients -> sentinel -> rollback -> recovery
+    console.print("chaos B: injected NaN gradients, rollback + lr backoff recovery")
+    ckpt_b = str(ckpt_dir / "chaos_guard.npz")
+    logger = RunLogger(path=args.log_jsonl, console=False,
+                       metadata={"command": "chaos", "scenario": "nan_rollback"})
+    guarded = GuardedTrainer(
+        Trainer(config(checkpoint_path=ckpt_b)),
+        sentinel=DivergenceSentinel(), max_retries=args.max_retries,
+        lr_backoff=args.lr_backoff,
+    )
+    model_b = build_model()
+    try:
+        history = guarded.fit(model_b, task, logger=logger,
+                              fault_hook=NaNGradientInjector(epoch=args.epochs // 2, batch=0))
+    finally:
+        logger.close()
+    recovered = history.epochs_run == args.epochs and len(guarded.events) == 1
+    console.print(f"  {'ok  ' if recovered else 'FAIL'} run completed after "
+                  f"{len(guarded.events)} divergence event(s)")
+    failures += 0 if recovered else 1
+    if args.log_jsonl:
+        events = [_json.loads(line)["event"] for line in Path(args.log_jsonl).open()]
+        needed = {"divergence", "rollback", "resume", "lr_backoff", "recovered"}
+        logged = needed.issubset(set(events))
+        console.print(f"  {'ok  ' if logged else 'FAIL'} run log records "
+                      f"{sorted(needed & set(events))}")
+        failures += 0 if logged else 1
+
+    console.print(f"\nchaos: {'FAILED' if failures else 'PASSED'}")
+    return 1 if failures else 0
+
+
 def cmd_verify(args) -> int:
     """Run the repro.verify harness: cross-checks, gradient oracle, golden trace."""
     from pathlib import Path
@@ -330,6 +495,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_dataset_args(train)
     _add_training_args(train)
     _add_obs_args(train, tracing=True)
+    _add_resilience_args(train)
     train.add_argument("--model", default="tgcrn",
                        help=f"tgcrn, a variant {sorted(VARIANTS)}, or one of {ALL_BASELINES}")
     train.add_argument("--save", default=None, help="write a .npz checkpoint")
@@ -381,6 +547,21 @@ def build_parser() -> argparse.ArgumentParser:
     experiments.add_argument("--smoke", action="store_true",
                              help="run at smoke-test scale (1 epoch, 6 nodes)")
     experiments.set_defaults(fn=cmd_experiments)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="fault-injection smoke harness: abort+resume determinism and "
+             "NaN-gradient rollback recovery on a tiny task",
+    )
+    _add_dataset_args(chaos)
+    _add_training_args(chaos)
+    _add_obs_args(chaos)
+    chaos.add_argument("--checkpoint-dir", default="artifacts/chaos",
+                       help="directory for the scenario checkpoints")
+    chaos.add_argument("--max-retries", type=int, default=2)
+    chaos.add_argument("--lr-backoff", type=float, default=0.5)
+    chaos.set_defaults(fn=cmd_chaos, epochs=4, nodes=5, days=4,
+                       hidden=4, node_dim=3, time_dim=3, layers=1)
 
     verify = sub.add_parser(
         "verify",

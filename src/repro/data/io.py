@@ -9,10 +9,12 @@ from __future__ import annotations
 
 import csv
 import json
+import time
 from pathlib import Path
 
 import numpy as np
 
+from ..ioutil import atomic_savez
 from .synthetic import SyntheticConfig, SyntheticDataset
 
 
@@ -21,33 +23,63 @@ def save_dataset(path: str | Path, dataset: SyntheticDataset) -> None:
 
     The generator reference is captured through its config, so
     ``load_dataset`` can rebuild ground-truth OD matrices on demand.
+    The write is atomic (temp file + ``os.replace``): an interrupted run
+    can never leave a truncated cache that poisons later benchmarks.
     """
-    path = Path(path)
     config_json = "{}"
     generator_cls = ""
     if dataset.config is not None:
         config_json = json.dumps(dataset.config.__dict__)
     if dataset.generator is not None:
         generator_cls = type(dataset.generator).__name__
-    np.savez(
+    atomic_savez(
         path,
-        values=dataset.values,
-        time_index=dataset.time_index,
-        slot_of_day=dataset.slot_of_day,
-        day_of_week=dataset.day_of_week,
-        coordinates=dataset.coordinates,
-        areas=dataset.areas,
-        line_edges=np.array(dataset.line_edges, dtype=np.int64).reshape(-1, 2),
-        config=np.frombuffer(config_json.encode(), dtype=np.uint8),
-        generator_cls=np.frombuffer(generator_cls.encode(), dtype=np.uint8),
+        dict(
+            values=dataset.values,
+            time_index=dataset.time_index,
+            slot_of_day=dataset.slot_of_day,
+            day_of_week=dataset.day_of_week,
+            coordinates=dataset.coordinates,
+            areas=dataset.areas,
+            line_edges=np.array(dataset.line_edges, dtype=np.int64).reshape(-1, 2),
+            config=np.frombuffer(config_json.encode(), dtype=np.uint8),
+            generator_cls=np.frombuffer(generator_cls.encode(), dtype=np.uint8),
+        ),
     )
 
 
-def load_dataset(path: str | Path) -> SyntheticDataset:
-    """Rebuild a dataset saved by :func:`save_dataset` (incl. generator)."""
+def load_dataset(
+    path: str | Path,
+    retries: int = 0,
+    retry_wait: float = 0.0,
+    reader=None,
+) -> SyntheticDataset:
+    """Rebuild a dataset saved by :func:`save_dataset` (incl. generator).
+
+    ``retries`` re-attempts the read on transient ``OSError`` (flaky
+    network filesystems, NFS timeouts) with ``retry_wait`` seconds between
+    attempts; a missing file is never retried.  ``reader`` overrides the
+    archive opener (the fault-injection seam used by
+    ``repro.resilience.chaos``).
+    """
     from . import synthetic
 
-    with np.load(Path(path)) as archive:
+    reader = reader or np.load
+    attempt = 0
+    while True:
+        try:
+            archive = reader(Path(path))
+            break
+        except FileNotFoundError:
+            raise
+        except OSError:
+            attempt += 1
+            if attempt > retries:
+                raise
+            if retry_wait > 0.0:
+                time.sleep(retry_wait)
+
+    with archive:
         config_json = bytes(archive["config"].tobytes()).decode()
         generator_cls = bytes(archive["generator_cls"].tobytes()).decode()
         config_dict = json.loads(config_json)

@@ -32,6 +32,15 @@ class DataLoader:
         self.drop_last = drop_last
         self._rng = np.random.default_rng(seed)
 
+    @property
+    def rng_state(self) -> dict:
+        """Bit-generator state of the shuffle stream (checkpoint/resume)."""
+        return self._rng.bit_generator.state
+
+    @rng_state.setter
+    def rng_state(self, state: dict) -> None:
+        self._rng.bit_generator.state = state
+
     def __len__(self) -> int:
         count = len(self.windows)
         if self.drop_last:

@@ -1,0 +1,63 @@
+"""Atomic file-write primitives shared by every persistence layer.
+
+A half-written ``.npz`` is worse than no file at all: ``np.load`` fails
+with an opaque zipfile error, or — nastier — loads a stale central
+directory and silently returns old arrays.  Everything that persists
+training artifacts (dataset caches, model checkpoints, optimizer state,
+training-state checkpoints) therefore writes through :func:`atomic_write`:
+the payload lands in a same-directory temp file first and is moved into
+place with ``os.replace``, which POSIX guarantees to be atomic.  An
+interrupt (SIGKILL, power loss, full disk) can lose the *new* artifact
+but can never corrupt or truncate the *existing* one.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Iterator
+
+import numpy as np
+
+
+@contextmanager
+def atomic_write(path: str | Path) -> Iterator[Path]:
+    """Yield a temp path that replaces ``path`` only on successful exit.
+
+    The temp file lives next to the destination (same filesystem, so the
+    final ``os.replace`` is a metadata-only rename).  On any exception the
+    temp file is removed and the original destination is left untouched.
+    """
+    path = Path(path)
+    tmp = path.with_name(f"{path.name}.tmp-{os.getpid()}")
+    try:
+        yield tmp
+        os.replace(tmp, path)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
+
+
+def atomic_savez(path: str | Path, arrays: dict) -> Path:
+    """``np.savez`` through :func:`atomic_write`; returns the final path.
+
+    Mirrors ``np.savez``'s name handling (a ``.npz`` suffix is appended
+    when missing) but, unlike calling it on a filename directly, never
+    leaves a partially written archive behind.
+    """
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_name(path.name + ".npz")
+    with atomic_write(path) as tmp:
+        with open(tmp, "wb") as handle:
+            np.savez(handle, **arrays)
+    return path
+
+
+def atomic_write_text(path: str | Path, text: str) -> Path:
+    """Write a text file atomically (same temp + ``os.replace`` discipline)."""
+    path = Path(path)
+    with atomic_write(path) as tmp:
+        tmp.write_text(text)
+    return path

@@ -1,5 +1,27 @@
 """Evaluation metrics used across all experiment tables."""
 
-from .errors import MetricReport, evaluate, horizon_report, mae, mape, mse, node_report, pcc, rmse
+from .errors import (
+    MetricReport,
+    NonFiniteMetricError,
+    evaluate,
+    horizon_report,
+    mae,
+    mape,
+    mse,
+    node_report,
+    pcc,
+    rmse,
+)
 
-__all__ = ["MetricReport", "evaluate", "horizon_report", "mae", "mape", "mse", "node_report", "pcc", "rmse"]
+__all__ = [
+    "MetricReport",
+    "NonFiniteMetricError",
+    "evaluate",
+    "horizon_report",
+    "mae",
+    "mape",
+    "mse",
+    "node_report",
+    "pcc",
+    "rmse",
+]

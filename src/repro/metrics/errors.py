@@ -14,13 +14,42 @@ from dataclasses import dataclass
 import numpy as np
 
 
+class NonFiniteMetricError(ValueError):
+    """A metric received NaN/Inf values.
+
+    Raised instead of silently propagating NaN into reports: a NaN MAE in
+    a benchmark table is indistinguishable from a typo, while this error
+    names the offending array and counts the bad entries, so a diverged
+    model (or corrupted prediction file) fails loudly at the metric
+    boundary.
+    """
+
+    def __init__(self, name: str, array: np.ndarray):
+        bad = int(np.size(array) - np.count_nonzero(np.isfinite(array)))
+        self.name = name
+        self.bad_count = bad
+        super().__init__(
+            f"{name} contains {bad} non-finite value(s) out of {np.size(array)}; "
+            "refusing to compute metrics on NaN/Inf inputs "
+            "(diverged model output or corrupted data?)"
+        )
+
+
+def _require_finite(prediction: np.ndarray, target: np.ndarray) -> None:
+    for name, array in (("prediction", prediction), ("target", target)):
+        if not np.all(np.isfinite(array)):
+            raise NonFiniteMetricError(name, np.asarray(array))
+
+
 def mae(prediction: np.ndarray, target: np.ndarray) -> float:
     """Mean absolute error."""
+    _require_finite(prediction, target)
     return float(np.mean(np.abs(prediction - target)))
 
 
 def mse(prediction: np.ndarray, target: np.ndarray) -> float:
     """Mean squared error."""
+    _require_finite(prediction, target)
     return float(np.mean((prediction - target) ** 2))
 
 
@@ -31,6 +60,7 @@ def rmse(prediction: np.ndarray, target: np.ndarray) -> float:
 
 def mape(prediction: np.ndarray, target: np.ndarray, threshold: float = 1.0) -> float:
     """Masked mean absolute percentage error, in percent."""
+    _require_finite(prediction, target)
     mask = np.abs(target) >= threshold
     if not mask.any():
         return 0.0
@@ -39,6 +69,7 @@ def mape(prediction: np.ndarray, target: np.ndarray, threshold: float = 1.0) -> 
 
 def pcc(prediction: np.ndarray, target: np.ndarray) -> float:
     """Pearson correlation coefficient over all elements."""
+    _require_finite(prediction, target)
     p = prediction.reshape(-1)
     t = target.reshape(-1)
     p_std = p.std()

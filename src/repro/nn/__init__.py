@@ -6,12 +6,20 @@ from .rnn import GRU, LSTM, GRUCell, LSTMCell
 from .conv import Conv1d, GatedTCNBlock
 from .attention import MultiHeadAttention, TransformerBlock, causal_mask, scaled_dot_product_attention
 from .optim import SGD, Adam, AdamW, MultiStepLR, Optimizer, clip_grad_norm
-from .serialization import load_checkpoint, load_optimizer, save_checkpoint, save_optimizer, state_hash
+from .serialization import (
+    CheckpointCorruptionError,
+    load_checkpoint,
+    load_optimizer,
+    save_checkpoint,
+    save_optimizer,
+    state_hash,
+)
 from . import init
 
 __all__ = [
     "Adam",
     "AdamW",
+    "CheckpointCorruptionError",
     "Conv1d",
     "Dropout",
     "Embedding",

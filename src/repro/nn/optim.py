@@ -94,6 +94,32 @@ class Adam(Optimizer):
             v_hat = v / bias2
             param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
 
+    def state_dict(self) -> dict:
+        """Full resumable state: step count, lr, and copies of the moments."""
+        return {
+            "step_count": self._step_count,
+            "lr": self.lr,
+            "m": [m.copy() for m in self._m],
+            "v": [v.copy() for v in self._v],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore state captured by :meth:`state_dict` (shapes must match)."""
+        if len(state["m"]) != len(self._m) or len(state["v"]) != len(self._v):
+            raise ValueError(
+                f"optimizer slot count mismatch: saved {len(state['m'])}, "
+                f"expected {len(self._m)}"
+            )
+        for i, (saved_m, saved_v) in enumerate(zip(state["m"], state["v"])):
+            if np.shape(saved_m) != self._m[i].shape:
+                raise ValueError(
+                    f"optimizer slot {i}: shape {np.shape(saved_m)} != {self._m[i].shape}"
+                )
+            self._m[i][...] = saved_m
+            self._v[i][...] = saved_v
+        self._step_count = int(state["step_count"])
+        self.lr = float(state["lr"])
+
 
 class AdamW(Adam):
     """Adam with decoupled weight decay (Loshchilov & Hutter)."""
@@ -127,8 +153,26 @@ class MultiStepLR:
     def step(self) -> None:
         """Advance one epoch and update the optimizer's lr."""
         self._epoch += 1
+        self._apply()
+
+    def _apply(self) -> None:
         passed = sum(1 for m in self.milestones if self._epoch >= m)
         self.optimizer.lr = self._base_lr * (self.gamma ** passed)
+
+    def scale_lr(self, factor: float) -> None:
+        """Multiply the base (and hence current) lr — divergence backoff."""
+        if factor <= 0.0:
+            raise ValueError("lr scale factor must be positive")
+        self._base_lr *= factor
+        self._apply()
+
+    def state_dict(self) -> dict:
+        return {"epoch": self._epoch, "base_lr": self._base_lr}
+
+    def load_state_dict(self, state: dict) -> None:
+        self._epoch = int(state["epoch"])
+        self._base_lr = float(state["base_lr"])
+        self._apply()
 
 
 def clip_grad_norm(parameters: Sequence[Parameter], max_norm: float) -> float:

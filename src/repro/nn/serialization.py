@@ -4,22 +4,47 @@ State dicts serialize to ``.npz`` (no pickle of code objects — safe to
 share).  Optimizer state captures Adam's moments so training resumes
 exactly.  Every checkpoint embeds a :func:`state_hash` digest that is
 re-verified on load, so a corrupted or hand-edited file fails loudly
-instead of silently skewing benchmark numbers.
+(:class:`CheckpointCorruptionError`) instead of silently skewing
+benchmark numbers.  All writes are atomic (temp file + ``os.replace``
+via :mod:`repro.ioutil`), so an interrupt can never leave a half-written
+artifact behind.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import zipfile
 from pathlib import Path
 
 import numpy as np
 
+from ..ioutil import atomic_savez
 from .module import Module
 from .optim import Adam
 
 _META_KEY = "__checkpoint_meta__"
 _HASH_KEY = "__state_hash__"
+
+
+class CheckpointCorruptionError(ValueError):
+    """A checkpoint failed its integrity check (or cannot be read at all).
+
+    Carries the ``expected`` (embedded) and ``actual`` (recomputed)
+    :func:`state_hash` digests when the payload was readable but did not
+    match; both are ``None`` when the archive itself is truncated or
+    otherwise unreadable.
+    """
+
+    def __init__(self, path, reason: str, expected: str | None = None, actual: str | None = None):
+        self.path = Path(path)
+        self.reason = reason
+        self.expected = expected
+        self.actual = actual
+        detail = f"checkpoint {self.path} is corrupted: {reason}"
+        if expected is not None and actual is not None:
+            detail += f" (expected state hash {expected}, got {actual})"
+        super().__init__(detail)
 
 
 def state_hash(module_or_state: Module | dict) -> str:
@@ -45,9 +70,26 @@ def state_hash(module_or_state: Module | dict) -> str:
     return digest.hexdigest()
 
 
-def save_checkpoint(path: str | Path, model: Module, metadata: dict | None = None) -> None:
-    """Write a model's parameters (and JSON-safe metadata) to ``.npz``."""
+def read_archive(path: str | Path) -> dict:
+    """Load every array of an ``.npz``, mapping low-level read failures
+    (truncation, bit rot in the zip structure) to
+    :class:`CheckpointCorruptionError`."""
     path = Path(path)
+    try:
+        with np.load(path) as archive:
+            return {name: archive[name] for name in archive.files}
+    except FileNotFoundError:
+        raise
+    except (zipfile.BadZipFile, OSError, EOFError, ValueError, KeyError) as exc:
+        raise CheckpointCorruptionError(path, f"unreadable archive ({exc})") from exc
+
+
+def save_checkpoint(path: str | Path, model: Module, metadata: dict | None = None) -> None:
+    """Write a model's parameters (and JSON-safe metadata) to ``.npz``.
+
+    The write is atomic: an interrupt leaves any existing checkpoint at
+    ``path`` intact.
+    """
     arrays = dict(model.state_dict())
     for reserved in (_META_KEY, _HASH_KEY):
         if any(name == reserved for name in arrays):
@@ -55,28 +97,30 @@ def save_checkpoint(path: str | Path, model: Module, metadata: dict | None = Non
     meta = json.dumps(metadata or {})
     arrays[_META_KEY] = np.frombuffer(meta.encode(), dtype=np.uint8)
     arrays[_HASH_KEY] = np.frombuffer(state_hash(model).encode(), dtype=np.uint8)
-    np.savez(path, **arrays)
+    atomic_savez(path, arrays)
 
 
 def load_checkpoint(path: str | Path, model: Module) -> dict:
     """Load parameters into ``model`` in place; returns the metadata.
 
     Verifies the embedded :func:`state_hash` (when present — older
-    checkpoints without one still load) and raises ``ValueError`` if the
-    parameter payload does not match what was saved.
+    checkpoints without one still load) and raises
+    :class:`CheckpointCorruptionError` if the parameter payload does not
+    match what was saved, or if the archive itself is unreadable.
     """
     path = Path(path)
-    with np.load(path) as archive:
-        arrays = {name: archive[name] for name in archive.files}
+    arrays = read_archive(path)
     meta_blob = arrays.pop(_META_KEY, None)
     hash_blob = arrays.pop(_HASH_KEY, None)
     if hash_blob is not None:
         expected = bytes(hash_blob.tobytes()).decode()
         actual = state_hash(arrays)
         if actual != expected:
-            raise ValueError(
-                f"checkpoint {path} is corrupted: state hash {actual[:16]}… "
-                f"does not match the embedded {expected[:16]}…"
+            raise CheckpointCorruptionError(
+                path,
+                f"state hash {actual[:16]}… does not match the embedded {expected[:16]}…",
+                expected=expected,
+                actual=actual,
             )
     model.load_state_dict(arrays)
     if meta_blob is None:
@@ -85,24 +129,26 @@ def load_checkpoint(path: str | Path, model: Module) -> dict:
 
 
 def save_optimizer(path: str | Path, optimizer: Adam) -> None:
-    """Persist Adam moments + step count for exact training resumption."""
-    arrays = {"step_count": np.array(optimizer._step_count), "lr": np.array(optimizer.lr)}
-    for i, (m, v) in enumerate(zip(optimizer._m, optimizer._v)):
+    """Persist Adam moments + step count for exact training resumption.
+
+    Atomic like :func:`save_checkpoint`.
+    """
+    state = optimizer.state_dict()
+    arrays = {"step_count": np.array(state["step_count"]), "lr": np.array(state["lr"])}
+    for i, (m, v) in enumerate(zip(state["m"], state["v"])):
         arrays[f"m_{i}"] = m
         arrays[f"v_{i}"] = v
-    np.savez(Path(path), **arrays)
+    atomic_savez(path, arrays)
 
 
 def load_optimizer(path: str | Path, optimizer: Adam) -> None:
     """Restore Adam moments saved by :func:`save_optimizer`."""
-    with np.load(Path(path)) as archive:
-        optimizer._step_count = int(archive["step_count"])
-        optimizer.lr = float(archive["lr"])
-        for i in range(len(optimizer._m)):
-            saved_m, saved_v = archive[f"m_{i}"], archive[f"v_{i}"]
-            if saved_m.shape != optimizer._m[i].shape:
-                raise ValueError(
-                    f"optimizer slot {i}: shape {saved_m.shape} != {optimizer._m[i].shape}"
-                )
-            optimizer._m[i][...] = saved_m
-            optimizer._v[i][...] = saved_v
+    arrays = read_archive(path)
+    optimizer.load_state_dict(
+        {
+            "step_count": int(arrays["step_count"]),
+            "lr": float(arrays["lr"]),
+            "m": [arrays[f"m_{i}"] for i in range(len(optimizer._m))],
+            "v": [arrays[f"v_{i}"] for i in range(len(optimizer._v))],
+        }
+    )

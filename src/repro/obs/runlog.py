@@ -47,6 +47,10 @@ class RunLogger:
         Echo a human-readable line per epoch/summary to ``stream``.
     metadata:
         Arbitrary JSON-ready fields recorded in the ``"start"`` record.
+    mode:
+        ``"w"`` starts a fresh file; ``"a"`` appends — used when a
+        checkpointed run resumes so the log keeps the full run history
+        across interruptions.
     """
 
     def __init__(
@@ -55,7 +59,10 @@ class RunLogger:
         console: bool = False,
         metadata: dict | None = None,
         stream=None,
+        mode: str = "w",
     ):
+        if mode not in ("w", "a"):
+            raise ValueError(f"mode must be 'w' or 'a', got {mode!r}")
         self.path = Path(path) if path is not None else None
         self.console = Console(enabled=console, stream=stream)
         self._fh = None
@@ -63,7 +70,7 @@ class RunLogger:
         self._started = time.time()
         if self.path is not None:
             self.path.parent.mkdir(parents=True, exist_ok=True)
-            self._fh = self.path.open("w")
+            self._fh = self.path.open(mode)
         self.log("start", **(metadata or {}))
 
     # -- low-level ------------------------------------------------------ #

@@ -1,0 +1,61 @@
+"""Fault-tolerant training and inference (docs/resilience.md).
+
+Four pillars:
+
+* **checkpoint/resume** — :mod:`.checkpoint` persists the complete
+  training-loop state atomically so a killed run restarts
+  bit-compatibly (``Trainer.fit(resume=True)`` / ``repro.cli train
+  --resume``);
+* **divergence sentinel** — :mod:`.guard` detects NaN/Inf losses,
+  exploding gradients, and stalled validation, then rolls back to the
+  last good checkpoint with lr backoff (bounded retries before a
+  structured :class:`TrainingDivergedError`);
+* **fault injection** — :mod:`.chaos` stages deterministic failures
+  (NaN gradients, aborts, checkpoint corruption, flaky IO) so tests
+  prove every recovery path fires;
+* **graceful degradation** — :mod:`.degrade` validates inference output
+  and falls back to the historical-average baseline instead of serving
+  NaN.
+"""
+
+from ..nn.serialization import CheckpointCorruptionError
+from ..training.trainer import DivergenceDetected
+from .chaos import (
+    AbortInjector,
+    ChaosSchedule,
+    FlakyReader,
+    NaNGradientInjector,
+    SimulatedCrash,
+    TransientIOError,
+    corrupt_checkpoint,
+)
+from .checkpoint import (
+    TrainingCheckpoint,
+    load_training_checkpoint,
+    save_training_checkpoint,
+)
+from .degrade import SafePrediction, output_bound, safe_predict, validate_output
+from .guard import DivergenceSentinel, GuardedTrainer, GuardEvent, TrainingDivergedError
+
+__all__ = [
+    "AbortInjector",
+    "ChaosSchedule",
+    "CheckpointCorruptionError",
+    "DivergenceDetected",
+    "DivergenceSentinel",
+    "FlakyReader",
+    "GuardEvent",
+    "GuardedTrainer",
+    "NaNGradientInjector",
+    "SafePrediction",
+    "SimulatedCrash",
+    "TrainingCheckpoint",
+    "TrainingDivergedError",
+    "TransientIOError",
+    "corrupt_checkpoint",
+    "load_training_checkpoint",
+    "output_bound",
+    "safe_predict",
+    "save_training_checkpoint",
+    "validate_output",
+]

@@ -1,0 +1,106 @@
+"""Graceful inference degradation: never serve NaN to a caller.
+
+A production forecaster that returns NaN/Inf (diverged weights, a
+corrupted checkpoint that slipped past older formats, an input
+distribution shift that saturates the TagSL gate) is worse than a dumb
+baseline that returns plausible numbers.  :func:`safe_predict` validates
+model output — every value finite and within a sanity envelope derived
+from the training data — and, when validation fails, falls back to the
+:class:`~repro.baselines.historical.HistoricalAverage` baseline with a
+``warnings.warn`` plus a structured ``degraded_inference`` record in the
+run log.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..baselines.historical import HistoricalAverage
+
+
+@dataclass
+class SafePrediction:
+    """Outcome of :func:`safe_predict`: arrays plus degradation provenance."""
+
+    prediction: np.ndarray
+    target: np.ndarray
+    degraded: bool = False
+    reason: str | None = None
+    source: str = "model"
+
+
+def output_bound(task, factor: float = 10.0) -> float:
+    """Sanity envelope for unscaled predictions on ``task``.
+
+    ``factor`` × the largest magnitude seen in the (unscaled) training
+    targets — generous enough for genuine peaks, tight enough to catch a
+    model emitting 1e30 after numeric blow-up.
+    """
+    reference = np.abs(task.inverse_targets(task.train.targets))
+    return float(factor * max(float(reference.max()), 1.0))
+
+
+def validate_output(prediction: np.ndarray, bound: float | None = None) -> str | None:
+    """Return a failure reason (or None) for a batch of predictions."""
+    prediction = np.asarray(prediction)
+    if prediction.size == 0:
+        return "empty output"
+    if not np.all(np.isfinite(prediction)):
+        bad = int(prediction.size - np.count_nonzero(np.isfinite(prediction)))
+        return f"{bad} non-finite value(s)"
+    if bound is not None:
+        worst = float(np.abs(prediction).max())
+        if worst > bound:
+            return f"magnitude {worst:.3g} exceeds sanity bound {bound:.3g}"
+    return None
+
+
+def safe_predict(
+    trainer,
+    model,
+    task,
+    split: str = "test",
+    bound_factor: float = 10.0,
+    logger=None,
+) -> SafePrediction:
+    """``trainer.predict`` with validation and historical-average fallback.
+
+    Returns a :class:`SafePrediction`; ``degraded=True`` means the model
+    output failed validation (non-finite, or outside
+    ``bound_factor`` × the training-data magnitude envelope) and the
+    arrays come from the :class:`HistoricalAverage` baseline instead.
+    The degradation is surfaced as a ``UserWarning`` and — when
+    ``logger`` (a :class:`~repro.obs.RunLogger`) is given — as a
+    ``degraded_inference`` JSONL record.
+    """
+    bound = output_bound(task, factor=bound_factor)
+    try:
+        prediction, target = trainer.predict(model, task, split)
+        reason = validate_output(prediction, bound=bound)
+    except (FloatingPointError, ValueError) as exc:
+        prediction = target = None
+        reason = f"prediction failed: {exc}"
+    if reason is None:
+        return SafePrediction(prediction=prediction, target=target)
+
+    warnings.warn(
+        f"model output on split {split!r} is invalid ({reason}); "
+        "falling back to the historical-average baseline",
+        UserWarning,
+        stacklevel=2,
+    )
+    if logger is not None:
+        logger.log("degraded_inference", split=split, reason=reason,
+                   fallback="historical_average", bound=bound)
+    fallback = HistoricalAverage.for_task(task)
+    prediction, target = fallback.evaluate(task, split)
+    return SafePrediction(
+        prediction=prediction,
+        target=target,
+        degraded=True,
+        reason=reason,
+        source="historical_average",
+    )

@@ -1,0 +1,232 @@
+"""Divergence sentinels and self-healing training.
+
+The joint objective L = L_error + λ·L_time (Eq. 17) is a long
+optimization whose TagSL gate and contrastive discrepancy loss can blow
+up when embeddings drift: a single NaN batch poisons Adam's moments and
+the run is lost.  Two layers of defense:
+
+* :class:`DivergenceSentinel` — cheap per-batch/per-epoch health checks
+  wired into :meth:`Trainer.fit`.  It raises
+  :class:`~repro.training.trainer.DivergenceDetected` *before* the
+  optimizer step, so flagged gradients never reach the parameters and
+  the last checkpoint is always clean.
+* :class:`GuardedTrainer` — wraps a :class:`Trainer` whose config has a
+  ``checkpoint_path``.  On divergence it rolls the model back to the
+  last good checkpoint, scales the learning rate down by ``lr_backoff``,
+  and retries; after ``max_retries`` failed recoveries it raises a
+  structured :class:`TrainingDivergedError` carrying every recorded
+  event.  Every rollback/backoff/recovery is logged through
+  ``repro.obs.runlog`` so post-mortems read straight off the JSONL.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..obs import RunLogger
+from ..training.trainer import DivergenceDetected, Trainer, TrainingHistory
+
+
+@dataclass(frozen=True)
+class GuardEvent:
+    """One recorded divergence: what fired, where, and on which attempt."""
+
+    reason: str
+    epoch: int
+    batch: int | None
+    value: float | None
+    attempt: int
+
+    def as_dict(self) -> dict:
+        return {"reason": self.reason, "epoch": self.epoch, "batch": self.batch,
+                "value": self.value, "attempt": self.attempt}
+
+
+class TrainingDivergedError(RuntimeError):
+    """Training kept diverging after every allotted rollback/backoff retry.
+
+    A clean structured failure: ``events`` lists every
+    :class:`GuardEvent` in order, so the caller (or the JSONL log) shows
+    the full divergence history instead of a bare NaN traceback.
+    """
+
+    def __init__(self, events: list[GuardEvent], retries: int):
+        self.events = list(events)
+        self.retries = retries
+        reasons = ", ".join(f"{e.reason}@epoch{e.epoch}" for e in self.events)
+        super().__init__(
+            f"training diverged {len(self.events)} time(s) and exhausted "
+            f"{retries} recovery retr{'y' if retries == 1 else 'ies'}: {reasons}"
+        )
+
+
+class DivergenceSentinel:
+    """Health checks for the training loop.
+
+    Per batch (before the optimizer step): non-finite loss, loss above
+    ``loss_max``, non-finite or exploding (``grad_norm_max``) pre-clip
+    gradient norm.  Per epoch: non-finite validation MAE, and — when
+    ``stall_epochs`` is set — a validation curve that has not improved by
+    ``stall_min_delta`` for that many consecutive epochs (distinct from
+    early stopping: a stall triggers rollback + lr backoff rather than a
+    quiet exit).  All checks raise
+    :class:`~repro.training.trainer.DivergenceDetected`.
+    """
+
+    def __init__(
+        self,
+        grad_norm_max: float = 1e6,
+        loss_max: float | None = None,
+        stall_epochs: int | None = None,
+        stall_min_delta: float = 0.0,
+    ):
+        if grad_norm_max <= 0:
+            raise ValueError("grad_norm_max must be positive")
+        if stall_epochs is not None and stall_epochs < 1:
+            raise ValueError("stall_epochs must be >= 1 (or None to disable)")
+        self.grad_norm_max = grad_norm_max
+        self.loss_max = loss_max
+        self.stall_epochs = stall_epochs
+        self.stall_min_delta = stall_min_delta
+        self._stall_best = math.inf
+        self._stall_count = 0
+
+    def reset(self) -> None:
+        """Clear stall tracking (called at the start of each retry)."""
+        self._stall_best = math.inf
+        self._stall_count = 0
+
+    def on_batch(self, epoch: int, batch: int, loss: float, grad_norm: float) -> None:
+        if not math.isfinite(loss):
+            raise DivergenceDetected("nonfinite_loss", epoch, batch, loss)
+        if self.loss_max is not None and loss > self.loss_max:
+            raise DivergenceDetected("loss_explosion", epoch, batch, loss)
+        if not math.isfinite(grad_norm):
+            raise DivergenceDetected("nonfinite_grad", epoch, batch, grad_norm)
+        if grad_norm > self.grad_norm_max:
+            raise DivergenceDetected("grad_explosion", epoch, batch, grad_norm)
+
+    def on_epoch(self, epoch: int, train_loss: float, val_mae: float, best_val_mae: float) -> None:
+        if not math.isfinite(val_mae):
+            raise DivergenceDetected("nonfinite_validation", epoch, value=val_mae)
+        if self.stall_epochs is None:
+            return
+        if val_mae < self._stall_best - self.stall_min_delta:
+            self._stall_best = val_mae
+            self._stall_count = 0
+        else:
+            self._stall_count += 1
+            if self._stall_count >= self.stall_epochs:
+                raise DivergenceDetected("val_stall", epoch, value=val_mae)
+
+
+class GuardedTrainer:
+    """A :class:`Trainer` that survives divergence via rollback + backoff.
+
+    Delegates ``predict``/``test_report``/``validate`` to the wrapped
+    trainer, so it is a drop-in replacement anywhere a ``Trainer`` is
+    expected (``run_experiment`` accepts one through its ``trainer``
+    parameter).  Requires ``trainer.config.checkpoint_path``.
+    """
+
+    def __init__(
+        self,
+        trainer: Trainer | None = None,
+        sentinel: DivergenceSentinel | None = None,
+        max_retries: int = 3,
+        lr_backoff: float = 0.5,
+    ):
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if not 0.0 < lr_backoff <= 1.0:
+            raise ValueError("lr_backoff must be in (0, 1]")
+        self.trainer = trainer or Trainer()
+        self.sentinel = sentinel or DivergenceSentinel()
+        self.max_retries = max_retries
+        self.lr_backoff = lr_backoff
+        self.events: list[GuardEvent] = []
+
+    @property
+    def config(self):
+        return self.trainer.config
+
+    def predict(self, *args, **kwargs):
+        return self.trainer.predict(*args, **kwargs)
+
+    def validate(self, *args, **kwargs):
+        return self.trainer.validate(*args, **kwargs)
+
+    def test_report(self, *args, **kwargs):
+        return self.trainer.test_report(*args, **kwargs)
+
+    def fit(
+        self,
+        model,
+        task,
+        use_tdl: bool | None = None,
+        augmenter=None,
+        logger: RunLogger | None = None,
+        fault_hook=None,
+        resume: bool | None = None,
+    ) -> TrainingHistory:
+        """Train with divergence protection; see :meth:`Trainer.fit`.
+
+        On :class:`DivergenceDetected` the run restarts from the last
+        good checkpoint with the lr schedule scaled by ``lr_backoff``
+        (compounding across retries through the checkpointed base lr);
+        after ``max_retries`` failed recoveries a
+        :class:`TrainingDivergedError` summarizes every event.
+        """
+        cfg = self.trainer.config
+        if cfg.checkpoint_path is None:
+            raise ValueError(
+                "GuardedTrainer needs config.checkpoint_path: rollback is "
+                "impossible without a checkpoint to roll back to"
+            )
+        self.events = []
+        owns_logger = logger is None
+        if logger is None:
+            logger = RunLogger(
+                path=cfg.log_path, console=cfg.verbose,
+                metadata={"task": task.name, "model": type(model).__name__,
+                          "guard": {"max_retries": self.max_retries,
+                                    "lr_backoff": self.lr_backoff}},
+            )
+        try:
+            attempt = 0
+            do_resume = resume
+            lr_scale = 1.0
+            while True:
+                self.sentinel.reset()
+                try:
+                    history = self.trainer.fit(
+                        model, task, use_tdl=use_tdl, augmenter=augmenter,
+                        logger=logger, sentinel=self.sentinel,
+                        fault_hook=fault_hook, resume=do_resume,
+                        lr_scale=lr_scale,
+                    )
+                    if attempt:
+                        logger.log("recovered", attempts=attempt,
+                                   events=[e.as_dict() for e in self.events])
+                    return history
+                except DivergenceDetected as exc:
+                    event = GuardEvent(exc.reason, exc.epoch, exc.batch, exc.value, attempt)
+                    self.events.append(event)
+                    logger.log("divergence", **event.as_dict())
+                    attempt += 1
+                    if attempt > self.max_retries:
+                        logger.log("giving_up", attempts=attempt - 1,
+                                   events=[e.as_dict() for e in self.events])
+                        raise TrainingDivergedError(self.events, self.max_retries) from exc
+                    logger.log("rollback", attempt=attempt,
+                               checkpoint=str(cfg.checkpoint_path),
+                               lr_backoff=self.lr_backoff)
+                    # Retry from the last good checkpoint, one backoff
+                    # step lower (compounds: the checkpoint already holds
+                    # any earlier backoff in its saved base lr).
+                    do_resume = True
+                    lr_scale = self.lr_backoff
+        finally:
+            if owns_logger:
+                logger.close()

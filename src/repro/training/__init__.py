@@ -1,6 +1,6 @@
 """Training protocol, experiment runner, and table formatting."""
 
-from .trainer import Trainer, TrainingConfig, TrainingHistory
+from .trainer import DivergenceDetected, Trainer, TrainingConfig, TrainingHistory
 from .experiment import (
     ExperimentResult,
     RepeatedResult,
@@ -26,6 +26,7 @@ from .tables import (
 )
 
 __all__ = [
+    "DivergenceDetected",
     "ExperimentResult",
     "RepeatedResult",
     "Trainer",

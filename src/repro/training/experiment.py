@@ -64,15 +64,22 @@ def run_experiment(
     seed: int = 0,
     keep_model: bool = False,
     logger=None,
+    trainer=None,
 ) -> ExperimentResult:
     """Train/fit ``model_name`` on ``task`` and report test metrics.
 
     ``model_name`` is "tgcrn", a variant key ("wo_tagsl", ...), or any
     baseline name from the registry.  ``logger`` is an optional
     :class:`~repro.obs.RunLogger` forwarded to :meth:`Trainer.fit`.
+    ``trainer`` substitutes a pre-built trainer — e.g. a
+    :class:`~repro.resilience.GuardedTrainer` for divergence-protected
+    runs; when given, its own config wins over ``config``.
     """
-    config = config or TrainingConfig(seed=seed)
-    trainer = Trainer(config)
+    if trainer is not None:
+        config = trainer.config
+    else:
+        config = config or TrainingConfig(seed=seed)
+        trainer = Trainer(config)
     rng = np.random.default_rng(seed)
 
     if model_name in STATISTICAL_BASELINES:

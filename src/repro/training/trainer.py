@@ -5,12 +5,24 @@ Adam (lr 1e-3, L2 penalty 1e-4), learning rate decayed by 0.3 at epochs
 patience 15, joint objective L = L_error + λ·L_time (Eq. 17) where the
 time-discrepancy term only applies to models exposing a trainable
 discrete time embedding.
+
+Fault tolerance (docs/resilience.md): when ``checkpoint_path`` is set the
+loop writes an atomic full-state checkpoint (model, best-so-far, Adam
+moments, lr schedule, every RNG stream, history) every
+``checkpoint_every`` epochs, and ``resume=True`` restarts a killed run
+*bit-compatibly* — the resumed run finishes with the same ``state_hash``
+and loss curve as an uninterrupted one.  A ``sentinel``
+(:class:`~repro.resilience.DivergenceSentinel`) may abort the loop with
+:class:`DivergenceDetected` on NaN/Inf losses or exploding gradients; a
+``fault_hook`` is the seam the ``repro.resilience.chaos`` injectors use
+to poison gradients or simulate crashes in tests.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 
 import numpy as np
 
@@ -18,9 +30,30 @@ from ..autodiff import Tensor, huber_loss, mae_loss, mse_loss, no_grad
 from ..core.discrepancy import TimeDiscrepancyLearner
 from ..core.time_encoding import DiscreteTimeEmbedding
 from ..data.datasets import ForecastingTask
-from ..metrics.errors import MetricReport, evaluate, horizon_report
+from ..metrics.errors import MetricReport, NonFiniteMetricError, evaluate, horizon_report
 from ..nn import Adam, Module, MultiStepLR, clip_grad_norm
 from ..obs import GraphWatch, RunLogger
+
+
+class DivergenceDetected(RuntimeError):
+    """Training aborted by a divergence sentinel (recoverable).
+
+    Raised out of :meth:`Trainer.fit` when the attached sentinel flags a
+    NaN/Inf loss, an exploding pre-clip gradient norm, or a stalled
+    validation curve.  :class:`~repro.resilience.GuardedTrainer` catches
+    it and rolls back to the last good checkpoint with lr backoff.
+    """
+
+    def __init__(self, reason: str, epoch: int, batch: int | None = None, value=None):
+        self.reason = reason
+        self.epoch = epoch
+        self.batch = batch
+        self.value = None if value is None else float(value)
+        where = f"epoch {epoch}" + (f", batch {batch}" if batch is not None else "")
+        detail = f"divergence detected ({reason}) at {where}"
+        if self.value is not None:
+            detail += f": {self.value!r}"
+        super().__init__(detail)
 
 
 @dataclass
@@ -46,6 +79,12 @@ class TrainingConfig:
     # curriculum): p(epoch) = k / (k + exp(epoch / k)).  None keeps the
     # model's fixed probability.
     scheduled_sampling_decay: float | None = None
+    # Fault tolerance: full training-state checkpoint destination (.npz),
+    # written atomically every `checkpoint_every` epochs.  `resume=True`
+    # restarts from an existing checkpoint bit-compatibly.
+    checkpoint_path: str | None = None
+    checkpoint_every: int = 1
+    resume: bool = False
 
     def sampling_probability(self, epoch: int) -> float | None:
         """Teacher-forcing probability for ``epoch`` (None = unchanged)."""
@@ -83,6 +122,25 @@ class TrainingHistory:
     def epochs_run(self) -> int:
         return len(self.train_losses)
 
+    def as_dict(self) -> dict:
+        """Plain-JSON form for training-state checkpoints."""
+        return {
+            "train_losses": list(self.train_losses),
+            "val_maes": list(self.val_maes),
+            "epoch_seconds": list(self.epoch_seconds),
+            "error_losses": list(self.error_losses),
+            "time_losses": list(self.time_losses),
+            "lrs": list(self.lrs),
+            "grad_norms": list(self.grad_norms),
+            "best_epoch": self.best_epoch,
+            "best_val_mae": self.best_val_mae,
+            "stopped_early": self.stopped_early,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "TrainingHistory":
+        return cls(**payload)
+
 
 class Trainer:
     """Fit a forecaster on a :class:`ForecastingTask`.
@@ -104,6 +162,10 @@ class Trainer:
         use_tdl: bool | None = None,
         augmenter=None,
         logger: RunLogger | None = None,
+        sentinel=None,
+        fault_hook=None,
+        resume: bool | None = None,
+        lr_scale: float = 1.0,
     ) -> TrainingHistory:
         """Train ``model`` on ``task``.
 
@@ -113,6 +175,17 @@ class Trainer:
         ``logger`` is an optional :class:`~repro.obs.RunLogger`; when
         omitted, one is built from the config (``log_path`` for the JSONL
         file, ``verbose`` for the console echo) and closed at exit.
+
+        ``sentinel`` is an optional divergence monitor with
+        ``on_batch(epoch, batch, loss, grad_norm)`` /
+        ``on_epoch(epoch, train_loss, val_mae, best_val_mae)`` hooks that
+        raise :class:`DivergenceDetected` to abort (the last good
+        checkpoint is never overwritten by a flagged epoch).
+        ``fault_hook`` is an optional callable ``(point, **context)``
+        invoked at ``"after_backward"`` and ``"epoch_end"`` — the
+        fault-injection seam used by ``repro.resilience.chaos``.
+        ``resume`` overrides ``config.resume``; ``lr_scale`` multiplies
+        the learning-rate schedule after any restore (divergence backoff).
         """
         cfg = self.config
         rng = np.random.default_rng(cfg.seed)
@@ -123,19 +196,70 @@ class Trainer:
         history = TrainingHistory()
         best_state = model.state_dict()
         bad_epochs = 0
+        start_epoch = 0
+
+        ckpt_path = Path(cfg.checkpoint_path) if cfg.checkpoint_path else None
+        do_resume = cfg.resume if resume is None else resume
+        checkpoint = None
+        if do_resume and ckpt_path is not None and ckpt_path.exists():
+            from ..resilience.checkpoint import load_training_checkpoint
+
+            checkpoint = load_training_checkpoint(ckpt_path)
+
         owns_logger = logger is None
         if logger is None:
             logger = RunLogger(
                 path=cfg.log_path, console=cfg.verbose,
+                mode="a" if checkpoint is not None else "w",
                 metadata={"task": task.name, "model": type(model).__name__,
                           "epochs": cfg.epochs, "batch_size": cfg.batch_size,
                           "lr": cfg.lr, "lambda_time": cfg.lambda_time,
                           "seed": cfg.seed},
             )
+
+        if checkpoint is not None:
+            model.load_state_dict(checkpoint.model_state)
+            best_state = dict(checkpoint.best_state)
+            optimizer.load_state_dict(checkpoint.optimizer_state)
+            scheduler.load_state_dict(checkpoint.scheduler_state)
+            # The restored optimizer lr is authoritative (lr backoff may
+            # have moved it off the schedule).
+            optimizer.lr = checkpoint.optimizer_state["lr"]
+            self._restore_rng_states(checkpoint.rng_states, model, rng, loader)
+            history = TrainingHistory.from_dict(checkpoint.history)
+            bad_epochs = checkpoint.bad_epochs
+            start_epoch = checkpoint.epoch
+            logger.log("resume", epoch=start_epoch, checkpoint=str(ckpt_path))
+        if lr_scale != 1.0:
+            scheduler.scale_lr(lr_scale)
+            logger.log("lr_backoff", scale=lr_scale, lr=scheduler.current_lr)
+
         watch = GraphWatch(model)
 
+        def save_checkpoint(next_epoch: int) -> None:
+            from ..resilience.checkpoint import TrainingCheckpoint, save_training_checkpoint
+
+            save_training_checkpoint(ckpt_path, TrainingCheckpoint(
+                epoch=next_epoch,
+                model_state=model.state_dict(),
+                best_state=best_state,
+                optimizer_state=optimizer.state_dict(),
+                scheduler_state=scheduler.state_dict(),
+                rng_states=self._capture_rng_states(model, rng, loader),
+                history=history.as_dict(),
+                bad_epochs=bad_epochs,
+                metadata={"task": task.name, "model": type(model).__name__,
+                          "seed": cfg.seed},
+            ))
+            logger.log("checkpoint", epoch=next_epoch, path=str(ckpt_path))
+
+        # A pristine epoch-0 checkpoint guarantees rollback always has a
+        # target, even when divergence strikes in the very first epoch.
+        if ckpt_path is not None and checkpoint is None:
+            save_checkpoint(0)
+
         try:
-            for epoch in range(cfg.epochs):
+            for epoch in range(start_epoch, cfg.epochs):
                 start = time.perf_counter()
                 model.train()
                 probability = cfg.sampling_probability(epoch)
@@ -162,9 +286,17 @@ class Trainer:
                         loss = error + cfg.lambda_time * time_loss
                         epoch_time_loss += time_loss.item()
                     loss.backward()
-                    epoch_grad_norm += clip_grad_norm(model.parameters(), cfg.grad_clip)
+                    if fault_hook is not None:
+                        fault_hook("after_backward", model=model, epoch=epoch, batch=batches)
+                    grad_norm = clip_grad_norm(model.parameters(), cfg.grad_clip)
+                    loss_value = loss.item()
+                    if sentinel is not None:
+                        # Checked before the step so flagged gradients
+                        # never reach the parameters.
+                        sentinel.on_batch(epoch, batches, loss_value, grad_norm)
                     optimizer.step()
-                    epoch_loss += loss.item()
+                    epoch_grad_norm += grad_norm
+                    epoch_loss += loss_value
                     epoch_error += error.item()
                     batches += 1
                 lr = scheduler.current_lr
@@ -177,7 +309,12 @@ class Trainer:
                 history.grad_norms.append(epoch_grad_norm / denominator)
                 history.epoch_seconds.append(time.perf_counter() - start)
 
-                val_mae = self.validate(model, task)
+                try:
+                    val_mae = self.validate(model, task)
+                except NonFiniteMetricError as exc:
+                    if sentinel is not None:
+                        raise DivergenceDetected("nonfinite_validation", epoch) from exc
+                    raise
                 history.val_maes.append(val_mae)
                 logger.log_epoch(
                     epoch,
@@ -190,6 +327,9 @@ class Trainer:
                     epoch_seconds=history.epoch_seconds[-1],
                     graph=watch.snapshot(),
                 )
+                if sentinel is not None:
+                    sentinel.on_epoch(epoch, history.train_losses[-1], val_mae,
+                                      history.best_val_mae)
                 if val_mae < history.best_val_mae - 1e-9:
                     history.best_val_mae = val_mae
                     history.best_epoch = epoch
@@ -199,7 +339,16 @@ class Trainer:
                     bad_epochs += 1
                     if bad_epochs >= cfg.patience:
                         history.stopped_early = True
-                        break
+                if ckpt_path is not None and (
+                    (epoch + 1) % cfg.checkpoint_every == 0
+                    or epoch + 1 == cfg.epochs
+                    or history.stopped_early
+                ):
+                    save_checkpoint(epoch + 1)
+                if fault_hook is not None:
+                    fault_hook("epoch_end", model=model, epoch=epoch)
+                if history.stopped_early:
+                    break
 
             logger.log_summary(
                 best_epoch=history.best_epoch,
@@ -212,6 +361,23 @@ class Trainer:
                 logger.close()
         model.load_state_dict(best_state)
         return history
+
+    @staticmethod
+    def _capture_rng_states(model: Module, rng: np.random.Generator, loader) -> dict:
+        """Bit-generator states of every stream the loop consumes."""
+        states = {"trainer": rng.bit_generator.state, "loader": loader.rng_state}
+        sampling_rng = getattr(model, "_sampling_rng", None)
+        if sampling_rng is not None:
+            states["model_sampling"] = sampling_rng.bit_generator.state
+        return states
+
+    @staticmethod
+    def _restore_rng_states(states: dict, model: Module, rng: np.random.Generator, loader) -> None:
+        rng.bit_generator.state = states["trainer"]
+        loader.rng_state = states["loader"]
+        sampling_rng = getattr(model, "_sampling_rng", None)
+        if sampling_rng is not None and "model_sampling" in states:
+            sampling_rng.bit_generator.state = states["model_sampling"]
 
     def validate(self, model: Module, task: ForecastingTask) -> float:
         """Validation MAE in original units (early-stopping criterion)."""

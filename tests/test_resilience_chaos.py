@@ -1,0 +1,157 @@
+"""Fault injectors: deterministic, targeted, and composable."""
+
+import numpy as np
+import pytest
+
+from repro.data import load_task
+from repro.data.io import load_dataset, save_dataset
+from repro.resilience import (
+    AbortInjector,
+    ChaosSchedule,
+    FlakyReader,
+    NaNGradientInjector,
+    SimulatedCrash,
+    TransientIOError,
+    corrupt_checkpoint,
+)
+
+
+class _Param:
+    def __init__(self):
+        self.grad = np.zeros(3)
+
+
+class _FakeModel:
+    def __init__(self):
+        self._params = [_Param()]
+
+    def parameters(self):
+        return self._params
+
+
+class TestNaNGradientInjector:
+    def test_fires_only_at_target_step(self):
+        injector = NaNGradientInjector(epoch=2, batch=1)
+        model = _FakeModel()
+        injector("after_backward", model=model, epoch=1, batch=1)
+        injector("after_backward", model=model, epoch=2, batch=0)
+        injector("epoch_end", model=model, epoch=2)
+        assert np.all(np.isfinite(model.parameters()[0].grad))
+        injector("after_backward", model=model, epoch=2, batch=1)
+        assert np.all(np.isnan(model.parameters()[0].grad))
+
+    def test_once_semantics(self):
+        injector = NaNGradientInjector(epoch=0, batch=0, once=True)
+        first = _FakeModel()
+        injector("after_backward", model=first, epoch=0, batch=0)
+        assert injector.fired == 1
+        second = _FakeModel()  # retry after rollback sees a clean pass
+        injector("after_backward", model=second, epoch=0, batch=0)
+        assert np.all(np.isfinite(second.parameters()[0].grad))
+
+    def test_repeating_mode(self):
+        injector = NaNGradientInjector(epoch=0, batch=0, once=False)
+        for _ in range(3):
+            model = _FakeModel()
+            injector("after_backward", model=model, epoch=0, batch=0)
+            assert np.all(np.isnan(model.parameters()[0].grad))
+        assert injector.fired == 3
+
+    def test_skips_params_without_grad(self):
+        injector = NaNGradientInjector(epoch=0, batch=0)
+        model = _FakeModel()
+        model.parameters()[0].grad = None
+        second = _Param()
+        model._params.append(second)
+        injector("after_backward", model=model, epoch=0, batch=0)
+        assert np.all(np.isnan(second.grad))
+
+
+class TestAbortInjector:
+    def test_fires_only_at_target_epoch_end(self):
+        injector = AbortInjector(epoch=1)
+        injector("epoch_end", model=None, epoch=0)
+        injector("after_backward", model=None, epoch=1, batch=0)
+        with pytest.raises(SimulatedCrash):
+            injector("epoch_end", model=None, epoch=1)
+
+    def test_once_semantics(self):
+        injector = AbortInjector(epoch=1, once=True)
+        with pytest.raises(SimulatedCrash):
+            injector("epoch_end", model=None, epoch=1)
+        injector("epoch_end", model=None, epoch=1)  # resumed run survives
+
+
+class TestChaosSchedule:
+    def test_composes_injectors(self):
+        nan = NaNGradientInjector(epoch=0, batch=0)
+        abort = AbortInjector(epoch=0)
+        schedule = ChaosSchedule(nan, abort)
+        model = _FakeModel()
+        schedule("after_backward", model=model, epoch=0, batch=0)
+        assert np.all(np.isnan(model.parameters()[0].grad))
+        with pytest.raises(SimulatedCrash):
+            schedule("epoch_end", model=model, epoch=0)
+
+
+class TestCorruptCheckpoint:
+    def test_truncate_halves_file(self, tmp_path):
+        path = tmp_path / "ck.bin"
+        path.write_bytes(bytes(range(100)))
+        corrupt_checkpoint(path, mode="truncate")
+        assert path.read_bytes() == bytes(range(50))
+
+    def test_bitflip_is_deterministic(self, tmp_path):
+        payload = bytes(range(256)) * 4
+        a, b = tmp_path / "a.bin", tmp_path / "b.bin"
+        a.write_bytes(payload)
+        b.write_bytes(payload)
+        corrupt_checkpoint(a, mode="bitflip", seed=7)
+        corrupt_checkpoint(b, mode="bitflip", seed=7)
+        assert a.read_bytes() == b.read_bytes()
+        assert a.read_bytes() != payload
+        assert len(a.read_bytes()) == len(payload)
+
+    def test_rejects_unknown_mode_and_empty_file(self, tmp_path):
+        path = tmp_path / "ck.bin"
+        path.write_bytes(b"data")
+        with pytest.raises(ValueError, match="unknown corruption mode"):
+            corrupt_checkpoint(path, mode="gamma-ray")
+        empty = tmp_path / "empty.bin"
+        empty.write_bytes(b"")
+        with pytest.raises(ValueError, match="empty"):
+            corrupt_checkpoint(empty)
+
+
+class TestFlakyReaderRetries:
+    @pytest.fixture()
+    def saved(self, tmp_path):
+        task = load_task("hzmetro", num_nodes=4, num_days=3, seed=2)
+        path = tmp_path / "dataset.npz"
+        save_dataset(path, task.dataset)
+        return path
+
+    def test_retries_recover_from_transient_failures(self, saved):
+        reader = FlakyReader(failures=2)
+        dataset = load_dataset(saved, retries=2, reader=reader)
+        assert reader.attempts == 3
+        assert dataset.values.shape[1] == 4
+
+    def test_exhausted_retries_surface_the_error(self, saved):
+        with pytest.raises(TransientIOError):
+            load_dataset(saved, retries=1, reader=FlakyReader(failures=3))
+
+    def test_missing_file_is_never_retried(self, tmp_path):
+        reader_calls = []
+
+        def reader(path):
+            reader_calls.append(path)
+            raise FileNotFoundError(path)
+
+        with pytest.raises(FileNotFoundError):
+            load_dataset(tmp_path / "nope.npz", retries=5, reader=reader)
+        assert len(reader_calls) == 1
+
+    def test_flaky_reader_rejects_negative_budget(self):
+        with pytest.raises(ValueError):
+            FlakyReader(failures=-1)

@@ -1,0 +1,139 @@
+"""Atomic writes and training-state checkpoint integrity."""
+
+import numpy as np
+import pytest
+
+from repro.ioutil import atomic_savez, atomic_write, atomic_write_text
+from repro.nn import CheckpointCorruptionError, Linear, load_checkpoint, save_checkpoint
+from repro.resilience import (
+    TrainingCheckpoint,
+    corrupt_checkpoint,
+    load_training_checkpoint,
+    save_training_checkpoint,
+)
+
+
+class TestAtomicWrite:
+    def test_success_replaces_destination(self, tmp_path):
+        target = tmp_path / "out.txt"
+        target.write_text("old")
+        with atomic_write(target) as tmp:
+            tmp.write_text("new")
+        assert target.read_text() == "new"
+        assert list(tmp_path.iterdir()) == [target]  # no temp debris
+
+    def test_failure_preserves_original(self, tmp_path):
+        target = tmp_path / "out.txt"
+        target.write_text("precious")
+        with pytest.raises(RuntimeError):
+            with atomic_write(target) as tmp:
+                tmp.write_text("half-writ")
+                raise RuntimeError("simulated crash mid-write")
+        assert target.read_text() == "precious"
+        assert list(tmp_path.iterdir()) == [target]
+
+    def test_atomic_savez_appends_npz_suffix(self, tmp_path):
+        final = atomic_savez(tmp_path / "arrays", {"a": np.arange(3)})
+        assert final.name == "arrays.npz"
+        with np.load(final) as archive:
+            np.testing.assert_array_equal(archive["a"], np.arange(3))
+
+    def test_atomic_write_text(self, tmp_path):
+        path = atomic_write_text(tmp_path / "note.md", "hello")
+        assert path.read_text() == "hello"
+
+
+class TestModelCheckpointAtomicity:
+    def test_interrupted_save_keeps_previous_checkpoint(self, tmp_path, monkeypatch):
+        """A crash inside np.savez must not clobber the existing file."""
+        model = Linear(3, 2, rng=np.random.default_rng(0))
+        path = tmp_path / "ck.npz"
+        save_checkpoint(path, model)
+        good = path.read_bytes()
+
+        def exploding_savez(*args, **kwargs):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(np, "savez", exploding_savez)
+        with pytest.raises(OSError):
+            save_checkpoint(path, Linear(3, 2, rng=np.random.default_rng(1)))
+        assert path.read_bytes() == good
+        assert list(tmp_path.iterdir()) == [path]
+
+
+def _checkpoint() -> TrainingCheckpoint:
+    rng = np.random.default_rng(3)
+    state = {"layer.weight": rng.normal(size=(3, 2)), "layer.bias": rng.normal(size=2)}
+    return TrainingCheckpoint(
+        epoch=5,
+        model_state=state,
+        best_state={k: v + 1.0 for k, v in state.items()},
+        optimizer_state={
+            "step_count": 40,
+            "lr": 5e-4,
+            "m": [np.ones((3, 2)), np.ones(2)],
+            "v": [np.full((3, 2), 2.0), np.full(2, 2.0)],
+        },
+        scheduler_state={"epoch": 5, "base_lr": 1e-3},
+        rng_states={"trainer": np.random.default_rng(9).bit_generator.state},
+        history={"train_losses": [1.0, 0.5], "val_maes": [2.0, 1.5],
+                 "epoch_seconds": [0.1, 0.1], "error_losses": [1.0, 0.5],
+                 "time_losses": [0.0, 0.0], "lrs": [1e-3, 1e-3],
+                 "grad_norms": [3.0, 2.0], "best_epoch": 1,
+                 "best_val_mae": 1.5, "stopped_early": False},
+        bad_epochs=2,
+        metadata={"task": "hzmetro"},
+    )
+
+
+class TestTrainingCheckpoint:
+    def test_roundtrip(self, tmp_path):
+        original = _checkpoint()
+        path = save_training_checkpoint(tmp_path / "state.npz", original)
+        loaded = load_training_checkpoint(path)
+        assert loaded.epoch == original.epoch
+        assert loaded.bad_epochs == original.bad_epochs
+        assert loaded.scheduler_state == original.scheduler_state
+        assert loaded.rng_states == original.rng_states
+        assert loaded.history == original.history
+        assert loaded.metadata == original.metadata
+        for key in original.model_state:
+            np.testing.assert_array_equal(loaded.model_state[key], original.model_state[key])
+            np.testing.assert_array_equal(loaded.best_state[key], original.best_state[key])
+        assert loaded.optimizer_state["step_count"] == 40
+        assert loaded.optimizer_state["lr"] == 5e-4
+        np.testing.assert_array_equal(loaded.optimizer_state["m"][0], np.ones((3, 2)))
+
+    def test_restored_rng_state_continues_stream(self, tmp_path):
+        rng = np.random.default_rng(17)
+        rng.normal(size=10)  # advance
+        ckpt = _checkpoint()
+        ckpt.rng_states = {"trainer": rng.bit_generator.state}
+        expected = rng.normal(size=5)
+        path = save_training_checkpoint(tmp_path / "state.npz", ckpt)
+        fresh = np.random.default_rng(0)
+        fresh.bit_generator.state = load_training_checkpoint(path).rng_states["trainer"]
+        np.testing.assert_array_equal(fresh.normal(size=5), expected)
+
+    @pytest.mark.parametrize("mode", ["truncate", "bitflip"])
+    def test_corruption_detected(self, tmp_path, mode):
+        path = save_training_checkpoint(tmp_path / "state.npz", _checkpoint())
+        corrupt_checkpoint(path, mode=mode, seed=1)
+        with pytest.raises(CheckpointCorruptionError):
+            load_training_checkpoint(path)
+
+    def test_corruption_error_carries_hashes_on_payload_tamper(self, tmp_path):
+        path = save_training_checkpoint(tmp_path / "state.npz", _checkpoint())
+        with np.load(path) as archive:
+            arrays = {name: archive[name].copy() for name in archive.files}
+        arrays["model/layer.bias"][0] += 1.0
+        np.savez(path, **arrays)
+        with pytest.raises(CheckpointCorruptionError) as excinfo:
+            load_training_checkpoint(path)
+        assert excinfo.value.expected is not None
+        assert excinfo.value.actual is not None
+        assert excinfo.value.expected != excinfo.value.actual
+
+    def test_missing_file_is_not_corruption(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_training_checkpoint(tmp_path / "nope.npz")

@@ -1,0 +1,111 @@
+"""Graceful inference degradation: invalid outputs fall back, loudly."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.data import load_task
+from repro.autodiff import Tensor
+from repro.obs import RunLogger
+from repro.resilience import SafePrediction, output_bound, safe_predict, validate_output
+from repro.training import Trainer, TrainingConfig
+
+SEED = 7
+
+
+def _task():
+    return load_task("hzmetro", num_nodes=4, num_days=4, seed=SEED)
+
+
+class _ConstantModel:
+    """Trainer.predict-compatible stub emitting a fixed fill value."""
+
+    def __init__(self, task, fill):
+        self.task = task
+        self.fill = fill
+
+    def eval(self):
+        pass
+
+    def __call__(self, x, t):
+        batch = x.data.shape[0]
+        shape = (batch, self.task.horizon, self.task.num_nodes, self.task.out_dim)
+        return Tensor(np.full(shape, self.fill))
+
+
+class TestValidateOutput:
+    def test_clean_output_passes(self):
+        assert validate_output(np.ones((2, 3)), bound=10.0) is None
+
+    def test_empty_output_fails(self):
+        assert validate_output(np.empty((0, 3))) == "empty output"
+
+    def test_nonfinite_output_fails_with_count(self):
+        bad = np.ones(10)
+        bad[3] = np.nan
+        bad[7] = np.inf
+        assert validate_output(bad) == "2 non-finite value(s)"
+
+    def test_out_of_bound_output_fails(self):
+        reason = validate_output(np.full(4, 1e30), bound=100.0)
+        assert reason is not None and "sanity bound" in reason
+
+    def test_no_bound_means_only_finiteness(self):
+        assert validate_output(np.full(4, 1e30), bound=None) is None
+
+
+class TestOutputBound:
+    def test_bound_scales_with_training_magnitude(self):
+        task = _task()
+        reference = float(np.abs(task.inverse_targets(task.train.targets)).max())
+        assert output_bound(task, factor=10.0) == pytest.approx(10.0 * max(reference, 1.0))
+        assert output_bound(task, factor=2.0) < output_bound(task, factor=10.0)
+
+
+class TestSafePredict:
+    def test_valid_output_is_passed_through(self):
+        task = _task()
+        trainer = Trainer(TrainingConfig(epochs=1, batch_size=8, seed=SEED))
+        result = safe_predict(trainer, _ConstantModel(task, 0.0), task)
+        assert isinstance(result, SafePrediction)
+        assert not result.degraded
+        assert result.source == "model"
+        assert result.prediction.shape == result.target.shape
+
+    @pytest.mark.parametrize("fill", [np.nan, 1e30])
+    def test_invalid_output_falls_back_to_historical_average(self, fill, tmp_path):
+        task = _task()
+        trainer = Trainer(TrainingConfig(epochs=1, batch_size=8, seed=SEED))
+        log = tmp_path / "run.jsonl"
+        logger = RunLogger(path=str(log), console=False)
+        with pytest.warns(UserWarning, match="historical-average"):
+            result = safe_predict(trainer, _ConstantModel(task, fill), task, logger=logger)
+        logger.close()
+
+        assert result.degraded
+        assert result.source == "historical_average"
+        assert np.all(np.isfinite(result.prediction))
+        assert result.prediction.shape == result.target.shape
+
+        records = [json.loads(line) for line in log.open()]
+        degraded = [r for r in records if r.get("event") == "degraded_inference"]
+        assert len(degraded) == 1
+        assert degraded[0]["fallback"] == "historical_average"
+
+    def test_fallback_matches_historical_average_baseline(self):
+        from repro.baselines.historical import HistoricalAverage
+
+        task = _task()
+        trainer = Trainer(TrainingConfig(epochs=1, batch_size=8, seed=SEED))
+        with pytest.warns(UserWarning):
+            result = safe_predict(trainer, _ConstantModel(task, np.nan), task)
+        expected, _ = HistoricalAverage.for_task(task).evaluate(task, "test")
+        np.testing.assert_allclose(result.prediction, expected)
+
+    def test_degradation_reason_is_reported(self):
+        task = _task()
+        trainer = Trainer(TrainingConfig(epochs=1, batch_size=8, seed=SEED))
+        with pytest.warns(UserWarning):
+            result = safe_predict(trainer, _ConstantModel(task, np.inf), task)
+        assert "non-finite" in result.reason

@@ -1,0 +1,149 @@
+"""Divergence sentinel checks and GuardedTrainer rollback/backoff."""
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import TGCRN
+from repro.data import load_task
+from repro.resilience import (
+    DivergenceDetected,
+    DivergenceSentinel,
+    GuardedTrainer,
+    NaNGradientInjector,
+    TrainingDivergedError,
+)
+from repro.training import Trainer, TrainingConfig
+from repro.verify import named_rng
+
+SEED = 5
+
+
+def _task():
+    return load_task("hzmetro", num_nodes=4, num_days=4, seed=SEED)
+
+
+def _model(task):
+    return TGCRN(
+        num_nodes=task.num_nodes, in_dim=task.in_dim, out_dim=task.out_dim,
+        horizon=task.horizon, hidden_dim=4, num_layers=1, node_dim=3,
+        time_dim=3, steps_per_day=task.steps_per_day,
+        rng=named_rng(SEED, "guard-test-model"),
+    )
+
+
+class TestDivergenceSentinel:
+    def test_clean_batch_passes(self):
+        DivergenceSentinel().on_batch(0, 0, loss=1.0, grad_norm=2.0)
+
+    @pytest.mark.parametrize("loss", [float("nan"), float("inf"), -float("inf")])
+    def test_nonfinite_loss(self, loss):
+        with pytest.raises(DivergenceDetected, match="nonfinite_loss"):
+            DivergenceSentinel().on_batch(3, 7, loss=loss, grad_norm=1.0)
+
+    def test_loss_explosion_threshold(self):
+        sentinel = DivergenceSentinel(loss_max=100.0)
+        sentinel.on_batch(0, 0, loss=99.0, grad_norm=1.0)
+        with pytest.raises(DivergenceDetected, match="loss_explosion"):
+            sentinel.on_batch(0, 1, loss=101.0, grad_norm=1.0)
+
+    def test_grad_explosion_and_nan_grad(self):
+        sentinel = DivergenceSentinel(grad_norm_max=10.0)
+        with pytest.raises(DivergenceDetected, match="grad_explosion"):
+            sentinel.on_batch(0, 0, loss=1.0, grad_norm=11.0)
+        with pytest.raises(DivergenceDetected, match="nonfinite_grad"):
+            sentinel.on_batch(0, 0, loss=1.0, grad_norm=float("nan"))
+
+    def test_nonfinite_validation(self):
+        with pytest.raises(DivergenceDetected, match="nonfinite_validation"):
+            DivergenceSentinel().on_epoch(2, 1.0, float("nan"), 1.0)
+
+    def test_val_stall_detection_and_reset(self):
+        sentinel = DivergenceSentinel(stall_epochs=2)
+        sentinel.on_epoch(0, 1.0, val_mae=5.0, best_val_mae=math.inf)
+        sentinel.on_epoch(1, 1.0, val_mae=5.0, best_val_mae=5.0)  # stall 1
+        with pytest.raises(DivergenceDetected, match="val_stall"):
+            sentinel.on_epoch(2, 1.0, val_mae=5.1, best_val_mae=5.0)  # stall 2
+        sentinel.reset()
+        sentinel.on_epoch(3, 1.0, val_mae=5.2, best_val_mae=5.0)  # fresh count
+
+    def test_exception_is_structured(self):
+        with pytest.raises(DivergenceDetected) as excinfo:
+            DivergenceSentinel().on_batch(4, 2, loss=float("nan"), grad_norm=1.0)
+        exc = excinfo.value
+        assert (exc.reason, exc.epoch, exc.batch) == ("nonfinite_loss", 4, 2)
+        assert math.isnan(exc.value)
+
+
+class TestGuardedTrainer:
+    def test_requires_checkpoint_path(self):
+        guarded = GuardedTrainer(Trainer(TrainingConfig(epochs=1)))
+        with pytest.raises(ValueError, match="checkpoint_path"):
+            guarded.fit(object(), _task())
+
+    def test_nan_gradient_triggers_rollback_and_lr_backoff(self, tmp_path):
+        task = _task()
+        log = tmp_path / "run.jsonl"
+        config = TrainingConfig(epochs=3, batch_size=8, seed=SEED,
+                                checkpoint_path=str(tmp_path / "state.npz"),
+                                log_path=str(log))
+        guarded = GuardedTrainer(Trainer(config), max_retries=2, lr_backoff=0.5)
+        history = guarded.fit(_model(task), task,
+                              fault_hook=NaNGradientInjector(epoch=1, batch=0))
+
+        assert history.epochs_run == 3  # recovered and finished
+        assert len(guarded.events) == 1
+        assert guarded.events[0].reason == "nonfinite_grad"
+        assert guarded.events[0].epoch == 1
+        # Epoch 0 ran at the base lr; the retried epochs at half of it.
+        assert history.lrs[0] == pytest.approx(config.lr)
+        assert history.lrs[1] == pytest.approx(config.lr * 0.5)
+        assert np.all(np.isfinite(history.train_losses))
+
+        events = [json.loads(line)["event"] for line in log.open()]
+        for expected in ("divergence", "rollback", "resume", "lr_backoff", "recovered"):
+            assert expected in events, f"missing {expected!r} in {events}"
+
+    def test_parameters_never_see_injected_nan(self, tmp_path):
+        """The sentinel fires before optimizer.step, so weights stay finite."""
+        task = _task()
+        config = TrainingConfig(epochs=2, batch_size=8, seed=SEED,
+                                checkpoint_path=str(tmp_path / "state.npz"))
+        guarded = GuardedTrainer(Trainer(config), max_retries=1)
+        model = _model(task)
+        guarded.fit(model, task, fault_hook=NaNGradientInjector(epoch=0, batch=1))
+        assert all(np.all(np.isfinite(p.data)) for p in model.parameters())
+
+    def test_bounded_retries_raise_structured_failure(self, tmp_path):
+        task = _task()
+        log = tmp_path / "run.jsonl"
+        config = TrainingConfig(epochs=2, batch_size=8, seed=SEED,
+                                checkpoint_path=str(tmp_path / "state.npz"),
+                                log_path=str(log))
+        guarded = GuardedTrainer(Trainer(config), max_retries=1, lr_backoff=0.5)
+        with pytest.raises(TrainingDivergedError) as excinfo:
+            guarded.fit(_model(task), task,
+                        fault_hook=NaNGradientInjector(epoch=0, once=False))
+        assert len(excinfo.value.events) == 2  # initial attempt + 1 retry
+        assert all(e.reason == "nonfinite_grad" for e in excinfo.value.events)
+        events = [json.loads(line)["event"] for line in log.open()]
+        assert "giving_up" in events
+
+    def test_delegates_predict_and_config(self, tmp_path):
+        config = TrainingConfig(epochs=1, checkpoint_path=str(tmp_path / "s.npz"))
+        trainer = Trainer(config)
+        guarded = GuardedTrainer(trainer)
+        assert guarded.config is config
+        assert guarded.predict.__self__ is trainer or callable(guarded.predict)
+
+    def test_rejects_bad_knobs(self):
+        with pytest.raises(ValueError):
+            GuardedTrainer(max_retries=-1)
+        with pytest.raises(ValueError):
+            GuardedTrainer(lr_backoff=0.0)
+        with pytest.raises(ValueError):
+            DivergenceSentinel(grad_norm_max=0.0)
+        with pytest.raises(ValueError):
+            DivergenceSentinel(stall_epochs=0)
