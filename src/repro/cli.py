@@ -1,5 +1,5 @@
 """Command-line interface: train, evaluate, compare, inspect, profile,
-verify, chaos.
+verify, chaos, serve, bench-serve.
 
 Usage::
 
@@ -11,6 +11,8 @@ Usage::
     python -m repro.cli profile --dataset hzmetro --epochs 1   # hot-op table
     python -m repro.cli verify              # correctness harness outside pytest
     python -m repro.cli chaos               # fault-injection recovery smoke
+    python -m repro.cli serve               # serving-layer containment smoke
+    python -m repro.cli bench-serve         # serving throughput/latency bench
 
 Every command accepts ``--nodes/--days/--seed`` to control the synthetic
 dataset scale, so quick experiments stay quick.  ``--quiet`` silences the
@@ -418,8 +420,301 @@ def cmd_chaos(args) -> int:
                       f"{sorted(needed & set(events))}")
         failures += 0 if logged else 1
 
+    # -- scenario C: NaN model at serve time -> breaker -> fallback -> recovery
+    console.print("chaos C: NaN-emitting model behind the serving layer")
+    from .serve import CircuitBreaker, ForecastServer, NaNModel
+
+    serve_logger = RunLogger(path=args.log_jsonl, console=False, mode="a",
+                             metadata={"command": "chaos",
+                                       "scenario": "serve_containment"})
+    nan_model = NaNModel(build_model(), failing=True)
+    server = ForecastServer(
+        nan_model, task, max_batch=2, queue_depth=32,
+        breaker=CircuitBreaker(failure_threshold=2, cooldown=5.0),
+        logger=serve_logger,
+    )
+
+    def fire(count, now, tag):
+        for i in range(count):
+            j = i % len(task.test)
+            server.submit({"window": task.test.inputs[j],
+                           "time_index": task.test.time_indices[j],
+                           "id": f"{tag}-{i}"}, now=now)
+        return server.drain(now=now)
+
+    first = fire(6, now=0.0, tag="nanreq")
+    calls_at_trip = nan_model.calls
+    answered = all(r.source in ("model", "historical_average") for r in first)
+    contained = answered and all(r.source == "historical_average" for r in first)
+    tripped = server.breaker.state == "open" and calls_at_trip == 2
+    console.print(f"  {'ok  ' if contained else 'FAIL'} every request answered by "
+                  "an explicitly-marked fallback (no 5xx, no NaN served)")
+    console.print(f"  {'ok  ' if tripped else 'FAIL'} breaker tripped open after "
+                  f"{calls_at_trip} failing batch(es) (threshold 2)")
+    failures += (0 if contained else 1) + (0 if tripped else 1)
+
+    nan_model.failing = False
+    during_cooldown = fire(2, now=1.0, tag="cooldown")
+    held = all(r.source == "historical_average" for r in during_cooldown)
+    after_cooldown = fire(2, now=10.0, tag="probe")
+    recovered = (server.breaker.state == "closed"
+                 and all(r.source == "model" for r in after_cooldown))
+    console.print(f"  {'ok  ' if held else 'FAIL'} open breaker kept serving the "
+                  "fallback during cooldown")
+    console.print(f"  {'ok  ' if recovered else 'FAIL'} half-open probe closed the "
+                  "breaker after the fault cleared")
+    failures += (0 if held else 1) + (0 if recovered else 1)
+
+    # -- scenario D: checkpoint corrupted between write and warm reload
+    console.print("chaos D: corrupted checkpoint rejected at warm reload")
+    from .resilience import corrupt_checkpoint
+
+    fresh = build_model()
+    fresh.parameters()[0].data[...] += 0.5  # distinguishable version hash
+    good_ckpt = str(ckpt_dir / "serve_good.npz")
+    bad_ckpt = str(ckpt_dir / "serve_bad.npz")
+    save_checkpoint(good_ckpt, fresh)
+    save_checkpoint(bad_ckpt, fresh)
+    corrupt_checkpoint(bad_ckpt, mode="truncate")
+    version_before = server.model_version
+    rejected = (not server.reload_checkpoint(bad_ckpt)
+                and server.model_version == version_before)
+    still_serving = fire(1, now=20.0, tag="post-reject")[0].source == "model"
+    swapped = (server.reload_checkpoint(good_ckpt)
+               and server.model_version != version_before)
+    serve_logger.close()
+    console.print(f"  {'ok  ' if rejected else 'FAIL'} integrity hash rejected the "
+                  "corrupt checkpoint; live model untouched")
+    console.print(f"  {'ok  ' if still_serving else 'FAIL'} previously-live model "
+                  "kept serving after the rejected reload")
+    console.print(f"  {'ok  ' if swapped else 'FAIL'} intact checkpoint swapped in "
+                  "atomically afterwards")
+    failures += (0 if rejected else 1) + (0 if still_serving else 1) + (0 if swapped else 1)
+
+    if args.log_jsonl:
+        events = {_json.loads(line)["event"] for line in Path(args.log_jsonl).open()}
+        serve_needed = {"breaker_open", "breaker_half_open", "breaker_closed",
+                        "fallback_served", "checkpoint_rejected", "model_reloaded"}
+        serve_logged = serve_needed.issubset(events)
+        console.print(f"  {'ok  ' if serve_logged else 'FAIL'} serve log records "
+                      f"{sorted(serve_needed & events)}")
+        failures += 0 if serve_logged else 1
+
     console.print(f"\nchaos: {'FAILED' if failures else 'PASSED'}")
     return 1 if failures else 0
+
+
+def cmd_serve(args) -> int:
+    """Serving-layer smoke: prove containment under hostile traffic.
+
+    One thread-driven :class:`~repro.serve.ForecastServer` on a tiny
+    synthetic task, walked through six phases (docs/serving.md): healthy
+    traffic, malformed payloads, dead-on-arrival deadlines, a NaN-emitting
+    model (breaker trip + fallback), fault clearance (half-open recovery),
+    and a warm reload with a corrupted-then-intact checkpoint.  Exit 0
+    only if every containment property holds.
+    """
+    import time as _time
+    from pathlib import Path
+
+    from .obs import RunLogger
+    from .resilience import corrupt_checkpoint
+    from .serve import (
+        CircuitBreaker,
+        DeadlineExceededError,
+        ForecastServer,
+        InvalidRequestError,
+        NaNModel,
+        malformed_payloads,
+    )
+    from .verify import named_rng
+
+    console = _console(args)
+    task = _load(args)
+    model = NaNModel(
+        TGCRN(**default_tgcrn_kwargs(task, hidden_dim=args.hidden, node_dim=args.node_dim,
+                                     time_dim=args.time_dim, num_layers=args.layers),
+              rng=named_rng(args.seed, "serve-model-init")),
+        failing=False,
+    )
+    logger = None
+    if args.log_jsonl:
+        logger = RunLogger(path=args.log_jsonl, console=False,
+                           metadata={"command": "serve", "dataset": args.dataset})
+    server = ForecastServer(
+        model, task, queue_depth=args.queue_depth, max_batch=args.max_batch,
+        breaker=CircuitBreaker(failure_threshold=args.failure_threshold,
+                               cooldown=args.cooldown),
+        logger=logger,
+    )
+    server.start()
+    failures = 0
+    collected = []
+
+    def payload(i, tag, **extra):
+        j = i % len(task.test)
+        return {"window": task.test.inputs[j],
+                "time_index": task.test.time_indices[j],
+                "id": f"{tag}-{i}", **extra}
+
+    def await_responses(expected, timeout=15.0):
+        stop_at = _time.monotonic() + timeout
+        while len(collected) < expected and _time.monotonic() < stop_at:
+            collected.extend(server.take_responses())
+            _time.sleep(0.005)
+        collected.extend(server.take_responses())
+
+    def check(ok, label):
+        nonlocal failures
+        console.print(f"  {'ok  ' if ok else 'FAIL'} {label}")
+        failures += 0 if ok else 1
+
+    console.print(f"serve smoke: {task.num_nodes} nodes, queue {args.queue_depth}, "
+                  f"micro-batch {args.max_batch}, breaker threshold "
+                  f"{args.failure_threshold}, cooldown {args.cooldown}s")
+
+    # 1. healthy traffic is served by the model
+    for i in range(args.requests):
+        server.submit(payload(i, "valid"))
+    await_responses(args.requests)
+    healthy = [r for r in collected if r.request_id.startswith("valid-")]
+    check(len(healthy) == args.requests and all(r.source == "model" for r in healthy),
+          f"{len(healthy)}/{args.requests} healthy requests served by the model")
+
+    # 2. malformed payloads are rejected at the front door, per-check
+    catalog = malformed_payloads(server.spec)
+    rejected = 0
+    for code, bad in catalog:
+        try:
+            server.submit(bad)
+        except InvalidRequestError as exc:
+            rejected += int(exc.code == code)
+    check(rejected == len(catalog),
+          f"{rejected}/{len(catalog)} malformed payloads rejected with the right code")
+
+    # 3. dead-on-arrival deadlines are shed at admission
+    doa = 0
+    for i in range(3):
+        try:
+            server.submit(payload(i, "expired", deadline=_time.monotonic() - 1.0))
+        except DeadlineExceededError:
+            doa += 1
+    check(doa == 3, f"{doa}/3 past-deadline requests shed at admission")
+
+    # 4. NaN-emitting model: contained, breaker trips
+    model.failing = True
+    nan_count = args.failure_threshold * args.max_batch
+    for i in range(nan_count):
+        server.submit(payload(i, "nan"))
+    await_responses(args.requests + nan_count)
+    nan_resp = [r for r in collected if r.request_id.startswith("nan-")]
+    check(len(nan_resp) == nan_count
+          and all(r.source == "historical_average" for r in nan_resp),
+          f"{len(nan_resp)}/{nan_count} NaN-era requests answered by the marked fallback")
+    check(server.breaker.state == "open", "breaker tripped open")
+
+    # 5. fault clears; half-open probe closes the breaker
+    model.failing = False
+    _time.sleep(args.cooldown + 0.05)
+    for i in range(args.max_batch):
+        server.submit(payload(i, "probe"))
+    await_responses(args.requests + nan_count + args.max_batch)
+    probe_resp = [r for r in collected if r.request_id.startswith("probe-")]
+    check(server.breaker.state == "closed"
+          and any(r.source == "model" for r in probe_resp),
+          "breaker recovered closed via half-open probe")
+
+    # 6. warm reload: corrupted checkpoint rejected, intact one swapped
+    ckpt_dir = Path(args.checkpoint_dir)
+    ckpt_dir.mkdir(parents=True, exist_ok=True)
+    fresh = TGCRN(**default_tgcrn_kwargs(task, hidden_dim=args.hidden,
+                                         node_dim=args.node_dim, time_dim=args.time_dim,
+                                         num_layers=args.layers),
+                  rng=named_rng(args.seed + 1, "serve-reload-init"))
+    good_ckpt, bad_ckpt = str(ckpt_dir / "good.npz"), str(ckpt_dir / "bad.npz")
+    save_checkpoint(good_ckpt, fresh)
+    save_checkpoint(bad_ckpt, fresh)
+    corrupt_checkpoint(bad_ckpt, mode="truncate")
+    version_before = server.model_version
+    check(not server.reload_checkpoint(bad_ckpt)
+          and server.model_version == version_before,
+          "corrupt checkpoint rejected by integrity hash; live model untouched")
+    check(server.reload_checkpoint(good_ckpt)
+          and server.model_version != version_before,
+          "intact checkpoint swapped in atomically")
+
+    server.stop(drain=True)
+    if logger is not None:
+        logger.close()
+    health = server.health()
+    latency = server.metrics.histogram("serve.latency_ms")
+    console.print(f"\nhealth: {health['status']}  breaker {health['breaker']}  "
+                  f"model {health['model_version']}")
+    console.print(f"latency p50 {latency.quantile(0.5):.2f}ms  "
+                  f"p95 {latency.quantile(0.95):.2f}ms  over {latency.count} responses")
+    console.print(f"counters: { {k: int(v) for k, v in health['counters'].items()} }")
+    console.print(f"\nserve: {'FAILED' if failures else 'PASSED'}")
+    return 1 if failures else 0
+
+
+def cmd_bench_serve(args) -> int:
+    """Closed-loop serving benchmark: throughput and latency percentiles.
+
+    Drives the synchronous core directly (no worker thread) so the
+    numbers measure validation + batching + inference, not thread
+    scheduling jitter.
+    """
+    import json as _json
+    import time as _time
+
+    from .serve import ForecastServer
+    from .verify import named_rng
+
+    console = _console(args)
+    task = _load(args)
+    model = TGCRN(**default_tgcrn_kwargs(task, hidden_dim=args.hidden,
+                                         node_dim=args.node_dim, time_dim=args.time_dim,
+                                         num_layers=args.layers),
+                  rng=named_rng(args.seed, "bench-serve-init"))
+    server = ForecastServer(model, task, queue_depth=args.queue_depth,
+                            max_batch=args.max_batch)
+    submitted = 0
+    started = _time.perf_counter()
+    while submitted < args.requests:
+        wave = min(args.max_batch, args.requests - submitted)
+        for i in range(wave):
+            j = (submitted + i) % len(task.test)
+            server.submit({"window": task.test.inputs[j],
+                           "time_index": task.test.time_indices[j]})
+        server.drain()
+        submitted += wave
+    elapsed = _time.perf_counter() - started
+    responses = server.take_responses()
+    model_served = sum(r.source == "model" for r in responses)
+    latency = server.metrics.histogram("serve.latency_ms")
+    batch = server.metrics.histogram("serve.batch_size")
+    result = {
+        "requests": args.requests,
+        "seconds": elapsed,
+        "throughput_rps": args.requests / elapsed,
+        "latency_ms": {"p50": latency.quantile(0.5), "p95": latency.quantile(0.95),
+                       "mean": latency.mean},
+        "mean_batch_size": batch.mean,
+        "model_served": model_served,
+        "nodes": task.num_nodes,
+        "max_batch": args.max_batch,
+    }
+    console.print(f"bench-serve: {args.requests} requests in {elapsed:.2f}s "
+                  f"= {result['throughput_rps']:.1f} req/s")
+    console.print(f"latency p50 {result['latency_ms']['p50']:.2f}ms  "
+                  f"p95 {result['latency_ms']['p95']:.2f}ms  "
+                  f"mean batch {batch.mean:.1f}")
+    if args.out:
+        from .ioutil import atomic_write_text
+
+        atomic_write_text(args.out, _json.dumps(result, indent=2) + "\n")
+        console.print(f"result written to {args.out}")
+    return 0 if model_served == args.requests else 1
 
 
 def cmd_verify(args) -> int:
@@ -562,6 +857,42 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--lr-backoff", type=float, default=0.5)
     chaos.set_defaults(fn=cmd_chaos, epochs=4, nodes=5, days=4,
                        hidden=4, node_dim=3, time_dim=3, layers=1)
+
+    serve = sub.add_parser(
+        "serve",
+        help="serving-layer containment smoke: valid, malformed, past-deadline, "
+             "NaN-chaos, and warm-reload traffic through the forecast server",
+    )
+    _add_dataset_args(serve)
+    _add_obs_args(serve)
+    serve.add_argument("--requests", type=int, default=8,
+                       help="healthy requests in the first phase")
+    serve.add_argument("--queue-depth", type=int, default=64,
+                       help="admission bound (ServiceOverloadedError beyond it)")
+    serve.add_argument("--max-batch", type=int, default=4,
+                       help="micro-batch coalescing budget")
+    serve.add_argument("--failure-threshold", type=int, default=2,
+                       help="consecutive failing batches before the breaker opens")
+    serve.add_argument("--cooldown", type=float, default=0.25,
+                       help="seconds the breaker stays open before half-open probing")
+    serve.add_argument("--checkpoint-dir", default="artifacts/serve",
+                       help="directory for the warm-reload scenario checkpoints")
+    serve.set_defaults(fn=cmd_serve, nodes=6, days=5,
+                       hidden=8, node_dim=4, time_dim=4, layers=1)
+
+    bench_serve = sub.add_parser(
+        "bench-serve",
+        help="closed-loop serving benchmark: throughput and latency percentiles",
+    )
+    _add_dataset_args(bench_serve)
+    _add_obs_args(bench_serve)
+    bench_serve.add_argument("--requests", type=int, default=64)
+    bench_serve.add_argument("--max-batch", type=int, default=8)
+    bench_serve.add_argument("--queue-depth", type=int, default=128)
+    bench_serve.add_argument("--out", default=None, metavar="PATH",
+                             help="write the machine-readable JSON result here")
+    bench_serve.set_defaults(fn=cmd_bench_serve, nodes=6, days=5,
+                             hidden=8, node_dim=4, time_dim=4, layers=1)
 
     verify = sub.add_parser(
         "verify",

@@ -5,10 +5,13 @@ with an opaque zipfile error, or — nastier — loads a stale central
 directory and silently returns old arrays.  Everything that persists
 training artifacts (dataset caches, model checkpoints, optimizer state,
 training-state checkpoints) therefore writes through :func:`atomic_write`:
-the payload lands in a same-directory temp file first and is moved into
-place with ``os.replace``, which POSIX guarantees to be atomic.  An
-interrupt (SIGKILL, power loss, full disk) can lose the *new* artifact
-but can never corrupt or truncate the *existing* one.
+the payload lands in a same-directory temp file first, is flushed to
+stable storage with ``os.fsync``, and is moved into place with
+``os.replace`` — with the parent directory fsynced around the rename so
+the new directory entry is durable too.  An interrupt (SIGKILL, power
+loss, full disk) can lose the *new* artifact but can never corrupt or
+truncate the *existing* one, and a file that ``os.replace`` committed
+can never come back zero-length after a power cut.
 """
 
 from __future__ import annotations
@@ -21,6 +24,34 @@ from typing import Iterator
 import numpy as np
 
 
+def _fsync_file(path: Path) -> None:
+    """Push a file's contents to stable storage (data durability)."""
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def _fsync_dir(path: Path) -> None:
+    """Push a directory entry to stable storage (rename durability).
+
+    Some filesystems (and non-POSIX platforms) refuse fsync on a
+    directory fd; that only weakens durability, not atomicity, so the
+    failure is swallowed.
+    """
+    try:
+        fd = os.open(path, os.O_RDONLY | getattr(os, "O_DIRECTORY", 0))
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
 @contextmanager
 def atomic_write(path: str | Path) -> Iterator[Path]:
     """Yield a temp path that replaces ``path`` only on successful exit.
@@ -28,12 +59,21 @@ def atomic_write(path: str | Path) -> Iterator[Path]:
     The temp file lives next to the destination (same filesystem, so the
     final ``os.replace`` is a metadata-only rename).  On any exception the
     temp file is removed and the original destination is left untouched.
+
+    Durability, not just atomicity: the temp file is fsynced before the
+    rename (so the committed file can never be empty or partial after a
+    power loss) and the parent directory is fsynced before and after it
+    (so both the temp entry and the renamed entry survive a crash of the
+    filesystem journal).
     """
     path = Path(path)
     tmp = path.with_name(f"{path.name}.tmp-{os.getpid()}")
     try:
         yield tmp
+        _fsync_file(tmp)
+        _fsync_dir(path.parent)
         os.replace(tmp, path)
+        _fsync_dir(path.parent)
     except BaseException:
         tmp.unlink(missing_ok=True)
         raise

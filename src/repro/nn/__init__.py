@@ -13,6 +13,7 @@ from .serialization import (
     save_checkpoint,
     save_optimizer,
     state_hash,
+    verify_checkpoint,
 )
 from . import init
 
@@ -50,4 +51,5 @@ __all__ = [
     "save_optimizer",
     "scaled_dot_product_attention",
     "state_hash",
+    "verify_checkpoint",
 ]

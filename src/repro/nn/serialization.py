@@ -84,6 +84,34 @@ def read_archive(path: str | Path) -> dict:
         raise CheckpointCorruptionError(path, f"unreadable archive ({exc})") from exc
 
 
+def verify_checkpoint(path: str | Path) -> dict:
+    """Integrity-check a checkpoint *without* a model; returns its metadata.
+
+    Recomputes the parameter :func:`state_hash` and compares it to the
+    embedded digest — the same check :func:`load_checkpoint` performs,
+    but usable before a model instance exists (e.g. the serving layer
+    probing a candidate checkpoint ahead of a warm reload).  Raises
+    :class:`CheckpointCorruptionError` on mismatch or unreadable archive.
+    """
+    path = Path(path)
+    arrays = read_archive(path)
+    meta_blob = arrays.pop(_META_KEY, None)
+    hash_blob = arrays.pop(_HASH_KEY, None)
+    if hash_blob is not None:
+        expected = bytes(hash_blob.tobytes()).decode()
+        actual = state_hash(arrays)
+        if actual != expected:
+            raise CheckpointCorruptionError(
+                path,
+                f"state hash {actual[:16]}… does not match the embedded {expected[:16]}…",
+                expected=expected,
+                actual=actual,
+            )
+    if meta_blob is None:
+        return {}
+    return json.loads(bytes(meta_blob.tobytes()).decode())
+
+
 def save_checkpoint(path: str | Path, model: Module, metadata: dict | None = None) -> None:
     """Write a model's parameters (and JSON-safe metadata) to ``.npz``.
 

@@ -53,17 +53,26 @@ class Gauge:
 
 
 class Histogram:
-    """Streaming summary (count/sum/min/max/mean/std/last) of observations."""
+    """Streaming summary (count/sum/min/max/mean/std/last) of observations.
 
-    __slots__ = ("count", "total", "sumsq", "low", "high", "last")
+    Also keeps a bounded ring of the most recent ``sample_size``
+    observations so :meth:`quantile` can report p50/p95-style latency
+    percentiles without unbounded memory — recency-biased by design, the
+    window that matters for serving dashboards.
+    """
 
-    def __init__(self):
+    __slots__ = ("count", "total", "sumsq", "low", "high", "last",
+                 "sample_size", "_sample")
+
+    def __init__(self, sample_size: int = 512):
         self.count = 0
         self.total = 0.0
         self.sumsq = 0.0
         self.low = math.inf
         self.high = -math.inf
         self.last = float("nan")
+        self.sample_size = sample_size
+        self._sample: list[float] = []
 
     def observe(self, value: float) -> None:
         value = float(value)
@@ -73,6 +82,27 @@ class Histogram:
         self.low = min(self.low, value)
         self.high = max(self.high, value)
         self.last = value
+        if self.sample_size > 0:
+            if len(self._sample) >= self.sample_size:
+                self._sample[self.count % self.sample_size] = value
+            else:
+                self._sample.append(value)
+
+    def quantile(self, q: float) -> float:
+        """Linear-interpolated quantile of the retained sample window.
+
+        ``q`` in [0, 1]; NaN before any observation.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"q must be in [0, 1], got {q}")
+        if not self._sample:
+            return float("nan")
+        ordered = sorted(self._sample)
+        position = q * (len(ordered) - 1)
+        lo = int(math.floor(position))
+        hi = min(lo + 1, len(ordered) - 1)
+        fraction = position - lo
+        return ordered[lo] * (1.0 - fraction) + ordered[hi] * fraction
 
     @property
     def mean(self) -> float:
@@ -94,6 +124,8 @@ class Histogram:
             "mean": self.mean,
             "std": self.std,
             "last": self.last,
+            "p50": self.quantile(0.5),
+            "p95": self.quantile(0.95),
         }
 
 

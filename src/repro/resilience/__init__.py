@@ -34,7 +34,13 @@ from .checkpoint import (
     load_training_checkpoint,
     save_training_checkpoint,
 )
-from .degrade import SafePrediction, output_bound, safe_predict, validate_output
+from .degrade import (
+    SafePrediction,
+    output_bound,
+    safe_predict,
+    validate_input,
+    validate_output,
+)
 from .guard import DivergenceSentinel, GuardedTrainer, GuardEvent, TrainingDivergedError
 
 __all__ = [
@@ -57,5 +63,6 @@ __all__ = [
     "output_bound",
     "safe_predict",
     "save_training_checkpoint",
+    "validate_input",
     "validate_output",
 ]

@@ -38,9 +38,43 @@ def output_bound(task, factor: float = 10.0) -> float:
     ``factor`` × the largest magnitude seen in the (unscaled) training
     targets — generous enough for genuine peaks, tight enough to catch a
     model emitting 1e30 after numeric blow-up.
+
+    The reference magnitude (a full pass over the unscaled training
+    targets) is cached on the task, so per-request callers — the serving
+    layer, repeated ``cli evaluate`` paths — pay for it once.
     """
-    reference = np.abs(task.inverse_targets(task.train.targets))
-    return float(factor * max(float(reference.max()), 1.0))
+    reference_max = getattr(task, "_output_bound_ref", None)
+    if reference_max is None:
+        reference = np.abs(task.inverse_targets(task.train.targets))
+        reference_max = max(float(reference.max()), 1.0)
+        try:
+            task._output_bound_ref = reference_max
+        except (AttributeError, TypeError):  # frozen/slotted task: skip caching
+            pass
+    return float(factor * reference_max)
+
+
+def validate_input(window: np.ndarray, num_nodes: int | None = None) -> str | None:
+    """Return a failure reason (or None) for a batch of model *inputs*.
+
+    Garbage in should degrade gracefully, not raise deep inside
+    :mod:`repro.autodiff`: non-finite windows and a node axis that does
+    not match the model's ``num_nodes`` are caught here, before any
+    forward pass.  Expects the trailing axes to be ``(..., nodes, dim)``.
+    """
+    window = np.asarray(window)
+    if window.size == 0:
+        return "empty input"
+    if window.dtype == object or window.dtype.kind in "USV":
+        return f"non-numeric input dtype {window.dtype}"
+    if not np.all(np.isfinite(window)):
+        bad = int(window.size - np.count_nonzero(np.isfinite(window)))
+        return f"{bad} non-finite input value(s)"
+    if num_nodes is not None:
+        if window.ndim < 2 or window.shape[-2] != num_nodes:
+            return (f"input node axis {window.shape[-2] if window.ndim >= 2 else 'missing'} "
+                    f"does not match the model's num_nodes={num_nodes}")
+    return None
 
 
 def validate_output(prediction: np.ndarray, bound: float | None = None) -> str | None:
@@ -68,21 +102,31 @@ def safe_predict(
 ) -> SafePrediction:
     """``trainer.predict`` with validation and historical-average fallback.
 
-    Returns a :class:`SafePrediction`; ``degraded=True`` means the model
-    output failed validation (non-finite, or outside
-    ``bound_factor`` × the training-data magnitude envelope) and the
+    Returns a :class:`SafePrediction`; ``degraded=True`` means validation
+    failed on either side of the model — the *input* windows
+    (:func:`validate_input`: non-finite values, node count mismatching
+    the model's ``num_nodes``) or the *output*
+    (:func:`validate_output`: non-finite, or outside
+    ``bound_factor`` × the training-data magnitude envelope) — and the
     arrays come from the :class:`HistoricalAverage` baseline instead.
     The degradation is surfaced as a ``UserWarning`` and — when
     ``logger`` (a :class:`~repro.obs.RunLogger`) is given — as a
     ``degraded_inference`` JSONL record.
     """
     bound = output_bound(task, factor=bound_factor)
-    try:
-        prediction, target = trainer.predict(model, task, split)
-        reason = validate_output(prediction, bound=bound)
-    except (FloatingPointError, ValueError) as exc:
+    split_windows = {"train": task.train, "val": task.val, "test": task.test}[split]
+    reason = validate_input(split_windows.inputs,
+                            num_nodes=getattr(model, "num_nodes", None))
+    if reason is not None:
         prediction = target = None
-        reason = f"prediction failed: {exc}"
+        reason = f"invalid input: {reason}"
+    else:
+        try:
+            prediction, target = trainer.predict(model, task, split)
+            reason = validate_output(prediction, bound=bound)
+        except (FloatingPointError, ValueError) as exc:
+            prediction = target = None
+            reason = f"prediction failed: {exc}"
     if reason is None:
         return SafePrediction(prediction=prediction, target=target)
 

@@ -1,0 +1,62 @@
+"""Fault-contained inference serving (docs/serving.md).
+
+Four pillars:
+
+* **request validation** — :mod:`.validation` checks schema, shape,
+  dtype, finiteness, and scale drift against a :class:`RequestSpec`
+  before any model code runs; violations raise a structured
+  :class:`InvalidRequestError`;
+* **admission control + micro-batching** — :mod:`.queueing` bounds the
+  request queue (:class:`ServiceOverloadedError` when full), sheds
+  past-deadline work on both ends, and coalesces compatible requests
+  into one forward pass;
+* **fault containment** — :mod:`.breaker` counts validation failures and
+  timeouts per model and, once tripped, routes traffic to the
+  historical-average fallback until a half-open probe proves the fault
+  cleared;
+* **lifecycle** — :mod:`.server` ties it together: a synchronous core
+  (deterministic under test) with a worker thread, health/readiness
+  probes, integrity-verified warm checkpoint reload with atomic model
+  swap, and graceful drain.  Every admission/shed/trip/fallback/reload
+  event emits through :mod:`repro.obs`.
+
+:mod:`.chaos` stages serve-side faults (NaN model, slow model, malformed
+payloads) so tests prove every containment path fires.
+"""
+
+from .breaker import CLOSED, HALF_OPEN, OPEN, BreakerTransition, CircuitBreaker
+from .chaos import NaNModel, SlowModel, malformed_payloads
+from .queueing import (
+    DeadlineExceededError,
+    MicroBatcher,
+    RequestQueue,
+    ServiceOverloadedError,
+)
+from .server import ForecastResponse, ForecastServer
+from .validation import (
+    ForecastRequest,
+    InvalidRequestError,
+    RequestSpec,
+    validate_request,
+)
+
+__all__ = [
+    "BreakerTransition",
+    "CLOSED",
+    "CircuitBreaker",
+    "DeadlineExceededError",
+    "ForecastRequest",
+    "ForecastResponse",
+    "ForecastServer",
+    "HALF_OPEN",
+    "InvalidRequestError",
+    "MicroBatcher",
+    "NaNModel",
+    "OPEN",
+    "RequestQueue",
+    "RequestSpec",
+    "ServiceOverloadedError",
+    "SlowModel",
+    "malformed_payloads",
+    "validate_request",
+]

@@ -1,0 +1,158 @@
+"""Admission control and micro-batching: bounded, deadline-aware.
+
+An unbounded queue converts overload into unbounded latency — every
+request eventually gets an answer nobody is still waiting for.  The
+:class:`RequestQueue` here is the opposite: a hard depth cap (admission
+beyond it raises :class:`ServiceOverloadedError`, the "503" of this
+layer), and deadline-aware shedding on both ends (a request whose
+deadline has already passed is dropped at admission, and purged at
+dequeue rather than wasting a model slot).
+
+:class:`MicroBatcher` coalesces queued requests into one forward pass:
+per-step time-aware graphs (TagSL) make TGCRN inference cost scale with
+sequence work, not batch size, so batching compatible requests up to a
+budget is nearly free throughput.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+
+import numpy as np
+
+from .validation import ForecastRequest
+
+
+class ServiceOverloadedError(RuntimeError):
+    """Admission refused: the request queue is at capacity (a "503").
+
+    Carries ``depth`` (current queue depth) and ``max_depth`` so callers
+    can implement backoff.
+    """
+
+    def __init__(self, depth: int, max_depth: int, detail: str = ""):
+        self.depth = depth
+        self.max_depth = max_depth
+        suffix = f" ({detail})" if detail else ""
+        super().__init__(
+            f"service overloaded: queue at {depth}/{max_depth}{suffix}; retry with backoff"
+        )
+
+
+class DeadlineExceededError(RuntimeError):
+    """Admission refused: the request's deadline already passed on arrival."""
+
+    def __init__(self, request_id: str, deadline: float, now: float):
+        self.request_id = request_id
+        super().__init__(
+            f"request {request_id} dead on arrival: deadline {deadline:.3f} "
+            f"already passed at {now:.3f}"
+        )
+
+
+class RequestQueue:
+    """Thread-safe bounded FIFO of :class:`ForecastRequest` with shedding.
+
+    ``put`` purges expired entries before checking capacity, so a burst
+    of short-deadline requests cannot wedge the queue.  ``next_batch``
+    returns ``(admitted, shed)`` — expired requests are separated out so
+    the caller can answer them with a structured drop instead of
+    silently forgetting them.
+    """
+
+    def __init__(self, max_depth: int = 64):
+        if max_depth < 1:
+            raise ValueError(f"max_depth must be >= 1, got {max_depth}")
+        self.max_depth = max_depth
+        self._items: deque[ForecastRequest] = deque()
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._items)
+
+    def put(self, request: ForecastRequest, now: float) -> list[ForecastRequest]:
+        """Admit ``request``; returns the expired entries purged to make room.
+
+        Raises :class:`DeadlineExceededError` when the request is dead on
+        arrival and :class:`ServiceOverloadedError` when the queue is full
+        even after purging.
+        """
+        if request.expired(now):
+            raise DeadlineExceededError(request.request_id, request.deadline, now)
+        with self._lock:
+            purged = self._purge_expired(now)
+            if len(self._items) >= self.max_depth:
+                raise ServiceOverloadedError(len(self._items), self.max_depth)
+            self._items.append(request)
+            self._not_empty.notify()
+        return purged
+
+    def next_batch(
+        self, max_batch: int, now: float
+    ) -> tuple[list[ForecastRequest], list[ForecastRequest]]:
+        """Dequeue up to ``max_batch`` live requests; also return the shed.
+
+        FIFO order; entries whose deadline passed while queued land in
+        the second list.  Both lists are empty when the queue is.
+        """
+        admitted: list[ForecastRequest] = []
+        shed: list[ForecastRequest] = []
+        with self._lock:
+            while self._items and len(admitted) < max_batch:
+                request = self._items.popleft()
+                (shed if request.expired(now) else admitted).append(request)
+        return admitted, shed
+
+    def wait_nonempty(self, timeout: float) -> bool:
+        """Block until the queue has an entry (worker-loop parking)."""
+        with self._not_empty:
+            if self._items:
+                return True
+            return self._not_empty.wait(timeout)
+
+    def _purge_expired(self, now: float) -> list[ForecastRequest]:
+        # Callers hold self._lock.
+        live, dead = [], []
+        for request in self._items:
+            (dead if request.expired(now) else live).append(request)
+        if dead:
+            self._items.clear()
+            self._items.extend(live)
+        return dead
+
+
+class MicroBatcher:
+    """Coalesce compatible requests into one stacked forward pass.
+
+    Requests validated against the same :class:`~.validation.RequestSpec`
+    always share shapes, but the batcher still groups defensively by
+    ``(window.shape, time_index.shape)`` so a future multi-spec server
+    cannot silently stack ragged tensors.
+    """
+
+    def __init__(self, max_batch: int = 8):
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        self.max_batch = max_batch
+
+    def groups(self, requests: list[ForecastRequest]) -> list[list[ForecastRequest]]:
+        """Partition into shape-compatible groups of at most ``max_batch``."""
+        buckets: dict[tuple, list[ForecastRequest]] = {}
+        for request in requests:
+            key = (request.window.shape, request.time_index.shape)
+            buckets.setdefault(key, []).append(request)
+        out: list[list[ForecastRequest]] = []
+        for bucket in buckets.values():
+            for i in range(0, len(bucket), self.max_batch):
+                out.append(bucket[i : i + self.max_batch])
+        return out
+
+    @staticmethod
+    def collate(batch: list[ForecastRequest]) -> tuple[np.ndarray, np.ndarray]:
+        """Stack a compatible group into ``(x, t)`` model inputs."""
+        x = np.stack([r.window for r in batch])
+        t = np.stack([r.time_index for r in batch])
+        return x, t

@@ -1,0 +1,426 @@
+"""The forecast service: a synchronous core with a thread-driven rim.
+
+Design: every serving decision — validate, admit, batch, infer, contain,
+respond — lives in synchronous methods (:meth:`ForecastServer.submit`,
+:meth:`ForecastServer.process_once`) that tests drive deterministically
+with an injected clock.  A single worker thread (:meth:`start` /
+:meth:`stop`) merely loops ``process_once`` for real deployments; no
+correctness lives in the thread.
+
+Containment contract (docs/serving.md): a *valid, admitted* request is
+always answered — by the live model when its output passes
+:func:`~repro.resilience.degrade.validate_output`, by the
+:class:`~repro.baselines.historical.HistoricalAverage` fallback
+(explicitly marked ``source="historical_average"``) when the model
+fails or the circuit breaker is open.  The only structured refusals are
+at the front door (:class:`~.validation.InvalidRequestError`,
+:class:`~.queueing.ServiceOverloadedError`,
+:class:`~.queueing.DeadlineExceededError`) plus deadline sheds, which get
+an explicit ``source="shed"`` response rather than silence.
+"""
+
+from __future__ import annotations
+
+import copy
+import threading
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..autodiff import Tensor, no_grad
+from ..baselines.historical import HistoricalAverage
+from ..nn.serialization import (
+    CheckpointCorruptionError,
+    load_checkpoint,
+    state_hash,
+)
+from ..obs import MetricsRegistry
+from ..resilience.degrade import output_bound, validate_output
+from .breaker import CircuitBreaker
+from .queueing import MicroBatcher, RequestQueue
+from .validation import ForecastRequest, RequestSpec, validate_request
+
+
+@dataclass
+class ForecastResponse:
+    """One answered request, with full provenance.
+
+    ``source`` is ``"model"`` (healthy forecast), ``"historical_average"``
+    (explicitly-marked fallback), or ``"shed"`` (deadline passed while
+    queued; ``prediction`` is ``None``).  ``degraded`` is True for every
+    non-model answer; ``reason`` says why.
+    """
+
+    request_id: str
+    prediction: np.ndarray | None
+    source: str = "model"
+    degraded: bool = False
+    reason: str | None = None
+    latency_ms: float = 0.0
+    deadline_missed: bool = False
+    model_version: str | None = None
+    metadata: dict = field(default_factory=dict)
+
+
+class ForecastServer:
+    """Fault-contained serving of one live model over one task.
+
+    Parameters
+    ----------
+    model:
+        Trainer-compatible module: ``model(Tensor(x), t)`` over scaled
+        windows.  Swappable at runtime via :meth:`reload_checkpoint`.
+    task:
+        The :class:`~repro.data.datasets.ForecastingTask` the model was
+        trained on — source of the request spec, the output sanity bound,
+        and the historical-average fallback.
+    queue_depth / max_batch:
+        Admission bound and micro-batch budget.
+    breaker:
+        A :class:`~.breaker.CircuitBreaker`; built with defaults when
+        omitted.  Its transitions are re-emitted to metrics + log.
+    batch_timeout:
+        Seconds a single model batch may take before it counts as a
+        breaker *timeout* failure (the output, if valid, is still
+        served).  ``None`` disables.
+    model_factory:
+        Zero-arg callable building a fresh, architecture-identical model
+        for :meth:`reload_checkpoint` to load into (so a bad checkpoint
+        never touches the live instance).  Defaults to deep-copying the
+        initial model.
+    logger:
+        A :class:`~repro.obs.RunLogger` (or None); every admission,
+        shed, trip, fallback, and reload event lands in its JSONL.
+    clock:
+        Monotonic time source shared with deadlines and the breaker;
+        injectable for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        model,
+        task,
+        *,
+        queue_depth: int = 64,
+        max_batch: int = 8,
+        breaker: CircuitBreaker | None = None,
+        batch_timeout: float | None = None,
+        bound_factor: float = 10.0,
+        drift_factor: float = 10.0,
+        model_factory=None,
+        metrics: MetricsRegistry | None = None,
+        logger=None,
+        clock=time.monotonic,
+    ):
+        self.task = task
+        self.spec = RequestSpec.for_task(task, drift_factor=drift_factor)
+        self.queue = RequestQueue(max_depth=queue_depth)
+        self.batcher = MicroBatcher(max_batch=max_batch)
+        self.batch_timeout = batch_timeout
+        self.metrics = metrics if metrics is not None else MetricsRegistry(run="serve")
+        self.logger = logger
+        self._clock = clock
+        self.breaker = breaker if breaker is not None else CircuitBreaker(clock=clock)
+        # Re-route (don't clobber) any transition callback the caller set.
+        caller_hook = self.breaker._on_transition
+        self.breaker._on_transition = (
+            lambda tr: (self._on_breaker_transition(tr),
+                        caller_hook(tr) if caller_hook else None)
+        )
+
+        self._model_lock = threading.RLock()
+        self._model = model
+        self._model_version = self._version_of(model)
+        self._model_factory = model_factory or (lambda: copy.deepcopy(model))
+        self._fallback = HistoricalAverage.for_task(task)
+        self._bound = output_bound(task, factor=bound_factor)
+
+        self._responses: list[ForecastResponse] = []
+        self._responses_lock = threading.Lock()
+        self._worker: threading.Thread | None = None
+        self._stop_event = threading.Event()
+        self._draining = False
+        self._started_at = self._clock()
+        self._log("server_start", queue_depth=queue_depth, max_batch=max_batch,
+                  model_version=self._model_version,
+                  failure_threshold=self.breaker.failure_threshold,
+                  cooldown=self.breaker.cooldown)
+
+    # -- front door ----------------------------------------------------- #
+
+    def submit(self, payload, now: float | None = None) -> str:
+        """Validate + admit one request; returns its id.
+
+        Raises :class:`~.validation.InvalidRequestError` (bad payload),
+        :class:`~.queueing.DeadlineExceededError` (dead on arrival), or
+        :class:`~.queueing.ServiceOverloadedError` (queue full, or the
+        server is draining).  Purged-on-admission expired entries get a
+        shed response.
+        """
+        now = self._now(now)
+        if self._draining or self._stop_event.is_set():
+            self.metrics.counter("serve.rejected").inc()
+            self._log("request_rejected", code="draining")
+            from .queueing import ServiceOverloadedError
+
+            raise ServiceOverloadedError(len(self.queue), self.queue.max_depth,
+                                         detail="server is draining")
+        try:
+            request = validate_request(payload, self.spec, now=now)
+        except Exception as exc:
+            self.metrics.counter("serve.rejected").inc()
+            code = getattr(exc, "code", "invalid")
+            self._log("request_rejected", code=code, detail=str(exc))
+            raise
+        try:
+            purged = self.queue.put(request, now)
+        except Exception as exc:
+            self.metrics.counter("serve.shed").inc()
+            self._log("request_shed", request_id=request.request_id,
+                      stage="admission", detail=str(exc))
+            raise
+        for dead in purged:
+            self._shed(dead, now, stage="purged_on_admission")
+        self.metrics.counter("serve.admitted").inc()
+        self.metrics.gauge("serve.queue_depth").set(len(self.queue))
+        self._log("request_admitted", request_id=request.request_id,
+                  deadline=request.deadline, queue_depth=len(self.queue))
+        return request.request_id
+
+    # -- the synchronous core ------------------------------------------- #
+
+    def process_once(self, now: float | None = None) -> list[ForecastResponse]:
+        """Serve one round of micro-batches from the queue.
+
+        Returns the responses produced this round (they are also
+        appended to the internal sink for :meth:`take_responses`).
+        """
+        now = self._now(now)
+        admitted, shed = self.queue.next_batch(self.batcher.max_batch, now)
+        self.metrics.gauge("serve.queue_depth").set(len(self.queue))
+        produced: list[ForecastResponse] = []
+        for dead in shed:
+            produced.append(self._shed(dead, now, stage="dequeue"))
+        for group in self.batcher.groups(admitted):
+            produced.extend(self._serve_batch(group, now))
+        return produced
+
+    def drain(self, now: float | None = None) -> list[ForecastResponse]:
+        """Synchronously serve until the queue is empty."""
+        produced: list[ForecastResponse] = []
+        while len(self.queue):
+            produced.extend(self.process_once(now))
+        return produced
+
+    def take_responses(self) -> list[ForecastResponse]:
+        """Pop every completed response (thread-safe sink for callers)."""
+        with self._responses_lock:
+            out, self._responses = self._responses, []
+        return out
+
+    # -- batch serving -------------------------------------------------- #
+
+    def _serve_batch(self, batch: list[ForecastRequest], now: float) -> list[ForecastResponse]:
+        if self.breaker.allow(now):
+            prediction, failure, elapsed = self._model_predict(batch)
+            if self.batch_timeout is not None and elapsed > self.batch_timeout and failure is None:
+                # Output is usable but the model is too slow to meet
+                # deadlines — feed the breaker so persistent slowness
+                # flips traffic to the (fast) fallback.
+                self.breaker.record_failure(
+                    f"batch took {elapsed:.3f}s > timeout {self.batch_timeout:.3f}s", now=now
+                )
+                self.metrics.counter("serve.timeouts").inc()
+            elif failure is None:
+                self.breaker.record_success(now=now)
+            else:
+                self.breaker.record_failure(failure, now=now)
+        else:
+            prediction, failure = None, "breaker open"
+
+        if failure is None and prediction is not None:
+            return [self._respond(r, prediction[i], "model", None, now)
+                    for i, r in enumerate(batch)]
+        self._log("fallback_served", reason=failure, batch=len(batch),
+                  breaker_state=self.breaker.state)
+        fallback = self._fallback_predict(batch)
+        return [self._respond(r, fallback[i], "historical_average", failure, now)
+                for i, r in enumerate(batch)]
+
+    def _model_predict(self, batch: list[ForecastRequest]):
+        """(prediction | None, failure_reason | None, elapsed_seconds)."""
+        x, t = self.batcher.collate(batch)
+        started = time.perf_counter()
+        try:
+            with self._model_lock, no_grad():
+                model = self._model
+                model.eval()
+                raw = model(Tensor(x), t).numpy()
+            prediction = self.task.inverse_targets(raw)
+            reason = validate_output(prediction, bound=self._bound)
+        except Exception as exc:  # containment boundary: no model error escapes
+            return None, f"inference raised {type(exc).__name__}: {exc}", \
+                time.perf_counter() - started
+        elapsed = time.perf_counter() - started
+        if reason is not None:
+            return None, reason, elapsed
+        self.metrics.histogram("serve.batch_size").observe(len(batch))
+        return prediction, None, elapsed
+
+    def _fallback_predict(self, batch: list[ForecastRequest]) -> np.ndarray:
+        time_indices = np.stack([r.time_index for r in batch])
+        scaled = self._fallback.predict_windows(
+            time_indices, self.spec.history, self.task.out_dim
+        )
+        return self.task.inverse_targets(scaled)
+
+    def _respond(self, request: ForecastRequest, prediction, source: str,
+                 reason: str | None, now: float) -> ForecastResponse:
+        degraded = source != "model"
+        response = ForecastResponse(
+            request_id=request.request_id,
+            prediction=prediction,
+            source=source,
+            degraded=degraded,
+            reason=reason,
+            latency_ms=max(0.0, (now - request.received_at) * 1000.0),
+            deadline_missed=request.expired(now),
+            model_version=self._model_version if source == "model" else None,
+            metadata=request.metadata,
+        )
+        self.metrics.counter(f"serve.{'fallback' if degraded else 'model'}").inc()
+        self.metrics.histogram("serve.latency_ms").observe(response.latency_ms)
+        with self._responses_lock:
+            self._responses.append(response)
+        return response
+
+    def _shed(self, request: ForecastRequest, now: float, stage: str) -> ForecastResponse:
+        self.metrics.counter("serve.shed").inc()
+        self._log("request_shed", request_id=request.request_id, stage=stage,
+                  deadline=request.deadline)
+        response = ForecastResponse(
+            request_id=request.request_id,
+            prediction=None,
+            source="shed",
+            degraded=True,
+            reason=f"deadline passed while queued ({stage})",
+            latency_ms=max(0.0, (now - request.received_at) * 1000.0),
+            deadline_missed=True,
+            metadata=request.metadata,
+        )
+        with self._responses_lock:
+            self._responses.append(response)
+        return response
+
+    # -- lifecycle ------------------------------------------------------ #
+
+    def start(self, poll_interval: float = 0.01) -> None:
+        """Spawn the worker thread (idempotent)."""
+        if self._worker is not None and self._worker.is_alive():
+            return
+        self._stop_event.clear()
+        self._draining = False
+
+        def loop():
+            while not self._stop_event.is_set():
+                if self.queue.wait_nonempty(poll_interval):
+                    self.process_once()
+            if self._draining:
+                self.drain()
+
+        self._worker = threading.Thread(target=loop, name="forecast-serve", daemon=True)
+        self._worker.start()
+
+    def stop(self, drain: bool = True, timeout: float = 30.0) -> None:
+        """Stop the worker; with ``drain`` answer everything queued first."""
+        self._draining = drain
+        self._stop_event.set()
+        if self._worker is not None:
+            self._worker.join(timeout)
+            self._worker = None
+        if drain:
+            self.drain()  # no-op when the worker already emptied it
+        self._log("server_drain", drained=drain, queue_depth=len(self.queue))
+
+    def health(self) -> dict:
+        """Liveness probe: one JSON-ready snapshot of serving state."""
+        snap = self.metrics.snapshot()
+        return {
+            "status": "degraded" if self.breaker.state != "closed" else "ok",
+            "breaker": self.breaker.state,
+            "queue_depth": len(self.queue),
+            "model_version": self._model_version,
+            "uptime_s": self._now(None) - self._started_at,
+            "counters": snap["counters"],
+        }
+
+    def ready(self) -> bool:
+        """Readiness probe: accepting traffic (not stopped/draining)."""
+        return not (self._draining or self._stop_event.is_set())
+
+    # -- warm reload ---------------------------------------------------- #
+
+    @property
+    def model_version(self) -> str:
+        return self._model_version
+
+    def reload_checkpoint(self, path) -> bool:
+        """Atomically swap in a checkpoint; never disturb the live model.
+
+        The checkpoint loads into a *fresh* instance from
+        ``model_factory``; the integrity hash embedded by
+        :func:`repro.nn.serialization.save_checkpoint` is verified before
+        any parameter lands.  On corruption (or any load failure) the
+        previously-live model keeps serving and a structured
+        ``checkpoint_rejected`` record is logged; on success the live
+        model is swapped under the model lock between batches.
+        """
+        try:
+            candidate = self._model_factory()
+            metadata = load_checkpoint(path, candidate)
+        except CheckpointCorruptionError as exc:
+            self.metrics.counter("serve.reload_rejected").inc()
+            self._log("checkpoint_rejected", path=str(path), reason=exc.reason,
+                      expected_hash=exc.expected, actual_hash=exc.actual,
+                      live_model_version=self._model_version)
+            return False
+        except Exception as exc:
+            self.metrics.counter("serve.reload_rejected").inc()
+            self._log("checkpoint_rejected", path=str(path),
+                      reason=f"{type(exc).__name__}: {exc}",
+                      live_model_version=self._model_version)
+            return False
+        version = self._version_of(candidate)
+        with self._model_lock:
+            old = self._model_version
+            self._model = candidate
+            self._model_version = version
+        self.metrics.counter("serve.reloads").inc()
+        self._log("model_reloaded", path=str(path), old_version=old,
+                  new_version=version, metadata=metadata)
+        return True
+
+    # -- plumbing ------------------------------------------------------- #
+
+    def _version_of(self, model) -> str:
+        # Hash the state dict (not the instance) so chaos wrappers that
+        # delegate ``state_dict`` still get a real version fingerprint.
+        try:
+            return state_hash(dict(model.state_dict()))[:12]
+        except Exception:
+            return "unhashable"
+
+    def _now(self, now: float | None) -> float:
+        return self._clock() if now is None else now
+
+    def _on_breaker_transition(self, transition) -> None:
+        self.metrics.counter(f"serve.breaker_{transition.new}").inc()
+        if transition.new == "open":
+            self.metrics.counter("serve.breaker_trips").inc()
+        self._log(f"breaker_{transition.new}", old=transition.old,
+                  reason=transition.reason)
+
+    def _log(self, event: str, **fields) -> None:
+        if self.logger is not None:
+            self.logger.log(event, **fields)

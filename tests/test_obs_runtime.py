@@ -39,6 +39,28 @@ class TestMetricsRegistry:
         with pytest.raises(ValueError):
             MetricsRegistry().counter("x").inc(-1)
 
+    def test_histogram_quantiles(self):
+        h = MetricsRegistry().histogram("lat")
+        assert math.isnan(h.quantile(0.5))  # no observations yet
+        for v in range(1, 101):
+            h.observe(float(v))
+        assert h.quantile(0.0) == 1.0
+        assert h.quantile(1.0) == 100.0
+        assert h.quantile(0.5) == pytest.approx(50.5)
+        assert h.quantile(0.95) == pytest.approx(95.05)
+        assert h.summary()["p50"] == pytest.approx(50.5)
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+
+    def test_histogram_sample_window_is_bounded(self):
+        h = MetricsRegistry().histogram("lat")
+        h.sample_size = 8
+        for v in range(1000):
+            h.observe(float(v))
+        assert len(h._sample) == 8
+        assert h.count == 1000  # streaming stats still exact
+        assert h.quantile(1.0) >= 992.0  # recency-biased window
+
     def test_timer_observes_seconds(self):
         m = MetricsRegistry()
         with m.timer("block"):

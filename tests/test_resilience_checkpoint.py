@@ -42,6 +42,37 @@ class TestAtomicWrite:
         path = atomic_write_text(tmp_path / "note.md", "hello")
         assert path.read_text() == "hello"
 
+    def test_commit_fsyncs_data_and_directory(self, tmp_path, monkeypatch):
+        """Durability: the temp file AND the parent dir are fsynced, so a
+        power loss after ``os.replace`` returns cannot yield an empty file."""
+        import os as _os
+
+        synced = []
+        real_fsync = _os.fsync
+
+        def recording_fsync(fd):
+            synced.append(_os.fstat(fd).st_mode)
+            return real_fsync(fd)
+
+        monkeypatch.setattr("os.fsync", recording_fsync)
+        atomic_write_text(tmp_path / "durable.txt", "payload")
+        import stat
+
+        files = [m for m in synced if stat.S_ISREG(m)]
+        dirs = [m for m in synced if stat.S_ISDIR(m)]
+        assert len(files) == 1   # the temp file, before the rename
+        assert len(dirs) == 2    # the parent dir, before and after the rename
+
+    def test_failed_write_skips_fsync_and_cleans_up(self, tmp_path, monkeypatch):
+        calls = []
+        monkeypatch.setattr("os.fsync", lambda fd: calls.append(fd))
+        with pytest.raises(RuntimeError):
+            with atomic_write(tmp_path / "x.txt") as tmp:
+                tmp.write_text("partial")
+                raise RuntimeError("crash before commit")
+        assert calls == []
+        assert list(tmp_path.iterdir()) == []
+
 
 class TestModelCheckpointAtomicity:
     def test_interrupted_save_keeps_previous_checkpoint(self, tmp_path, monkeypatch):

@@ -8,7 +8,13 @@ import pytest
 from repro.data import load_task
 from repro.autodiff import Tensor
 from repro.obs import RunLogger
-from repro.resilience import SafePrediction, output_bound, safe_predict, validate_output
+from repro.resilience import (
+    SafePrediction,
+    output_bound,
+    safe_predict,
+    validate_input,
+    validate_output,
+)
 from repro.training import Trainer, TrainingConfig
 
 SEED = 7
@@ -54,6 +60,45 @@ class TestValidateOutput:
     def test_no_bound_means_only_finiteness(self):
         assert validate_output(np.full(4, 1e30), bound=None) is None
 
+    def test_bound_exactly_equal_to_worst_magnitude_passes(self):
+        # The envelope is inclusive: only a strict exceedance fails.
+        assert validate_output(np.array([3.0, -7.5]), bound=7.5) is None
+        assert validate_output(np.array([3.0, -7.5000001]), bound=7.5) is not None
+
+    def test_all_nan_array_fails_with_full_count(self):
+        reason = validate_output(np.full((2, 3), np.nan))
+        assert reason == "6 non-finite value(s)"
+
+    def test_empty_batch_fails_before_bound_check(self):
+        # Empty output short-circuits: no NaN/bound math on zero elements.
+        assert validate_output(np.empty((0, 4, 2)), bound=1.0) == "empty output"
+
+    def test_zero_bound_rejects_everything_nonzero(self):
+        assert validate_output(np.array([0.0]), bound=0.0) is None
+        assert validate_output(np.array([1e-12]), bound=0.0) is not None
+
+
+class TestValidateInput:
+    def test_clean_input_passes(self):
+        assert validate_input(np.zeros((4, 3, 5, 2)), num_nodes=5) is None
+
+    def test_non_finite_input_fails_with_count(self):
+        bad = np.zeros((2, 3))
+        bad[0, 0] = np.nan
+        bad[1, 2] = -np.inf
+        assert validate_input(bad) == "2 non-finite input value(s)"
+
+    def test_node_count_mismatch(self):
+        reason = validate_input(np.zeros((4, 3, 5, 2)), num_nodes=7)
+        assert reason is not None and "num_nodes=7" in reason
+
+    def test_empty_input(self):
+        assert validate_input(np.empty((0, 3))) == "empty input"
+
+    def test_non_numeric_dtype(self):
+        reason = validate_input(np.array(["a", "b"], dtype=object))
+        assert reason is not None and "dtype" in reason
+
 
 class TestOutputBound:
     def test_bound_scales_with_training_magnitude(self):
@@ -61,6 +106,21 @@ class TestOutputBound:
         reference = float(np.abs(task.inverse_targets(task.train.targets)).max())
         assert output_bound(task, factor=10.0) == pytest.approx(10.0 * max(reference, 1.0))
         assert output_bound(task, factor=2.0) < output_bound(task, factor=10.0)
+
+    def test_reference_magnitude_cached_per_task(self):
+        task = _task()
+        first = output_bound(task, factor=10.0)
+        assert task._output_bound_ref == pytest.approx(first / 10.0)
+        # The cached scalar is reused: even a poisoned training split no
+        # longer changes the bound for this task object.
+        task.train.targets[...] = 1e9
+        assert output_bound(task, factor=10.0) == pytest.approx(first)
+        assert output_bound(task, factor=3.0) == pytest.approx(first * 0.3)
+
+    def test_distinct_tasks_do_not_share_cache(self):
+        a, b = _task(), _task()
+        output_bound(a)
+        assert not hasattr(b, "_output_bound_ref")
 
 
 class TestSafePredict:
@@ -109,3 +169,27 @@ class TestSafePredict:
         with pytest.warns(UserWarning):
             result = safe_predict(trainer, _ConstantModel(task, np.inf), task)
         assert "non-finite" in result.reason
+
+    def test_non_finite_inputs_degrade_before_the_model_runs(self):
+        task = _task()
+        task.test.inputs[0, 0, 0, 0] = np.nan
+
+        class _Exploder(_ConstantModel):
+            def __call__(self, x, t):  # pragma: no cover - must never run
+                raise AssertionError("model ran on garbage input")
+
+        trainer = Trainer(TrainingConfig(epochs=1, batch_size=8, seed=SEED))
+        with pytest.warns(UserWarning, match="historical-average"):
+            result = safe_predict(trainer, _Exploder(task, 0.0), task)
+        assert result.degraded and result.source == "historical_average"
+        assert "invalid input" in result.reason and "non-finite" in result.reason
+
+    def test_node_count_mismatch_degrades_gracefully(self):
+        task = _task()
+        model = _ConstantModel(task, 0.0)
+        model.num_nodes = task.num_nodes + 3  # checkpoint for another graph
+        trainer = Trainer(TrainingConfig(epochs=1, batch_size=8, seed=SEED))
+        with pytest.warns(UserWarning, match="historical-average"):
+            result = safe_predict(trainer, model, task)
+        assert result.degraded
+        assert "num_nodes" in result.reason

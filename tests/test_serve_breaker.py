@@ -1,0 +1,132 @@
+"""Circuit breaker state machine: closed → open → half-open → closed."""
+
+import pytest
+
+from repro.serve import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+
+
+class FakeClock:
+    def __init__(self, t=0.0):
+        self.t = t
+
+    def __call__(self):
+        return self.t
+
+    def advance(self, dt):
+        self.t += dt
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+def _breaker(clock, threshold=3, cooldown=10.0, probes=1, hooks=None):
+    return CircuitBreaker(
+        failure_threshold=threshold, cooldown=cooldown,
+        half_open_probes=probes, clock=clock,
+        on_transition=hooks.append if hooks is not None else None,
+    )
+
+
+class TestClosedState:
+    def test_starts_closed_and_allows(self, clock):
+        b = _breaker(clock)
+        assert b.state == CLOSED and b.allow()
+
+    def test_failures_below_threshold_stay_closed(self, clock):
+        b = _breaker(clock, threshold=3)
+        b.record_failure("one")
+        b.record_failure("two")
+        assert b.state == CLOSED and b.allow()
+
+    def test_success_resets_consecutive_count(self, clock):
+        b = _breaker(clock, threshold=2)
+        b.record_failure("x")
+        b.record_success()
+        b.record_failure("y")
+        assert b.state == CLOSED  # never two *consecutive* failures
+
+    def test_threshold_trips_open(self, clock):
+        b = _breaker(clock, threshold=2)
+        b.record_failure("nan output")
+        b.record_failure("nan output")
+        assert b.state == OPEN
+        assert not b.allow()
+
+
+class TestOpenState:
+    def test_blocks_until_cooldown(self, clock):
+        b = _breaker(clock, threshold=1, cooldown=10.0)
+        b.record_failure("boom")
+        clock.advance(9.9)
+        assert not b.allow()
+        assert b.state == OPEN
+
+    def test_cooldown_elapsed_goes_half_open(self, clock):
+        b = _breaker(clock, threshold=1, cooldown=10.0)
+        b.record_failure("boom")
+        clock.advance(10.0)
+        assert b.allow()  # the probe
+        assert b.state == HALF_OPEN
+
+
+class TestHalfOpenState:
+    def test_probe_success_closes(self, clock):
+        b = _breaker(clock, threshold=1, cooldown=1.0)
+        b.record_failure("boom")
+        clock.advance(2.0)
+        assert b.allow()
+        b.record_success()
+        assert b.state == CLOSED
+        assert b.allow()
+
+    def test_probe_failure_reopens_and_restarts_cooldown(self, clock):
+        b = _breaker(clock, threshold=1, cooldown=10.0)
+        b.record_failure("boom")
+        clock.advance(10.0)
+        assert b.allow()
+        b.record_failure("still broken")
+        assert b.state == OPEN
+        clock.advance(9.0)  # cooldown restarted at the probe failure
+        assert not b.allow()
+        clock.advance(1.0)
+        assert b.allow() and b.state == HALF_OPEN
+
+    def test_extra_traffic_waits_on_probe(self, clock):
+        b = _breaker(clock, threshold=1, cooldown=1.0, probes=1)
+        b.record_failure("boom")
+        clock.advance(2.0)
+        assert b.allow()       # probe slot taken
+        assert not b.allow()   # everyone else keeps falling back
+        assert b.state == HALF_OPEN
+
+    def test_multiple_probe_slots(self, clock):
+        b = _breaker(clock, threshold=1, cooldown=1.0, probes=2)
+        b.record_failure("boom")
+        clock.advance(2.0)
+        assert b.allow() and b.allow()
+        assert not b.allow()
+
+
+class TestTransitionsRecord:
+    def test_full_cycle_recorded_and_hooked(self, clock):
+        hooks = []
+        b = _breaker(clock, threshold=2, cooldown=5.0, hooks=hooks)
+        b.record_failure("f1")
+        b.record_failure("f2")
+        clock.advance(5.0)
+        b.allow()
+        b.record_success()
+        states = [(t.old, t.new) for t in b.transitions]
+        assert states == [(CLOSED, OPEN), (OPEN, HALF_OPEN), (HALF_OPEN, CLOSED)]
+        assert hooks == b.transitions
+        assert "f2" in b.transitions[0].reason
+        assert all(t.ts == pytest.approx(clock.t if t.new != OPEN else 0.0)
+                   for t in b.transitions)
+
+    def test_constructor_validation(self, clock):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(half_open_probes=0)

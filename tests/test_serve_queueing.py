@@ -1,0 +1,101 @@
+"""Admission control: bounded depth, deadline shedding, micro-batching."""
+
+import numpy as np
+import pytest
+
+from repro.serve import (
+    DeadlineExceededError,
+    MicroBatcher,
+    RequestQueue,
+    ServiceOverloadedError,
+)
+from repro.serve.validation import ForecastRequest
+
+
+def _request(rid="r", deadline=None, shape=(3, 4, 1), span=5):
+    return ForecastRequest(
+        window=np.zeros(shape),
+        time_index=np.arange(span),
+        request_id=rid,
+        deadline=deadline,
+    )
+
+
+class TestRequestQueue:
+    def test_fifo_round_trip(self):
+        q = RequestQueue(max_depth=4)
+        for i in range(3):
+            q.put(_request(f"r{i}"), now=0.0)
+        assert len(q) == 3
+        admitted, shed = q.next_batch(8, now=0.0)
+        assert [r.request_id for r in admitted] == ["r0", "r1", "r2"]
+        assert shed == [] and len(q) == 0
+
+    def test_overflow_raises_overloaded(self):
+        q = RequestQueue(max_depth=2)
+        q.put(_request("a"), now=0.0)
+        q.put(_request("b"), now=0.0)
+        with pytest.raises(ServiceOverloadedError) as err:
+            q.put(_request("c"), now=0.0)
+        assert err.value.depth == 2 and err.value.max_depth == 2
+        assert "retry" in str(err.value)
+
+    def test_dead_on_arrival_rejected(self):
+        q = RequestQueue(max_depth=2)
+        with pytest.raises(DeadlineExceededError):
+            q.put(_request("late", deadline=5.0), now=5.0)
+        assert len(q) == 0
+
+    def test_expired_purged_to_admit_fresh(self):
+        q = RequestQueue(max_depth=2)
+        q.put(_request("a", deadline=1.0), now=0.0)
+        q.put(_request("b", deadline=1.0), now=0.0)
+        # Queue is full of soon-dead work; at t=2 a new request purges it.
+        purged = q.put(_request("c"), now=2.0)
+        assert [r.request_id for r in purged] == ["a", "b"]
+        admitted, shed = q.next_batch(8, now=2.0)
+        assert [r.request_id for r in admitted] == ["c"] and shed == []
+
+    def test_next_batch_sheds_expired(self):
+        q = RequestQueue(max_depth=8)
+        q.put(_request("live"), now=0.0)
+        q.put(_request("dying", deadline=1.0), now=0.0)
+        admitted, shed = q.next_batch(8, now=2.0)
+        assert [r.request_id for r in admitted] == ["live"]
+        assert [r.request_id for r in shed] == ["dying"]
+
+    def test_next_batch_respects_budget(self):
+        q = RequestQueue(max_depth=8)
+        for i in range(5):
+            q.put(_request(f"r{i}"), now=0.0)
+        admitted, _ = q.next_batch(2, now=0.0)
+        assert len(admitted) == 2 and len(q) == 3
+
+    def test_bad_depth_rejected(self):
+        with pytest.raises(ValueError):
+            RequestQueue(max_depth=0)
+
+
+class TestMicroBatcher:
+    def test_groups_bound_by_budget(self):
+        batcher = MicroBatcher(max_batch=2)
+        groups = batcher.groups([_request(f"r{i}") for i in range(5)])
+        assert [len(g) for g in groups] == [2, 2, 1]
+
+    def test_incompatible_shapes_never_stacked(self):
+        batcher = MicroBatcher(max_batch=8)
+        mixed = [_request("a"), _request("b", shape=(3, 5, 1)), _request("c")]
+        groups = batcher.groups(mixed)
+        assert sorted(len(g) for g in groups) == [1, 2]
+        for group in groups:
+            assert len({r.window.shape for r in group}) == 1
+
+    def test_collate_stacks_model_inputs(self):
+        batch = [_request("a"), _request("b")]
+        x, t = MicroBatcher.collate(batch)
+        assert x.shape == (2, 3, 4, 1)
+        assert t.shape == (2, 5)
+
+    def test_bad_budget_rejected(self):
+        with pytest.raises(ValueError):
+            MicroBatcher(max_batch=0)

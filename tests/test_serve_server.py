@@ -1,0 +1,219 @@
+"""ForecastServer lifecycle: serving, shedding, reload, drain, probes."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import TGCRN
+from repro.nn import save_checkpoint
+from repro.obs import MetricsRegistry, RunLogger
+from repro.resilience import corrupt_checkpoint
+from repro.serve import (
+    CircuitBreaker,
+    ForecastServer,
+    ServiceOverloadedError,
+)
+from repro.training import default_tgcrn_kwargs
+from repro.verify import named_rng
+
+
+class FakeClock:
+    def __init__(self, t=0.0):
+        self.t = t
+
+    def __call__(self):
+        return self.t
+
+    def advance(self, dt):
+        self.t += dt
+
+
+def _model(task, name="serve-test-model"):
+    return TGCRN(
+        **default_tgcrn_kwargs(task, hidden_dim=4, node_dim=3, time_dim=3, num_layers=1),
+        rng=named_rng(3, name),
+    )
+
+
+def _payload(task, i, **extra):
+    j = i % len(task.test)
+    return {"window": task.test.inputs[j],
+            "time_index": task.test.time_indices[j],
+            "id": f"req-{i}", **extra}
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def server(tiny_task, clock):
+    return ForecastServer(
+        _model(tiny_task), tiny_task, queue_depth=8, max_batch=4,
+        breaker=CircuitBreaker(failure_threshold=2, cooldown=10.0, clock=clock),
+        clock=clock,
+    )
+
+
+class TestServing:
+    def test_healthy_requests_get_model_forecasts(self, tiny_task, server):
+        for i in range(5):
+            server.submit(_payload(tiny_task, i))
+        responses = server.drain()
+        assert len(responses) == 5
+        for r in responses:
+            assert r.source == "model" and not r.degraded
+            assert r.prediction.shape == (tiny_task.horizon, tiny_task.num_nodes,
+                                          tiny_task.out_dim)
+            assert np.all(np.isfinite(r.prediction))
+            assert r.model_version == server.model_version
+
+    def test_micro_batching_coalesces(self, tiny_task, server):
+        for i in range(5):
+            server.submit(_payload(tiny_task, i))
+        server.drain()
+        batch = server.metrics.histogram("serve.batch_size")
+        assert batch.count == 2  # 4 + 1
+        assert batch.high == 4.0
+
+    def test_overload_rejected_with_503(self, tiny_task, server):
+        for i in range(8):
+            server.submit(_payload(tiny_task, i))
+        with pytest.raises(ServiceOverloadedError):
+            server.submit(_payload(tiny_task, 99))
+        assert server.metrics._counters["serve.shed"].value == 1
+
+    def test_deadline_shed_at_dequeue_answers_explicitly(self, tiny_task, server, clock):
+        server.submit(_payload(tiny_task, 0, deadline=5.0))
+        server.submit(_payload(tiny_task, 1))
+        clock.advance(6.0)
+        responses = server.process_once()
+        by_id = {r.request_id: r for r in responses}
+        assert by_id["req-0"].source == "shed"
+        assert by_id["req-0"].prediction is None and by_id["req-0"].deadline_missed
+        assert by_id["req-1"].source == "model"
+
+    def test_responses_accumulate_in_sink(self, tiny_task, server):
+        server.submit(_payload(tiny_task, 0))
+        server.drain()
+        taken = server.take_responses()
+        assert [r.request_id for r in taken] == ["req-0"]
+        assert server.take_responses() == []
+
+    def test_latency_uses_injected_clock(self, tiny_task, server, clock):
+        server.submit(_payload(tiny_task, 0))
+        clock.advance(0.25)
+        (response,) = server.process_once()
+        assert response.latency_ms == pytest.approx(250.0)
+
+
+class TestLifecycle:
+    def test_health_and_ready(self, tiny_task, server):
+        health = server.health()
+        assert health["status"] == "ok" and health["breaker"] == "closed"
+        assert health["queue_depth"] == 0
+        assert health["model_version"] == server.model_version
+        assert server.ready()
+
+    def test_stop_refuses_new_traffic(self, tiny_task, server):
+        server.submit(_payload(tiny_task, 0))
+        server.stop(drain=True)
+        assert not server.ready()
+        assert len(server.take_responses()) == 1  # drained before stopping
+        with pytest.raises(ServiceOverloadedError, match="draining"):
+            server.submit(_payload(tiny_task, 1))
+
+    def test_worker_thread_serves_and_drains(self, tiny_task):
+        server = ForecastServer(_model(tiny_task), tiny_task, queue_depth=32, max_batch=4)
+        server.start(poll_interval=0.005)
+        for i in range(6):
+            server.submit(_payload(tiny_task, i))
+        deadline = time.monotonic() + 10.0
+        got = []
+        while len(got) < 6 and time.monotonic() < deadline:
+            got.extend(server.take_responses())
+            time.sleep(0.005)
+        server.stop(drain=True)
+        got.extend(server.take_responses())
+        assert len(got) == 6
+        assert all(r.source == "model" for r in got)
+
+    def test_concurrent_submitters_all_answered(self, tiny_task):
+        server = ForecastServer(_model(tiny_task), tiny_task, queue_depth=64, max_batch=4)
+        server.start(poll_interval=0.005)
+        errors = []
+
+        def feed(base):
+            try:
+                for i in range(4):
+                    server.submit(_payload(tiny_task, base + i))
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=feed, args=(base,)) for base in (0, 10, 20)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        server.stop(drain=True)
+        assert not errors
+        assert len(server.take_responses()) == 12
+
+
+class TestWarmReload:
+    def test_good_checkpoint_swaps_atomically(self, tiny_task, server, tmp_path):
+        other = _model(tiny_task, name="serve-other-model")
+        path = tmp_path / "good.npz"
+        save_checkpoint(path, other, metadata={"tag": "v2"})
+        before = server.model_version
+        assert server.reload_checkpoint(path)
+        assert server.model_version != before
+        assert server.metrics._counters["serve.reloads"].value == 1
+
+    def test_corrupt_checkpoint_rejected_live_model_survives(
+        self, tiny_task, server, tmp_path
+    ):
+        other = _model(tiny_task, name="serve-other-model")
+        path = tmp_path / "bad.npz"
+        save_checkpoint(path, other)
+        corrupt_checkpoint(path, mode="truncate")
+        before = server.model_version
+        assert not server.reload_checkpoint(path)
+        assert server.model_version == before
+        # The previously-live model keeps serving.
+        server.submit(_payload(tiny_task, 0))
+        (response,) = server.drain()
+        assert response.source == "model" and response.model_version == before
+
+    def test_bitflip_checkpoint_rejected(self, tiny_task, server, tmp_path):
+        other = _model(tiny_task, name="serve-other-model")
+        path = tmp_path / "flip.npz"
+        save_checkpoint(path, other)
+        corrupt_checkpoint(path, mode="bitflip", seed=11)
+        assert not server.reload_checkpoint(path)
+
+    def test_missing_checkpoint_rejected_gracefully(self, tiny_task, server, tmp_path):
+        assert not server.reload_checkpoint(tmp_path / "nope.npz")
+
+    def test_rejection_logged_structured(self, tiny_task, clock, tmp_path):
+        log = tmp_path / "serve.jsonl"
+        logger = RunLogger(path=str(log), console=False)
+        server = ForecastServer(
+            _model(tiny_task), tiny_task, logger=logger, clock=clock,
+            metrics=MetricsRegistry(run="reload-test"),
+        )
+        path = tmp_path / "bad.npz"
+        save_checkpoint(path, _model(tiny_task, name="serve-other-model"))
+        corrupt_checkpoint(path, mode="truncate")
+        assert not server.reload_checkpoint(path)
+        logger.close()
+        import json
+
+        records = [json.loads(line) for line in log.open()]
+        rejected = [r for r in records if r["event"] == "checkpoint_rejected"]
+        assert len(rejected) == 1
+        assert rejected[0]["live_model_version"] == server.model_version
+        assert "reason" in rejected[0]
