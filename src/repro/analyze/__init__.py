@@ -1,0 +1,63 @@
+"""Static analysis layer: shape checking, gradient-flow lint, repo lint.
+
+Three analyzers behind one :class:`~repro.analyze.findings.Finding` model:
+
+* :mod:`repro.analyze.shapes` — abstract shape/dtype interpreter (SH rules)
+* :mod:`repro.analyze.gradflow` — gradient-flow linter (GF rules)
+* :mod:`repro.analyze.lint` — repo-invariant AST lint (RL rules)
+
+See ``docs/analysis.md`` for the rule catalog and baseline workflow.
+"""
+
+from .findings import (
+    Baseline,
+    DEFAULT_BASELINE_NAME,
+    Finding,
+    SEVERITIES,
+    fingerprints,
+    max_severity,
+    render_json,
+    render_text,
+    severity_rank,
+)
+from .gradflow import lint_gradient_flow
+from .lint import LintRule, lint_paths, registered_rules, rule
+from .runner import AnalysisReport, analyze_models, run_analysis
+from .shapes import (
+    ModelShapeError,
+    SymDim,
+    SymTensor,
+    SymbolicShapeError,
+    check_forecast_model,
+    check_served_model,
+    sym_window,
+    symbolic_execution,
+)
+
+__all__ = [
+    "AnalysisReport",
+    "Baseline",
+    "DEFAULT_BASELINE_NAME",
+    "Finding",
+    "LintRule",
+    "ModelShapeError",
+    "SEVERITIES",
+    "SymDim",
+    "SymTensor",
+    "SymbolicShapeError",
+    "analyze_models",
+    "check_forecast_model",
+    "check_served_model",
+    "fingerprints",
+    "lint_gradient_flow",
+    "lint_paths",
+    "max_severity",
+    "registered_rules",
+    "render_json",
+    "render_text",
+    "rule",
+    "run_analysis",
+    "severity_rank",
+    "sym_window",
+    "symbolic_execution",
+]

@@ -1,0 +1,157 @@
+"""Gradient-flow linter: dead parameters, detached subgraphs, aliasing.
+
+One symbolic forward (see :mod:`repro.analyze.shapes`) computes, for the
+model output, the set of parameters whose values can influence it — both
+through purely symbolic paths and through real-valued subpaths (time
+encoders, node embeddings) whose autodiff ancestry is walked when they
+mix into the symbolic graph.  Comparing that set against
+``named_parameters()`` yields:
+
+* **GF001** (error) — *dead parameter*: registered but no path from it to
+  the forward output, so its gradient is identically zero and the
+  optimizer burns memory stepping noise.
+* **GF002** (error) — *detached-only parameter*: every path from the
+  parameter to the output crosses ``detach()``, so it silently stops
+  training even though it shapes predictions.
+* **GF003** (info) — *aliased registration*: the same ``Parameter`` object
+  is reachable under several module paths.  ``named_parameters`` dedups it
+  (one optimizer step, one gradient accumulation), but state-dict naming
+  and per-module statistics see only the first path — a double-use hazard
+  worth knowing about.
+* **GF004** (warning) — the linter could not complete (forward failed or
+  output was not symbolic); absence of findings proves nothing.
+
+Limits: a ``detach()`` applied to a *real* (non-symbolic) tensor severs
+its autodiff ancestry before the linter can see it, so such parameters
+report as GF001 rather than GF002.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn.module import Module
+from .findings import Finding
+from .shapes import SymTensor, sym_window, symbolic_execution
+
+
+def _registration_paths(model: Module) -> dict[int, list[str]]:
+    """Every (possibly shared) path under which each parameter is registered."""
+    paths: dict[int, list[str]] = {}
+    stack: list[tuple[Module, str, tuple[int, ...]]] = [(model, "", (id(model),))]
+    while stack:
+        module, prefix, lineage = stack.pop()
+        for name, param in module._parameters.items():
+            paths.setdefault(id(param), []).append(f"{prefix}{name}")
+        for child_name, child in module._modules.items():
+            if id(child) in lineage:  # cycle guard for pathological graphs
+                continue
+            stack.append((child, f"{prefix}{child_name}.", lineage + (id(child),)))
+    return paths
+
+
+def lint_gradient_flow(
+    model: Module,
+    *,
+    history: int,
+    horizon: int,
+    num_nodes: int,
+    in_dim: int,
+    out_dim: int,
+    batch: int = 2,
+    model_name: str | None = None,
+    training: bool = True,
+    time_offset: int = 3,
+) -> list[Finding]:
+    """Lint one model's parameter set against a symbolic forward.
+
+    Defaults to train mode so stochastic paths (dropout, gumbel sampling)
+    keep their parameters live, matching what the optimizer actually sees.
+    """
+    name = model_name or type(model).__name__
+    anchor = f"model:{name}"
+    findings: list[Finding] = []
+    named = list(model.named_parameters())
+
+    was_training = model.training
+    model.train(training)
+    x = sym_window(batch, history, num_nodes, in_dim)
+    time_indices = np.arange(history + horizon)[None, :] + np.arange(batch)[:, None] + time_offset
+    out = None
+    failure: str | None = None
+    try:
+        with symbolic_execution(model, name):
+            try:
+                out = model(x, time_indices)
+            except Exception as exc:
+                failure = f"{type(exc).__name__}: {exc}"
+    finally:
+        model.train(was_training)
+
+    if failure is not None or not isinstance(out, SymTensor):
+        reason = failure or f"forward returned {type(out).__name__}, not a symbolic tensor"
+        findings.append(
+            Finding(
+                rule_id="GF004",
+                severity="warning",
+                location=anchor,
+                anchor=anchor,
+                message=f"gradient-flow lint incomplete: {reason}",
+                fix_hint="fix the shape-checker findings first; gradflow reuses the same forward",
+            )
+        )
+        return findings
+
+    live, detached = out._params, out._detached
+    for param_name, param in named:
+        if id(param) in live:
+            continue
+        if id(param) in detached:
+            findings.append(
+                Finding(
+                    rule_id="GF002",
+                    severity="error",
+                    location=f"{anchor}/{param_name}",
+                    anchor=anchor,
+                    message=(
+                        f"parameter {param_name} reaches the output only through detach(); "
+                        "it influences predictions but receives no gradient"
+                    ),
+                    fix_hint="drop the detach() or stop registering the tensor as a Parameter",
+                )
+            )
+        else:
+            findings.append(
+                Finding(
+                    rule_id="GF001",
+                    severity="error",
+                    location=f"{anchor}/{param_name}",
+                    anchor=anchor,
+                    message=(
+                        f"dead parameter {param_name}: no path from it to the forward output, "
+                        "its gradient is identically zero"
+                    ),
+                    fix_hint="use the parameter in forward() or remove the registration",
+                )
+            )
+
+    by_path = _registration_paths(model)
+    first_path = {id(p): n for n, p in named}
+    for param_id, paths in sorted(by_path.items(), key=lambda kv: first_path.get(kv[0], "")):
+        if len(paths) > 1:
+            shown = first_path.get(param_id, paths[0])
+            findings.append(
+                Finding(
+                    rule_id="GF003",
+                    severity="info",
+                    location=f"{anchor}/{shown}",
+                    anchor=anchor,
+                    message=(
+                        f"parameter {shown} is registered under {len(paths)} paths "
+                        f"({', '.join(sorted(paths))}); named_parameters dedups it but "
+                        "state dicts and summaries only see the first"
+                    ),
+                    fix_hint="intentional sharing is fine — baseline this; otherwise register once",
+                )
+            )
+    return findings

@@ -8,12 +8,17 @@ from __future__ import annotations
 
 import numpy as np
 
-from .tensor import DEFAULT_DTYPE, Tensor, ensure_tensor, is_grad_enabled
+from .tensor import DEFAULT_DTYPE, Tensor, ensure_tensor, get_symbolic_handler, is_grad_enabled
 
 
 def softmax(x: Tensor, axis: int = -1) -> Tensor:
     """Numerically stable softmax along ``axis``."""
     x = ensure_tensor(x)
+    handler = get_symbolic_handler()
+    if handler is not None:
+        symbolic = handler.softmax(x, axis)
+        if symbolic is not None:
+            return symbolic
     shifted_data = x.data - x.data.max(axis=axis, keepdims=True)
     exp_data = np.exp(shifted_data)
     out_data = exp_data / exp_data.sum(axis=axis, keepdims=True)
@@ -29,6 +34,11 @@ def softmax(x: Tensor, axis: int = -1) -> Tensor:
 def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
     """Numerically stable log-softmax."""
     x = ensure_tensor(x)
+    handler = get_symbolic_handler()
+    if handler is not None:
+        symbolic = handler.log_softmax(x, axis)
+        if symbolic is not None:
+            return symbolic
     shifted = x.data - x.data.max(axis=axis, keepdims=True)
     log_norm = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
     out_data = shifted - log_norm

@@ -39,6 +39,25 @@ _GRAD_ENABLED = True
 _MAKE_HOOK: Callable[[np.ndarray, Callable | None], None] | None = None
 _BACKWARD_OP_HOOK: Callable[[Callable, float, float], None] | None = None
 
+# ``_SYM_HANDLER`` (installed by repro.analyze.shapes) lets an abstract
+# interpreter intercept the module-level ops below, which read ``.data`` of
+# every operand up front and would otherwise drop symbolic tracking.  Each
+# hook returns None when no operand is symbolic, so the real implementation
+# runs untouched; the disabled cost is one global load + None check.
+_SYM_HANDLER = None
+
+
+def set_symbolic_handler(handler):
+    """Install (or clear) the symbolic-execution handler; returns the previous one."""
+    global _SYM_HANDLER
+    previous, _SYM_HANDLER = _SYM_HANDLER, handler
+    return previous
+
+
+def get_symbolic_handler():
+    """The active symbolic-execution handler, or None."""
+    return _SYM_HANDLER
+
 
 def set_make_hook(hook: Callable | None) -> Callable | None:
     """Install (or clear) the op-creation hook; returns the previous one."""
@@ -577,8 +596,8 @@ def ones(*shape, requires_grad: bool = False) -> Tensor:
     return Tensor(np.ones(shape, dtype=DEFAULT_DTYPE), requires_grad=requires_grad)
 
 
-def randn(*shape, rng: np.random.Generator | None = None, requires_grad: bool = False) -> Tensor:
-    rng = rng or np.random.default_rng()
+def randn(*shape, rng: np.random.Generator, requires_grad: bool = False) -> Tensor:
+    """Standard-normal tensor; ``rng`` is mandatory so results are seedable."""
     if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
         shape = tuple(shape[0])
     return Tensor(rng.standard_normal(shape), requires_grad=requires_grad)
@@ -587,6 +606,10 @@ def randn(*shape, rng: np.random.Generator | None = None, requires_grad: bool = 
 def concat(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
     """Concatenate tensors along ``axis`` with gradient routing."""
     tensors = [ensure_tensor(t) for t in tensors]
+    if _SYM_HANDLER is not None:
+        symbolic = _SYM_HANDLER.concat(tensors, axis)
+        if symbolic is not None:
+            return symbolic
     out_data = np.concatenate([t.data for t in tensors], axis=axis)
     sizes = [t.shape[axis] for t in tensors]
     offsets = np.cumsum([0] + sizes)
@@ -603,6 +626,10 @@ def concat(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
 def stack(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
     """Stack tensors along a new axis with gradient routing."""
     tensors = [ensure_tensor(t) for t in tensors]
+    if _SYM_HANDLER is not None:
+        symbolic = _SYM_HANDLER.stack(tensors, axis)
+        if symbolic is not None:
+            return symbolic
     out_data = np.stack([t.data for t in tensors], axis=axis)
 
     def backward_fn(grad):
@@ -616,6 +643,10 @@ def stack(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
 def where(condition: np.ndarray, a, b) -> Tensor:
     """Elementwise select; ``condition`` is a plain boolean array."""
     a, b = ensure_tensor(a), ensure_tensor(b)
+    if _SYM_HANDLER is not None:
+        symbolic = _SYM_HANDLER.where(condition, a, b)
+        if symbolic is not None:
+            return symbolic
     cond = condition.data if isinstance(condition, Tensor) else condition
     cond = np.asarray(cond, dtype=bool)
     out_data = np.where(cond, a.data, b.data)
@@ -633,6 +664,10 @@ def gather_rows(table: Tensor, indices) -> Tensor:
     ``indices`` may be any integer array; the result has shape
     ``indices.shape + table.shape[1:]`` and gradients scatter-add back.
     """
+    if _SYM_HANDLER is not None:
+        symbolic = _SYM_HANDLER.gather_rows(table, indices)
+        if symbolic is not None:
+            return symbolic
     idx = np.asarray(indices.data if isinstance(indices, Tensor) else indices, dtype=np.int64)
     out_data = table.data[idx]
 
@@ -647,11 +682,19 @@ def gather_rows(table: Tensor, indices) -> Tensor:
 def maximum(a, b) -> Tensor:
     """Elementwise maximum with subgradient splitting ties to ``a``."""
     a, b = ensure_tensor(a), ensure_tensor(b)
+    if _SYM_HANDLER is not None:
+        symbolic = _SYM_HANDLER.where(True, a, b)
+        if symbolic is not None:
+            return symbolic
     mask = a.data >= b.data
     return where(mask, a, b)
 
 
 def minimum(a, b) -> Tensor:
     a, b = ensure_tensor(a), ensure_tensor(b)
+    if _SYM_HANDLER is not None:
+        symbolic = _SYM_HANDLER.where(True, a, b)
+        if symbolic is not None:
+            return symbolic
     mask = a.data <= b.data
     return where(mask, a, b)

@@ -470,7 +470,7 @@ def cmd_chaos(args) -> int:
     from .resilience import corrupt_checkpoint
 
     fresh = build_model()
-    fresh.parameters()[0].data[...] += 0.5  # distinguishable version hash
+    fresh.parameters()[0].data[...] += 0.5  # analyze: allow[RL007] distinguishable version hash
     good_ckpt = str(ckpt_dir / "serve_good.npz")
     bad_ckpt = str(ckpt_dir / "serve_bad.npz")
     save_checkpoint(good_ckpt, fresh)
@@ -782,6 +782,56 @@ def cmd_verify(args) -> int:
     return 1 if failures else 0
 
 
+def cmd_analyze(args) -> int:
+    """Static analysis: repo lint + symbolic shape/gradflow over the model catalog."""
+    from pathlib import Path
+
+    from .analyze import (
+        Baseline,
+        max_severity,
+        render_json,
+        render_text,
+        run_analysis,
+        severity_rank,
+    )
+    from .ioutil import atomic_write_text
+
+    console = _console(args)
+    baseline_path = Path(args.baseline)
+    rules = [r.strip() for r in args.rules.split(",") if r.strip()] if args.rules else None
+    report = run_analysis(
+        root=args.root,
+        paths=args.paths or None,
+        rules=rules,
+        include_models=not args.no_models,
+        baseline=Baseline.load(baseline_path),
+        seed=args.seed,
+    )
+
+    if args.update_baseline:
+        Baseline.from_findings(report.all_findings).save(baseline_path)
+        console.print(f"baseline updated: {baseline_path} now accepts "
+                      f"{len(report.all_findings)} finding(s)")
+        return 0
+
+    if args.json:
+        json_path = Path(args.json)
+        json_path.parent.mkdir(parents=True, exist_ok=True)
+        atomic_write_text(json_path, render_json(
+            report.findings, suppressed=report.suppressed, metrics=report.metrics) + "\n")
+        console.print(f"json report: {json_path}")
+    console.print(render_text(report.findings, suppressed=report.suppressed))
+
+    if args.fail_on != "never":
+        worst = max_severity(report.findings)
+        if worst is not None and severity_rank(worst) >= severity_rank(args.fail_on):
+            console.print(f"\nanalyze: FAILED (new {worst}-severity findings; "
+                          f"fix them or re-baseline with --update-baseline)")
+            return 1
+    console.print("\nanalyze: PASSED")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -893,6 +943,36 @@ def build_parser() -> argparse.ArgumentParser:
                              help="write the machine-readable JSON result here")
     bench_serve.set_defaults(fn=cmd_bench_serve, nodes=6, days=5,
                              hidden=8, node_dim=4, time_dim=4, layers=1)
+
+    analyze = sub.add_parser(
+        "analyze",
+        help="static analysis: AST lint over src/repro plus symbolic shape "
+             "and gradient-flow checks over the whole model catalog",
+    )
+    analyze.add_argument("--rules", default=None,
+                         help="comma-separated rule-id prefixes to run "
+                              "(e.g. 'RL' or 'SH001,GF'); default: all rules")
+    analyze.add_argument("--paths", nargs="*", default=None,
+                         help="files/directories to lint (default: src/repro)")
+    analyze.add_argument("--root", default=".",
+                         help="repo root findings are reported relative to")
+    analyze.add_argument("--json", default=None, metavar="PATH",
+                         help="also write the machine-readable report to PATH")
+    analyze.add_argument("--baseline", default="analyze-baseline.json",
+                         help="accepted-findings file; new findings gate, "
+                              "baselined ones don't")
+    analyze.add_argument("--update-baseline", action="store_true",
+                         help="rewrite the baseline to accept every current finding")
+    analyze.add_argument("--fail-on", default="error",
+                         choices=["info", "warning", "error", "never"],
+                         help="exit 1 when a NEW finding at/above this severity "
+                              "exists (default: error)")
+    analyze.add_argument("--no-models", action="store_true",
+                         help="skip the symbolic model checks (lint only)")
+    analyze.add_argument("--seed", type=int, default=0)
+    analyze.add_argument("--quiet", action="store_true",
+                         help="suppress console output (exit code still gates)")
+    analyze.set_defaults(fn=cmd_analyze)
 
     verify = sub.add_parser(
         "verify",

@@ -8,13 +8,14 @@ referee) inspect the series.
 from __future__ import annotations
 
 import csv
+import io
 import json
 import time
 from pathlib import Path
 
 import numpy as np
 
-from ..ioutil import atomic_savez
+from ..ioutil import atomic_savez, atomic_write_text
 from .synthetic import SyntheticConfig, SyntheticDataset
 
 
@@ -106,12 +107,13 @@ def export_csv(path: str | Path, dataset: SyntheticDataset, feature_names: list[
     names = feature_names or [f"feature_{d}" for d in range(dims)]
     if len(names) != dims:
         raise ValueError(f"expected {dims} feature names, got {len(names)}")
-    with open(Path(path), "w", newline="") as handle:
-        writer = csv.writer(handle)
-        writer.writerow(["step", "slot_of_day", "day_of_week", "node"] + names)
-        for t in range(total):
-            for n in range(nodes):
-                writer.writerow(
-                    [t, int(dataset.slot_of_day[t]), int(dataset.day_of_week[t]), n]
-                    + [f"{v:.6g}" for v in dataset.values[t, n]]
-                )
+    buffer = io.StringIO(newline="")
+    writer = csv.writer(buffer)
+    writer.writerow(["step", "slot_of_day", "day_of_week", "node"] + names)
+    for t in range(total):
+        for n in range(nodes):
+            writer.writerow(
+                [t, int(dataset.slot_of_day[t]), int(dataset.day_of_week[t]), n]
+                + [f"{v:.6g}" for v in dataset.values[t, n]]
+            )
+    atomic_write_text(Path(path), buffer.getvalue())

@@ -46,7 +46,7 @@ def _fsync_dir(path: Path) -> None:
         return
     try:
         os.fsync(fd)
-    except OSError:
+    except OSError:  # analyze: allow[RL006] directory fsync is best-effort (see docstring)
         pass
     finally:
         os.close(fd)

@@ -39,6 +39,7 @@ from pathlib import Path
 from time import perf_counter
 
 from ..autodiff.tensor import Tensor, set_backward_op_hook, set_make_hook
+from ..ioutil import atomic_write_text
 
 # ---------------------------------------------------------------------- #
 # op-name resolution
@@ -242,7 +243,7 @@ class Tracer:
         """Write the Chrome-trace JSON and return its path."""
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(json.dumps(self.chrome_trace()))
+        atomic_write_text(path, json.dumps(self.chrome_trace()))
         return path
 
 

@@ -80,6 +80,7 @@ class NaNGradientInjector:
             return
         for param in context["model"].parameters():
             if param.grad is not None:
+                # analyze: allow[RL007] fault injection mutates gradients on purpose
                 param.grad[...] = np.nan
                 self.fired += 1
                 return
@@ -120,11 +121,13 @@ def corrupt_checkpoint(path: str | Path, mode: str = "truncate", seed: int = 0, 
     if not data:
         raise ValueError(f"{path} is empty; nothing to corrupt")
     if mode == "truncate":
+        # analyze: allow[RL003] corrupting the file is the whole point here
         path.write_bytes(bytes(data[: len(data) // 2]))
     elif mode == "bitflip":
         rng = np.random.default_rng(seed)
         for position in rng.integers(0, len(data), size=flips):
             data[int(position)] ^= 1 << int(rng.integers(0, 8))
+        # analyze: allow[RL003] corrupting the file is the whole point here
         path.write_bytes(bytes(data))
     else:
         raise ValueError(f"unknown corruption mode {mode!r}; use 'truncate' or 'bitflip'")

@@ -49,7 +49,7 @@ def output_bound(task, factor: float = 10.0) -> float:
         reference_max = max(float(reference.max()), 1.0)
         try:
             task._output_bound_ref = reference_max
-        except (AttributeError, TypeError):  # frozen/slotted task: skip caching
+        except (AttributeError, TypeError):  # analyze: allow[RL006] frozen/slotted task: skip caching
             pass
     return float(factor * reference_max)
 

@@ -95,6 +95,13 @@ class ForecastServer:
     clock:
         Monotonic time source shared with deadlines and the breaker;
         injectable for deterministic tests.
+    shape_check:
+        When True (default), every model is symbolically shape-checked
+        against the task (:func:`repro.analyze.shapes.check_served_model`)
+        before it takes traffic: construction raises
+        :class:`~repro.analyze.shapes.ModelShapeError` on error-severity
+        findings, and :meth:`reload_checkpoint` rejects a candidate that
+        fails the same check while the live model keeps serving.
     """
 
     def __init__(
@@ -112,6 +119,7 @@ class ForecastServer:
         metrics: MetricsRegistry | None = None,
         logger=None,
         clock=time.monotonic,
+        shape_check: bool = True,
     ):
         self.task = task
         self.spec = RequestSpec.for_task(task, drift_factor=drift_factor)
@@ -135,6 +143,13 @@ class ForecastServer:
         self._model_factory = model_factory or (lambda: copy.deepcopy(model))
         self._fallback = HistoricalAverage.for_task(task)
         self._bound = output_bound(task, factor=bound_factor)
+
+        self._shape_check = shape_check
+        errors = self._shape_errors(model)
+        if errors:
+            from ..analyze.shapes import ModelShapeError
+
+            raise ModelShapeError(errors)
 
         self._responses: list[ForecastResponse] = []
         self._responses_lock = threading.Lock()
@@ -391,6 +406,14 @@ class ForecastServer:
                       reason=f"{type(exc).__name__}: {exc}",
                       live_model_version=self._model_version)
             return False
+        shape_errors = self._shape_errors(candidate)
+        if shape_errors:
+            self.metrics.counter("serve.reload_rejected").inc()
+            self._log("checkpoint_rejected", path=str(path),
+                      reason="static shape check failed",
+                      findings=[f.to_dict() for f in shape_errors],
+                      live_model_version=self._model_version)
+            return False
         version = self._version_of(candidate)
         with self._model_lock:
             old = self._model_version
@@ -402,6 +425,29 @@ class ForecastServer:
         return True
 
     # -- plumbing ------------------------------------------------------- #
+
+    def _shape_errors(self, model) -> list:
+        """Error-severity findings from the static shape check (or [])."""
+        if not self._shape_check:
+            return []
+        from ..analyze.shapes import check_served_model
+        from ..nn import Module
+
+        # Chaos/fault wrappers delegate to an inner model; check that one
+        # so the wrapper's own behavior (call counting, induced latency,
+        # value poisoning) is not perturbed or misread as a shape defect.
+        while not isinstance(model, Module) and hasattr(model, "inner"):
+            model = model.inner
+        if not isinstance(model, Module):
+            return []
+        findings = check_served_model(model, self.task)
+        self.metrics.counter("serve.shape_check_findings").inc(len(findings))
+        errors = [f for f in findings if f.severity == "error"]
+        if errors:
+            self.metrics.counter("serve.shape_check_rejected").inc()
+            self._log("shape_check_failed",
+                      findings=[f.to_dict() for f in errors])
+        return errors
 
     def _version_of(self, model) -> str:
         # Hash the state dict (not the instance) so chaos wrappers that

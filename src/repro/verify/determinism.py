@@ -27,6 +27,7 @@ import numpy as np
 # state_hash lives next to the checkpoint code (it doubles as the
 # checkpoint integrity digest) and is re-exported here as part of the
 # determinism toolkit.
+from ..ioutil import atomic_write_text
 from ..nn.serialization import state_hash
 
 __all__ = [
@@ -125,7 +126,7 @@ def run_golden_trace(
 
 def save_trace(path: str | Path, trace: GoldenTrace) -> None:
     """Write a trace as pretty-printed JSON (stable key order for diffs)."""
-    Path(path).write_text(json.dumps(asdict(trace), indent=2, sort_keys=True) + "\n")
+    atomic_write_text(Path(path), json.dumps(asdict(trace), indent=2, sort_keys=True) + "\n")
 
 
 def load_trace(path: str | Path) -> GoldenTrace:

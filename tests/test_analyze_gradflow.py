@@ -1,0 +1,130 @@
+"""Tests for the gradient-flow linter (repro.analyze.gradflow).
+
+A parameter the loss can never reach is a silent bug: it trains to
+nothing while the architecture diagram says otherwise.  The linter must
+flag dead parameters (GF001), parameters severed by ``detach`` (GF002),
+and doubly-registered shared parameters (GF003) — and must pass the real
+TGCRN, whose every parameter is reachable.
+"""
+
+import numpy as np
+
+from repro.analyze import lint_gradient_flow
+from repro.core import TGCRN
+from repro.nn import Linear, Module, Parameter
+
+DIMS = dict(history=4, horizon=3, num_nodes=5, in_dim=2, out_dim=2)
+
+
+def _rule_ids(findings):
+    return {f.rule_id for f in findings}
+
+
+def _horizon_stack(frame):
+    from repro.autodiff import stack
+
+    return stack([frame] * DIMS["horizon"], axis=1)
+
+
+class TestDeadParameter:
+    def test_unused_parameter_is_gf001(self, rng):
+        class Bad(Module):
+            def __init__(self):
+                super().__init__()
+                self.proj = Linear(DIMS["in_dim"], DIMS["out_dim"], rng=rng)
+                self.orphan = Parameter(np.zeros(3))  # registered, never used
+
+            def forward(self, x, t):
+                return _horizon_stack(self.proj(x[:, -1]))
+
+        findings = lint_gradient_flow(Bad(), **DIMS)
+        gf001 = [f for f in findings if f.rule_id == "GF001"]
+        assert gf001 and all(f.severity == "error" for f in gf001)
+        assert any("orphan" in f.location for f in gf001)
+
+    def test_tgcrn_has_no_dead_parameters(self):
+        model = TGCRN(
+            num_nodes=DIMS["num_nodes"], in_dim=DIMS["in_dim"], out_dim=DIMS["out_dim"],
+            horizon=DIMS["horizon"], hidden_dim=6, num_layers=2, node_dim=4, time_dim=4,
+            steps_per_day=24, rng=np.random.default_rng(0),
+        )
+        findings = lint_gradient_flow(model, model_name="tgcrn", **DIMS)
+        assert not any(f.rule_id in ("GF001", "GF002") for f in findings), \
+            [str(f.to_dict()) for f in findings]
+
+
+class TestDetachedParameter:
+    def test_detach_only_usage_is_gf002(self, rng):
+        class Bad(Module):
+            def __init__(self):
+                super().__init__()
+                self.proj = Linear(DIMS["in_dim"], DIMS["out_dim"], rng=rng)
+                self.scale = Parameter(np.ones(DIMS["out_dim"]))
+
+            def forward(self, x, t):
+                # scale reaches the output only through detach: it can
+                # never receive a gradient, yet it IS "used".
+                return _horizon_stack(self.proj(x[:, -1]) * self.scale.detach())
+
+        findings = lint_gradient_flow(Bad(), **DIMS)
+        gf002 = [f for f in findings if f.rule_id == "GF002"]
+        assert gf002 and all(f.severity == "error" for f in gf002)
+        assert any("scale" in f.location for f in gf002)
+
+    def test_detach_plus_live_path_is_clean(self, rng):
+        class Fine(Module):
+            def __init__(self):
+                super().__init__()
+                self.proj = Linear(DIMS["in_dim"], DIMS["out_dim"], rng=rng)
+                self.scale = Parameter(np.ones(DIMS["out_dim"]))
+
+            def forward(self, x, t):
+                frame = self.proj(x[:, -1]) * self.scale
+                return _horizon_stack(frame + 0.0 * self.scale.detach())
+
+        findings = lint_gradient_flow(Fine(), **DIMS)
+        assert not any(f.rule_id in ("GF001", "GF002") for f in findings)
+
+
+class TestSharedRegistration:
+    def test_double_registration_is_gf003_info(self, rng):
+        class Shared(Module):
+            def __init__(self):
+                super().__init__()
+                self.proj = Linear(DIMS["in_dim"], DIMS["out_dim"], rng=rng)
+                self.alias = self.proj  # same module under two names
+
+            def forward(self, x, t):
+                return _horizon_stack(self.alias(x[:, -1]))
+
+        findings = lint_gradient_flow(Shared(), **DIMS)
+        gf003 = [f for f in findings if f.rule_id == "GF003"]
+        assert gf003 and all(f.severity == "info" for f in gf003)
+        assert any("alias" in f.message and "proj" in f.message for f in gf003)
+
+    def test_tgcrn_time_encoder_sharing_is_reported(self):
+        """The real catalog case the committed baseline accepts: TGCRN
+        registers its time encoder both directly and inside TagSL."""
+        model = TGCRN(
+            num_nodes=DIMS["num_nodes"], in_dim=DIMS["in_dim"], out_dim=DIMS["out_dim"],
+            horizon=DIMS["horizon"], hidden_dim=6, num_layers=1, node_dim=4, time_dim=4,
+            steps_per_day=24, rng=np.random.default_rng(0),
+        )
+        findings = lint_gradient_flow(model, model_name="tgcrn", **DIMS)
+        gf003 = [f for f in findings if f.rule_id == "GF003"]
+        assert any("time_encoder" in f.location for f in gf003)
+
+
+class TestUncheckableModel:
+    def test_symbolic_failure_degrades_to_gf004_warning(self):
+        class Opaque(Module):
+            def __init__(self):
+                super().__init__()
+                self.weight = Parameter(np.ones(3))
+
+            def forward(self, x, t):
+                raise RuntimeError("cannot run on abstract input")
+
+        findings = lint_gradient_flow(Opaque(), **DIMS)
+        assert _rule_ids(findings) == {"GF004"}
+        assert all(f.severity == "warning" for f in findings)

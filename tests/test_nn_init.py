@@ -60,3 +60,35 @@ def test_gain_scales_xavier():
     base = init.xavier_uniform((10, 10), rng1, gain=1.0)
     scaled = init.xavier_uniform((10, 10), rng2, gain=2.0)
     np.testing.assert_allclose(scaled, 2.0 * base)
+
+
+def test_initializers_return_float64():
+    rng = np.random.default_rng(0)
+    assert init.xavier_uniform((3, 4), rng).dtype == np.float64
+    assert init.xavier_normal((3, 4), rng).dtype == np.float64
+    assert init.kaiming_uniform((3, 4), rng).dtype == np.float64
+    assert init.uniform((3,), rng, 0.5).dtype == np.float64
+    assert init.normal((3,), rng, std=1.0).dtype == np.float64
+    assert init.zeros((3, 4)).dtype == np.float64
+
+
+def test_float64_end_to_end():
+    """Precision contract: params, activations, and grads stay float64
+    through a full TGCRN forward/backward (the SH005 analyzer rule
+    enforces the parameter half of this statically)."""
+    from repro.autodiff import mae_loss, randn
+    from repro.core import TGCRN
+
+    rng = np.random.default_rng(0)
+    model = TGCRN(num_nodes=4, in_dim=2, out_dim=2, horizon=3, hidden_dim=6,
+                  num_layers=2, node_dim=5, time_dim=4, steps_per_day=24, rng=rng)
+    for name, param in model.named_parameters():
+        assert param.data.dtype == np.float64, name
+    x = randn(3, 4, 4, 2, rng=rng)
+    t = np.arange(7)[None, :].repeat(3, axis=0)
+    out = model(x, t)
+    assert out.data.dtype == np.float64
+    loss = mae_loss(out, randn(3, 3, 4, 2, rng=rng))
+    loss.backward()
+    for name, param in model.named_parameters():
+        assert param.grad is not None and param.grad.dtype == np.float64, name

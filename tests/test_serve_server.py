@@ -217,3 +217,29 @@ class TestWarmReload:
         assert len(rejected) == 1
         assert rejected[0]["live_model_version"] == server.model_version
         assert "reason" in rejected[0]
+
+
+class TestStaticShapeGate:
+    """A served model is symbolically shape-checked against its task
+    before it can take traffic (repro.analyze.shapes wiring)."""
+
+    def test_mis_shaped_model_is_rejected_at_construction(self, tiny_task, clock):
+        from repro.analyze import ModelShapeError
+        from repro.core import NodeAdaptiveGraphConv
+
+        bad = _model(tiny_task, name="serve-bad-model")
+        cell = bad.encoder_cells[0]
+        bad.encoder_cells[0].gate_conv = NodeAdaptiveGraphConv(
+            cell.in_dim + cell.hidden_dim, 2 * cell.hidden_dim + 1,
+            embed_dim=6, rng=named_rng(9, "serve-bad-gate"),
+        )
+        with pytest.raises(ModelShapeError) as excinfo:
+            ForecastServer(bad, tiny_task, clock=clock)
+        assert any(f.severity == "error" for f in excinfo.value.findings)
+
+    def test_shape_check_can_be_disabled(self, tiny_task, clock):
+        bad = _model(tiny_task, name="serve-bad-model-2")
+        pool = bad.encoder_cells[0].gate_conv.weight_pool
+        pool.data = pool.data.astype(np.float32)  # SH005 would reject this
+        server = ForecastServer(bad, tiny_task, clock=clock, shape_check=False)
+        assert server.ready()
