@@ -5,6 +5,7 @@ Three analyzers behind one :class:`~repro.analyze.findings.Finding` model:
 * :mod:`repro.analyze.shapes` — abstract shape/dtype interpreter (SH rules)
 * :mod:`repro.analyze.gradflow` — gradient-flow linter (GF rules)
 * :mod:`repro.analyze.lint` — repo-invariant AST lint (RL rules)
+* :mod:`repro.analyze.engine_support` — capture/replay compilability (EN rules)
 
 See ``docs/analysis.md`` for the rule catalog and baseline workflow.
 """
@@ -20,6 +21,7 @@ from .findings import (
     render_text,
     severity_rank,
 )
+from .engine_support import check_engine_support
 from .gradflow import lint_gradient_flow
 from .lint import LintRule, lint_paths, registered_rules, rule
 from .runner import AnalysisReport, analyze_models, run_analysis
@@ -29,6 +31,7 @@ from .shapes import (
     SymTensor,
     SymbolicShapeError,
     check_forecast_model,
+    check_micro_batch_shapes,
     check_served_model,
     sym_window,
     symbolic_execution,
@@ -46,7 +49,9 @@ __all__ = [
     "SymTensor",
     "SymbolicShapeError",
     "analyze_models",
+    "check_engine_support",
     "check_forecast_model",
+    "check_micro_batch_shapes",
     "check_served_model",
     "fingerprints",
     "lint_gradient_flow",

@@ -1,9 +1,9 @@
 """Orchestrates the three analyzers over the repo and its model catalog.
 
 ``run_analysis`` is what ``repro.cli analyze`` and CI call: AST lint over
-``src/repro``, then symbolic shape + gradient-flow checks over TGCRN and
-every neural baseline in ``baselines/registry.py``, all merged into one
-finding list with per-rule ``repro.obs`` counters.
+``src/repro``, then symbolic shape + gradient-flow + engine-support
+checks over TGCRN and every neural baseline in ``baselines/registry.py``,
+all merged into one finding list with per-rule ``repro.obs`` counters.
 """
 
 from __future__ import annotations
@@ -13,6 +13,7 @@ from pathlib import Path
 from typing import Sequence
 
 from ..obs.metrics import MetricsRegistry
+from .engine_support import check_engine_support
 from .findings import Baseline, Finding
 from .gradflow import lint_gradient_flow
 from .lint import lint_paths
@@ -63,7 +64,8 @@ def analyze_models(rules: Sequence[str] | None = None, seed: int = 0) -> list[Fi
     wants = lambda rule_id: rules is None or any(rule_id.startswith(p) for p in rules)
     run_shapes = wants("SH")
     run_gradflow = wants("GF")
-    if not run_shapes and not run_gradflow:
+    run_engine = wants("EN")
+    if not run_shapes and not run_gradflow and not run_engine:
         return []
     findings: list[Finding] = []
     for name, model, dims in _model_catalog(seed=seed):
@@ -71,6 +73,8 @@ def analyze_models(rules: Sequence[str] | None = None, seed: int = 0) -> list[Fi
             findings.extend(check_forecast_model(model, model_name=name, **dims))
         if run_gradflow:
             findings.extend(lint_gradient_flow(model, model_name=name, **dims))
+        if run_engine:
+            findings.extend(check_engine_support(model, model_name=name, seed=seed, **dims))
     return [f for f in findings if rules is None or any(f.rule_id.startswith(p) for p in rules)]
 
 

@@ -33,10 +33,35 @@ from .functional import (
 )
 from .grad_check import check_gradients, numerical_gradient
 
+_ENGINE_EXPORTS = (
+    "CompiledModel",
+    "ExecutionEngine",
+    "PlanUnsupported",
+    "ReplayMismatch",
+    "discover_rngs",
+)
+
+
+def __getattr__(name):
+    # The compile-and-replay engine (docs/engine.md) is loaded lazily:
+    # it patches nothing at import time, but pulling it in eagerly would
+    # cost every import of the substrate the module's setup.
+    if name in _ENGINE_EXPORTS:
+        from . import engine
+
+        return getattr(engine, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
+    "CompiledModel",
     "DEFAULT_DTYPE",
+    "ExecutionEngine",
+    "PlanUnsupported",
+    "ReplayMismatch",
     "Tensor",
     "check_gradients",
+    "discover_rngs",
     "concat",
     "dropout",
     "ensure_tensor",

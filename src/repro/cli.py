@@ -57,6 +57,10 @@ def _add_training_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--node-dim", type=int, default=8)
     parser.add_argument("--time-dim", type=int, default=8)
     parser.add_argument("--lambda-time", type=float, default=0.1)
+    parser.add_argument("--compile", action="store_true",
+                        help="capture each training-step signature once, then "
+                             "replay the recorded plan with precompiled kernels "
+                             "(bitwise-identical to eager; docs/engine.md)")
 
 
 def _add_obs_args(parser: argparse.ArgumentParser, tracing: bool = False) -> None:
@@ -103,6 +107,7 @@ def _config(args) -> TrainingConfig:
         checkpoint_path=getattr(args, "checkpoint", None),
         checkpoint_every=getattr(args, "checkpoint_every", 1),
         resume=getattr(args, "resume", False),
+        compile=getattr(args, "compile", False),
     )
 
 
@@ -143,9 +148,9 @@ def _trainer(args) -> "Trainer":
     return Trainer(config)
 
 
-def _train_once(args, task, keep_model: bool = True):
+def _train_once(args, task, keep_model: bool = True, trainer=None):
     """Shared train/profile path: run one experiment from CLI args."""
-    trainer = _trainer(args)
+    trainer = trainer if trainer is not None else _trainer(args)
     if args.model == "tgcrn" or args.model in VARIANTS:
         return run_experiment(
             args.model, task, hidden_dim=args.hidden,
@@ -162,9 +167,16 @@ def _train_once(args, task, keep_model: bool = True):
 def cmd_train(args) -> int:
     console = _console(args)
     task = _load(args)
-    result = _run_traced(args, lambda: _train_once(args, task))
+    trainer = _trainer(args)
+    result = _run_traced(args, lambda: _train_once(args, task, trainer=trainer))
     console.print(f"\n{args.model} on {args.dataset}: {result.overall}")
     console.print(f"parameters: {result.num_parameters:,}  time/epoch: {result.seconds_per_epoch:.2f}s")
+    engine = getattr(getattr(trainer, "trainer", trainer), "last_engine", None)
+    if engine is not None:
+        stats = engine.stats
+        console.print(f"engine: {stats['captures']} plan(s) captured, "
+                      f"{stats['replays']} replay(s), {stats['eager_steps']} "
+                      f"eager step(s), {stats['invalidations']} invalidation(s)")
     if args.summary and hasattr(result.model, "summary"):
         console.print()
         console.print(result.model.summary())
@@ -545,7 +557,7 @@ def cmd_serve(args) -> int:
         model, task, queue_depth=args.queue_depth, max_batch=args.max_batch,
         breaker=CircuitBreaker(failure_threshold=args.failure_threshold,
                                cooldown=args.cooldown),
-        logger=logger,
+        logger=logger, compile=getattr(args, "compile", False),
     )
     server.start()
     failures = 0
@@ -832,6 +844,84 @@ def cmd_analyze(args) -> int:
     return 0
 
 
+def cmd_compile_smoke(args) -> int:
+    """Prove compiled training matches eager bitwise; report the speedup.
+
+    Trains the same tiny TGCRN twice from identical seeds — once eager,
+    once through the capture/replay engine (docs/engine.md) — then
+    compares loss curves and final parameter hashes with zero tolerance
+    and writes a before/after epoch-time artifact for CI.
+    """
+    import json
+    from pathlib import Path
+
+    from .ioutil import atomic_write_text
+    from .verify import named_rng, state_hash
+
+    console = _console(args)
+    task = load_task("hzmetro", num_nodes=args.nodes, num_days=args.days,
+                     seed=args.seed)
+
+    def run(compile: bool):
+        model = TGCRN(
+            num_nodes=task.num_nodes, in_dim=task.in_dim, out_dim=task.out_dim,
+            horizon=task.horizon, hidden_dim=args.hidden, num_layers=1,
+            node_dim=4, time_dim=4, steps_per_day=task.steps_per_day,
+            rng=named_rng(args.seed, "compile-smoke-model"),
+        )
+        trainer = Trainer(TrainingConfig(
+            epochs=args.epochs, batch_size=16, seed=args.seed,
+            verbose=False, compile=compile))
+        history = trainer.fit(model, task)
+        return history, state_hash(model), trainer.last_engine
+
+    eager_hist, eager_hash, _ = run(False)
+    compiled_hist, compiled_hash, engine = run(True)
+
+    mismatches = []
+    if eager_hist.train_losses != compiled_hist.train_losses:
+        mismatches.append("train_losses")
+    if eager_hist.val_maes != compiled_hist.val_maes:
+        mismatches.append("val_maes")
+    if eager_hash != compiled_hash:
+        mismatches.append("final_state_hash")
+
+    eager_s = float(np.mean(eager_hist.epoch_seconds))
+    compiled_s = float(np.mean(compiled_hist.epoch_seconds))
+    artifact = {
+        "epochs": args.epochs,
+        "seed": args.seed,
+        "bitwise_match": not mismatches,
+        "mismatches": mismatches,
+        "eager": {"seconds_per_epoch": eager_s,
+                  "epoch_seconds": list(eager_hist.epoch_seconds),
+                  "train_losses": list(eager_hist.train_losses),
+                  "state_hash": eager_hash},
+        "compiled": {"seconds_per_epoch": compiled_s,
+                     "epoch_seconds": list(compiled_hist.epoch_seconds),
+                     "train_losses": list(compiled_hist.train_losses),
+                     "state_hash": compiled_hash,
+                     "engine": engine.stats if engine is not None else {}},
+        "compiled_over_eager": compiled_s / eager_s if eager_s else None,
+    }
+    out = Path(args.out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    atomic_write_text(out, json.dumps(artifact, indent=2, sort_keys=True) + "\n")
+
+    console.print(f"eager:    {eager_s:.3f}s/epoch")
+    console.print(f"compiled: {compiled_s:.3f}s/epoch "
+                  f"({compiled_s / eager_s:.2f}x eager, "
+                  f"{engine.stats['replays']} replay(s))")
+    console.print(f"artifact: {out}")
+    if mismatches:
+        console.print(f"\ncompile-smoke: FAILED ({', '.join(mismatches)} diverged "
+                      f"between eager and compiled)")
+        return 1
+    console.print("\ncompile-smoke: PASSED (loss curves and parameters "
+                  "bitwise-identical)")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -927,6 +1017,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="seconds the breaker stays open before half-open probing")
     serve.add_argument("--checkpoint-dir", default="artifacts/serve",
                        help="directory for the warm-reload scenario checkpoints")
+    serve.add_argument("--compile", action="store_true",
+                       help="serve through the capture/replay engine: one plan "
+                            "per micro-batch shape bucket, bitwise-identical "
+                            "predictions (docs/engine.md)")
     serve.set_defaults(fn=cmd_serve, nodes=6, days=5,
                        hidden=8, node_dim=4, time_dim=4, layers=1)
 
@@ -990,6 +1084,23 @@ def build_parser() -> argparse.ArgumentParser:
     verify.add_argument("--quiet", action="store_true",
                         help="suppress console output (exit code still reports pass/fail)")
     verify.set_defaults(fn=cmd_verify)
+
+    compile_smoke = sub.add_parser(
+        "compile-smoke",
+        help="train tiny TGCRN eager and compiled; gate on bitwise-identical "
+             "loss curves and write an epoch-time artifact (docs/engine.md)",
+    )
+    compile_smoke.add_argument("--epochs", type=int, default=3)
+    compile_smoke.add_argument("--seed", type=int, default=0)
+    compile_smoke.add_argument("--nodes", type=int, default=4)
+    compile_smoke.add_argument("--days", type=int, default=4)
+    compile_smoke.add_argument("--hidden", type=int, default=8)
+    compile_smoke.add_argument("--out", default="compile_smoke.json", metavar="PATH",
+                               help="JSON artifact with eager/compiled epoch "
+                                    "times and the match verdict")
+    compile_smoke.add_argument("--quiet", action="store_true",
+                               help="suppress console output (exit code still gates)")
+    compile_smoke.set_defaults(fn=cmd_compile_smoke)
     return parser
 
 

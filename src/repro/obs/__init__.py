@@ -23,7 +23,7 @@ from .graphwatch import (
 )
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry, read_jsonl
 from .runlog import Console, RunLogger
-from .trace import OpStats, Tracer, is_tracing, trace
+from .trace import OpStats, Tracer, is_tracing, record_replay, trace
 
 __all__ = [
     "Console",
@@ -41,5 +41,6 @@ __all__ = [
     "gate_activation_rate",
     "is_tracing",
     "read_jsonl",
+    "record_replay",
     "trace",
 ]

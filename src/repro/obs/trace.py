@@ -124,6 +124,9 @@ class Tracer:
         self.bytes_allocated = 0        # total output bytes over all ops
         self.backward_passes = 0
         self.backward_total_seconds = 0.0
+        # Per-plan replay timings reported by repro.autodiff.engine
+        # (label -> count / total / min / max seconds).
+        self.replays: dict[str, dict] = {}
         self._origin = perf_counter()
         self.wall_seconds = 0.0
 
@@ -174,6 +177,19 @@ class Tracer:
         self.backward_total_seconds += seconds
         self._event("backward", "backward-pass", started, seconds)
 
+    def _record_replay(self, label: str, started: float, seconds: float) -> None:
+        entry = self.replays.get(label)
+        if entry is None:
+            entry = self.replays[label] = {
+                "count": 0, "seconds": 0.0,
+                "min_seconds": seconds, "max_seconds": seconds,
+            }
+        entry["count"] += 1
+        entry["seconds"] += seconds
+        entry["min_seconds"] = min(entry["min_seconds"], seconds)
+        entry["max_seconds"] = max(entry["max_seconds"], seconds)
+        self._event(f"replay:{label}", "replay", started, seconds)
+
     # -- reporting ------------------------------------------------------ #
 
     def hot_ops(self, top_k: int = 12) -> list[tuple[str, OpStats]]:
@@ -209,6 +225,13 @@ class Tracer:
             f"traced {self.wall_seconds:.2f}s wall, {self.backward_passes} backward "
             f"pass(es) totalling {self.backward_total_seconds * 1e3:.1f} ms"
         )
+        for label, entry in sorted(self.replays.items()):
+            lines.append(
+                f"plan replays [{label}]: {entry['count']} × "
+                f"{entry['seconds'] / entry['count'] * 1e3:.2f} ms avg "
+                f"(min {entry['min_seconds'] * 1e3:.2f}, "
+                f"max {entry['max_seconds'] * 1e3:.2f})"
+            )
         return "\n".join(lines)
 
     def summary(self) -> dict:
@@ -221,6 +244,7 @@ class Tracer:
             "backward_total_seconds": self.backward_total_seconds,
             "events": len(self.events),
             "events_dropped": self.events_dropped,
+            "replays": {label: dict(entry) for label, entry in self.replays.items()},
             "ops": {
                 name: {
                     "calls": s.calls,
@@ -361,6 +385,21 @@ def _unpatch() -> None:
 def is_tracing() -> bool:
     """Whether at least one :func:`trace` region is currently active."""
     return bool(_ACTIVE)
+
+
+def record_replay(label: str, seconds: float) -> None:
+    """Report one engine plan replay to every active tracer.
+
+    Called by :class:`repro.autodiff.ExecutionEngine` after each
+    successful replay.  Replayed steps bypass the patched ``Tensor``
+    methods (the plan installs its own dispatch), so without this seam a
+    compiled training region would look almost empty in the trace.
+    """
+    if not _ACTIVE:
+        return
+    started = perf_counter() - seconds
+    for tracer in _ACTIVE:
+        tracer._record_replay(label, started, seconds)
 
 
 @contextlib.contextmanager

@@ -85,6 +85,11 @@ class TrainingConfig:
     checkpoint_path: str | None = None
     checkpoint_every: int = 1
     resume: bool = False
+    # Capture/replay execution engine (docs/engine.md): capture each step
+    # signature once, then replay the recorded plan with precompiled
+    # kernels.  Bitwise-identical to eager; falls back automatically on
+    # guard violations (logged as ``plan_invalidated``).
+    compile: bool = False
 
     def sampling_probability(self, epoch: int) -> float | None:
         """Teacher-forcing probability for ``epoch`` (None = unchanged)."""
@@ -166,6 +171,7 @@ class Trainer:
         fault_hook=None,
         resume: bool | None = None,
         lr_scale: float = 1.0,
+        compile: bool | None = None,
     ) -> TrainingHistory:
         """Train ``model`` on ``task``.
 
@@ -186,6 +192,12 @@ class Trainer:
         fault-injection seam used by ``repro.resilience.chaos``.
         ``resume`` overrides ``config.resume``; ``lr_scale`` multiplies
         the learning-rate schedule after any restore (divergence backoff).
+        ``compile`` overrides ``config.compile``: route each training
+        step through a :class:`~repro.autodiff.ExecutionEngine` that
+        captures the op sequence once per batch signature and replays it
+        with precompiled kernels — bitwise-identical losses and
+        gradients, with automatic eager fallback on guard violations
+        (see docs/engine.md).
         """
         cfg = self.config
         rng = np.random.default_rng(cfg.seed)
@@ -236,6 +248,33 @@ class Trainer:
 
         watch = GraphWatch(model)
 
+        engine = None
+        do_compile = cfg.compile if compile is None else compile
+        if do_compile:
+            from ..autodiff.engine import ExecutionEngine, discover_rngs
+
+            roots = [model, rng] + ([discrepancy] if discrepancy is not None else [])
+            engine = ExecutionEngine(
+                f"train:{type(model).__name__}", logger=logger,
+                rngs=discover_rngs(*roots))
+        self.last_engine = engine
+
+        def compiled_step(x_t, y_t, t):
+            # Mirrors the eager block below op-for-op so capture records
+            # exactly the arithmetic eager mode would run.
+            if getattr(model, "scheduled_sampling", 0.0) > 0.0:
+                prediction = model(x_t, t, targets=y_t)
+            else:
+                prediction = model(x_t, t)
+            error = cfg.error_loss(prediction, y_t)
+            loss = error
+            time_loss = None
+            if discrepancy is not None:
+                time_loss = discrepancy(t)
+                loss = error + cfg.lambda_time * time_loss
+            loss.backward()
+            return loss, error, time_loss
+
         def save_checkpoint(next_epoch: int) -> None:
             from ..resilience.checkpoint import TrainingCheckpoint, save_training_checkpoint
 
@@ -275,17 +314,24 @@ class Trainer:
                         x = augmenter(x)
                     watch.observe_batch(x, t)
                     optimizer.zero_grad()
-                    if getattr(model, "scheduled_sampling", 0.0) > 0.0:
-                        prediction = model(Tensor(x), t, targets=Tensor(y))
+                    if engine is not None:
+                        loss, error, time_loss = engine.run(
+                            compiled_step, Tensor(x), Tensor(y), t,
+                            key=(getattr(model, "scheduled_sampling", 0.0) > 0.0,))
+                        if time_loss is not None:
+                            epoch_time_loss += time_loss.item()
                     else:
-                        prediction = model(Tensor(x), t)
-                    error = cfg.error_loss(prediction, Tensor(y))
-                    loss = error
-                    if discrepancy is not None:
-                        time_loss = discrepancy(t)
-                        loss = error + cfg.lambda_time * time_loss
-                        epoch_time_loss += time_loss.item()
-                    loss.backward()
+                        if getattr(model, "scheduled_sampling", 0.0) > 0.0:
+                            prediction = model(Tensor(x), t, targets=Tensor(y))
+                        else:
+                            prediction = model(Tensor(x), t)
+                        error = cfg.error_loss(prediction, Tensor(y))
+                        loss = error
+                        if discrepancy is not None:
+                            time_loss = discrepancy(t)
+                            loss = error + cfg.lambda_time * time_loss
+                            epoch_time_loss += time_loss.item()
+                        loss.backward()
                     if fault_hook is not None:
                         fault_hook("after_backward", model=model, epoch=epoch, batch=batches)
                     grad_norm = clip_grad_norm(model.parameters(), cfg.grad_clip)
@@ -350,6 +396,9 @@ class Trainer:
                 if history.stopped_early:
                     break
 
+            if engine is not None:
+                logger.log("engine_summary", engine=engine.label,
+                           **engine.stats)
             logger.log_summary(
                 best_epoch=history.best_epoch,
                 best_val_mae=history.best_val_mae,

@@ -75,6 +75,7 @@ def run_golden_trace(
     seed: int = 2024,
     num_nodes: int = 4,
     num_days: int = 4,
+    compile: bool = False,
 ) -> GoldenTrace:
     """Train a tiny TGCRN end to end, fully deterministically.
 
@@ -83,6 +84,12 @@ def run_golden_trace(
     :func:`named_rng`-style derivation inside the stack, so two calls with
     equal arguments produce identical loss curves and parameter hashes on
     the same platform.
+
+    ``compile=True`` routes training through the capture/replay engine
+    (docs/engine.md); the engine's bitwise guarantee means the resulting
+    trace — including ``final_state_hash`` — is identical to the eager
+    one, so the committed fixture gates both execution modes.  The flag
+    deliberately stays out of ``config`` (fixture config equality).
     """
     from ..core import TGCRN
     from ..data import load_task
@@ -113,7 +120,8 @@ def run_golden_trace(
         rng=named_rng(seed, "golden-model-init"),
     )
     trainer = Trainer(
-        TrainingConfig(epochs=epochs, batch_size=config["batch_size"], seed=seed)
+        TrainingConfig(epochs=epochs, batch_size=config["batch_size"], seed=seed,
+                       compile=compile)
     )
     history = trainer.fit(model, task)
     return GoldenTrace(

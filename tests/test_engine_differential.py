@@ -1,0 +1,123 @@
+"""Differential replay-vs-eager harness for the execution engine.
+
+Every model in the registry (TGCRN plus the eleven neural baselines)
+trains twin copies side by side from identical initialisation — one
+eager, one through :class:`~repro.autodiff.engine.ExecutionEngine` —
+and the harness asserts that predictions, losses, every parameter
+gradient, and every post-step parameter value are **bitwise** identical
+at every step.  The engine's contract is "same arithmetic, fewer Python
+frames"; any drift here is a correctness bug in the engine, never an
+acceptable tolerance.
+
+No model currently needs a tolerance fallback: replay re-runs the same
+kernels over the same operands in the same order, so reduction order is
+preserved exactly.  If a future kernel rewrite legitimately reorders a
+reduction, document it here and relax only that model's comparison to
+``rtol=1e-12`` — never silently.
+
+Model constructors are shared with ``test_baselines_neural`` so the
+"every registry model" guarantee can't drift from the registry itself.
+"""
+
+import numpy as np
+import pytest
+
+from tests.test_baselines_neural import _IN, _NODES, _OUT, _P, _Q, _build
+
+from repro.autodiff import Tensor, mae_loss
+from repro.autodiff.engine import ExecutionEngine, discover_rngs
+from repro.baselines import NEURAL_BASELINES
+from repro.core import TGCRN
+from repro.nn import Adam, clip_grad_norm
+from repro.verify import named_rng
+
+ALL_MODELS = ("tgcrn",) + tuple(NEURAL_BASELINES)
+
+_STEPS_PER_DAY = 24
+_BATCH = 3
+
+
+def _make(name):
+    """One model instance from a name-salted rng (twin-safe: same name,
+    same seed → bitwise-identical parameters and graph draws)."""
+    rng = named_rng(0, f"engine-diff-{name}")
+    if name == "tgcrn":
+        return TGCRN(
+            num_nodes=_NODES, in_dim=_IN, out_dim=_OUT, horizon=_Q,
+            hidden_dim=8, num_layers=1, node_dim=4, time_dim=4,
+            steps_per_day=_STEPS_PER_DAY, rng=rng,
+        )
+    return _build(name, rng)
+
+
+def _batches(n=2, batch=_BATCH):
+    """Deterministic (x, y, t) training batches, all the same shape so a
+    single plan signature covers every step after the first."""
+    rng = named_rng(1, "engine-diff-batches")
+    out = []
+    for i in range(n):
+        x = rng.normal(size=(batch, _P, _NODES, _IN))
+        y = rng.normal(scale=0.3, size=(batch, _Q, _NODES, _OUT))
+        t = np.arange(_P + _Q)[None, :].repeat(batch, axis=0) + i
+        out.append((x, y, t))
+    return out
+
+
+def _step_of(model):
+    def step(x_t, y_t, t):
+        pred = model(x_t, t)
+        loss = mae_loss(pred, y_t)
+        loss.backward()
+        return loss, pred
+    return step
+
+
+@pytest.mark.parametrize("name", ALL_MODELS)
+def test_eager_and_compiled_twins_bitwise_identical(name):
+    eager, compiled = _make(name), _make(name)
+    eager.train(True)
+    compiled.train(True)
+    opt_e = Adam(eager.parameters(), lr=1e-3, weight_decay=1e-4)
+    opt_c = Adam(compiled.parameters(), lr=1e-3, weight_decay=1e-4)
+    engine = ExecutionEngine(f"diff:{name}", rngs=discover_rngs(compiled))
+    step_e, step_c = _step_of(eager), _step_of(compiled)
+
+    batches = _batches()
+    for sweep in range(2):
+        for i, (x, y, t) in enumerate(batches):
+            opt_e.zero_grad()
+            loss_e, pred_e = step_e(Tensor(x), Tensor(y), t)
+            opt_c.zero_grad()
+            loss_c, pred_c = engine.run(step_c, Tensor(x), Tensor(y), t)
+
+            where = f"{name} sweep {sweep} batch {i}"
+            assert loss_e.item() == loss_c.item(), f"{where}: loss diverged"
+            assert np.array_equal(pred_e.data, pred_c.data), \
+                f"{where}: predictions diverged"
+            for (n_e, p_e), (n_c, p_c) in zip(
+                eager.named_parameters(), compiled.named_parameters()
+            ):
+                assert n_e == n_c
+                assert p_e.grad is not None and p_c.grad is not None, \
+                    f"{where}: missing grad for {n_e}"
+                assert np.array_equal(np.asarray(p_e.grad), np.asarray(p_c.grad)), \
+                    f"{where}: grad diverged for {n_e}"
+
+            clip_grad_norm(eager.parameters(), 5.0)
+            clip_grad_norm(compiled.parameters(), 5.0)
+            opt_e.step()
+            opt_c.step()
+            for (n_e, p_e), (_, p_c) in zip(
+                eager.named_parameters(), compiled.named_parameters()
+            ):
+                assert np.array_equal(p_e.data, p_c.data), \
+                    f"{where}: parameter diverged after step for {n_e}"
+
+    # The comparison only means something if the engine actually replayed:
+    # every model in the registry must capture once and then run the
+    # recorded plan — zero eager fallbacks, zero invalidations.
+    stats = engine.stats
+    assert stats["captures"] == 1, f"{name}: {stats}"
+    assert stats["replays"] == len(batches) * 2 - 1, f"{name}: {stats}"
+    assert stats["eager_steps"] == 0, f"{name}: {stats}"
+    assert stats["invalidations"] == 0, f"{name}: {stats}"

@@ -1,0 +1,198 @@
+"""Guard-rail tests for the execution engine: wrong plans must never
+produce wrong numbers.
+
+Each scenario perturbs something the captured plan depends on — batch
+shape, index dtype, parameter identity, the forward op sequence, or a
+chaos wrapper flipping behaviour mid-stream — and asserts the engine
+either routes to a separate plan (signature change) or falls back to
+eager with a structured ``plan_invalidated`` record (guard trip).  In
+every case the numbers must match an eager twin bitwise.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from tests.test_baselines_neural import _IN, _NODES, _OUT, _P, _Q, _build
+
+from repro.autodiff import Tensor, mae_loss, no_grad
+from repro.autodiff.engine import CompiledModel, ExecutionEngine, discover_rngs
+from repro.obs import RunLogger
+from repro.serve.chaos import NaNModel
+from repro.verify import named_rng
+
+
+def _twins():
+    """Two fclstm models with bitwise-identical parameters."""
+    return (_build("fclstm", named_rng(0, "engine-guards")),
+            _build("fclstm", named_rng(0, "engine-guards")))
+
+
+def _batch(batch, seed=0, offset=0, t_dtype=np.int64):
+    rng = named_rng(seed, f"engine-guards-batch-{batch}-{offset}")
+    x = rng.normal(size=(batch, _P, _NODES, _IN))
+    y = rng.normal(scale=0.3, size=(batch, _Q, _NODES, _OUT))
+    t = (np.arange(_P + _Q)[None, :].repeat(batch, axis=0) + offset).astype(t_dtype)
+    return x, y, t
+
+
+def _step_of(model):
+    def step(x_t, y_t, t):
+        loss = mae_loss(model(x_t, t), y_t)
+        loss.backward()
+        return loss
+    return step
+
+
+def _assert_twin_step(eager, compiled, engine, batch_args, where):
+    """Run one training step on both twins; grads and loss must match."""
+    step_e, step_c = _step_of(eager), _step_of(compiled)
+    x, y, t = batch_args
+    eager.zero_grad()
+    compiled.zero_grad()
+    loss_e = step_e(Tensor(x), Tensor(y), t)
+    loss_c = engine.run(step_c, Tensor(x), Tensor(y), t)
+    assert loss_e.item() == loss_c.item(), f"{where}: loss diverged"
+    for (n, p_e), (_, p_c) in zip(eager.named_parameters(),
+                                  compiled.named_parameters()):
+        assert np.array_equal(np.asarray(p_e.grad), np.asarray(p_c.grad)), \
+            f"{where}: grad diverged for {n}"
+
+
+class TestSignatureChanges:
+    """Shape/dtype changes are *signatures*, not faults: each gets its
+    own plan and nothing ever falls back or goes wrong."""
+
+    def test_changed_batch_shape_captures_second_plan(self):
+        eager, compiled = _twins()
+        eager.train(True), compiled.train(True)
+        engine = ExecutionEngine("guards:shape", rngs=discover_rngs(compiled))
+        for batch, repeat in ((3, 2), (2, 2)):
+            for i in range(repeat):
+                _assert_twin_step(eager, compiled, engine,
+                                  _batch(batch, offset=i), f"batch={batch} rep={i}")
+        stats = engine.stats
+        assert stats["captures"] == 2, stats
+        assert stats["replays"] == 2, stats
+        assert stats["eager_steps"] == 0 and stats["invalidations"] == 0, stats
+
+    def test_dtype_switch_captures_second_plan(self):
+        eager, compiled = _twins()
+        eager.train(True), compiled.train(True)
+        engine = ExecutionEngine("guards:dtype", rngs=discover_rngs(compiled))
+        for dtype in (np.int64, np.int32, np.int64):
+            _assert_twin_step(eager, compiled, engine,
+                              _batch(3, t_dtype=dtype), f"t dtype={dtype}")
+        stats = engine.stats
+        # int64 / int32 time indices are distinct signatures; the third
+        # step replays the first plan rather than re-capturing.
+        assert stats["captures"] == 2, stats
+        assert stats["replays"] == 1, stats
+        assert stats["eager_steps"] == 0 and stats["invalidations"] == 0, stats
+
+
+class TestGuardTrips:
+    """Mutations the signature can't see trip replay guards: the step
+    falls back to eager (correct numbers), the invalidation is logged,
+    and a persistently failing plan is demoted to eager-only."""
+
+    def test_parameter_rebinding_falls_back_and_demotes(self, tmp_path):
+        eager, compiled = _twins()
+        eager.train(True), compiled.train(True)
+        log_path = tmp_path / "run.jsonl"
+        logger = RunLogger(log_path)
+        engine = ExecutionEngine("guards:rebind", logger, max_failures=2,
+                                 rngs=discover_rngs(compiled))
+
+        _assert_twin_step(eager, compiled, engine, _batch(3), "capture")
+        assert engine.stats["captures"] == 1
+
+        # Rebind one parameter's storage on both twins — same values, new
+        # buffer.  Eager mode doesn't care; the plan's kernels are bound
+        # to the old buffer, so replay must refuse to run.
+        for model in (eager, compiled):
+            param = next(p for _, p in model.named_parameters())
+            param.data = param.data.copy()
+
+        for i in range(3):
+            _assert_twin_step(eager, compiled, engine,
+                              _batch(3, offset=i + 1), f"post-rebind {i}")
+
+        stats = engine.stats
+        assert stats["replays"] == 0, stats
+        assert stats["invalidations"] == 2, stats   # demoted after max_failures
+        assert stats["eager_steps"] == 3, stats     # every post-rebind step
+        (plan,) = engine.describe()["plans"]
+        assert plan["eager_only"] is True
+        assert plan["reason"] == "operand_mismatch"
+
+        events = [json.loads(line) for line in log_path.read_text().splitlines()]
+        invalidated = [e for e in events if e["event"] == "plan_invalidated"]
+        assert len(invalidated) == 2
+        assert all(e["phase"] == "replay" for e in invalidated)
+        assert all(e["reason"] == "operand_mismatch" for e in invalidated)
+        assert sum(e["event"] == "plan_demoted" for e in events) == 1
+
+    def test_mutated_forward_sequence_falls_back(self):
+        class Rescaled:
+            """Stand-in for a model whose forward changes after capture."""
+
+            def __init__(self, inner):
+                self.inner = inner
+                self.rescale = False
+
+            def __call__(self, x, t):
+                out = self.inner(x, t)
+                return out * 2.0 if self.rescale else out
+
+            def named_parameters(self, prefix=""):
+                return self.inner.named_parameters(prefix)
+
+            def zero_grad(self):
+                self.inner.zero_grad()
+
+        inner_e, inner_c = _twins()
+        inner_e.train(True), inner_c.train(True)
+        eager, compiled = Rescaled(inner_e), Rescaled(inner_c)
+        engine = ExecutionEngine("guards:sequence", rngs=discover_rngs(inner_c))
+
+        _assert_twin_step(eager, compiled, engine, _batch(3), "capture")
+        _assert_twin_step(eager, compiled, engine, _batch(3, offset=1), "replay")
+        eager.rescale = compiled.rescale = True
+        _assert_twin_step(eager, compiled, engine, _batch(3, offset=2), "mutated")
+
+        stats = engine.stats
+        assert stats["captures"] == 1 and stats["replays"] == 1, stats
+        assert stats["invalidations"] == 1, stats
+        assert stats["eager_steps"] == 1, stats
+
+
+class TestChaosWrappedInference:
+    """A serve-side chaos wrapper flipping behaviour mid-stream must come
+    through :class:`CompiledModel` exactly as it would eagerly — NaNs
+    while failing, real predictions after recovery, never a stale plan's
+    numbers."""
+
+    def test_nan_model_compiles_faithfully(self):
+        inner_e, inner_c = _twins()
+        eager = NaNModel(inner_e.eval(), failing=True)
+        compiled = CompiledModel(NaNModel(inner_c.eval(), failing=True),
+                                 label="guards:chaos")
+        compiled.eval()
+        x, _, t = _batch(2)
+
+        with no_grad():
+            poisoned_e, poisoned_c = eager(Tensor(x), t), compiled(Tensor(x), t)
+            assert np.array_equal(poisoned_e.data, poisoned_c.data, equal_nan=True)
+            assert np.isnan(poisoned_c.data).all()
+
+            eager.failing = compiled.inner.failing = False
+            for i in range(2):
+                healthy_e, healthy_c = eager(Tensor(x), t), compiled(Tensor(x), t)
+                assert np.array_equal(healthy_e.data, healthy_c.data), f"probe {i}"
+                assert np.isfinite(healthy_c.data).all()
+
+        stats = compiled._engine.stats
+        assert stats["captures"] == 1 and stats["replays"] == 2, stats
+        assert stats["eager_steps"] == 0 and stats["invalidations"] == 0, stats

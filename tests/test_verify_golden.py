@@ -111,3 +111,74 @@ class TestGoldenTrace:
         first = run_golden_trace(epochs=5, num_days=5)
         second = run_golden_trace(epochs=5, num_days=5)
         assert compare_traces(first, second, rtol=0.0, atol=0.0, strict_hash=True) == []
+
+
+class TestCompiledGolden:
+    """The ``compile=True`` twin of the loss-curve determinism gate.
+
+    The capture/replay engine (docs/engine.md) promises the *same
+    arithmetic* as eager mode, so the golden-trace machinery needs no
+    relaxation: a compiled run must match an eager run — and the
+    committed fixture — bitwise, including the final state hash.
+    """
+
+    def test_compiled_run_bitwise_matches_eager(self):
+        eager = run_golden_trace()
+        compiled = run_golden_trace(compile=True)
+        assert compare_traces(compiled, eager, rtol=0.0, atol=0.0,
+                              strict_hash=True) == []
+
+    def test_compiled_run_matches_committed_fixture(self):
+        golden = load_trace(GOLDEN_DIR / "tiny_tgcrn_loss.json")
+        actual = run_golden_trace(compile=True, **{
+            k: golden.config[k] for k in ("epochs", "seed", "num_nodes", "num_days")
+        })
+        problems = compare_traces(actual, golden, rtol=1e-6)
+        assert problems == [], "\n".join(problems)
+
+    def test_compiled_kill_and_resume_matches_eager_straight_run(self, tmp_path):
+        """Crash mid-run under the engine, resume under the engine, and
+        the result must still be hash-identical to an *eager*
+        uninterrupted run: checkpointing never sees the engine (plans
+        wrap the step function, not the model), and replayed arithmetic
+        is bitwise-eager."""
+        from repro.core import TGCRN
+        from repro.data import load_task
+        from repro.nn import state_hash
+        from repro.resilience import AbortInjector, GuardedTrainer, SimulatedCrash
+        from repro.training import Trainer, TrainingConfig
+
+        seed, epochs = 17, 3
+        task = load_task("hzmetro", num_nodes=4, num_days=4, seed=seed)
+
+        def model():
+            return TGCRN(
+                num_nodes=task.num_nodes, in_dim=task.in_dim,
+                out_dim=task.out_dim, horizon=task.horizon, hidden_dim=4,
+                num_layers=1, node_dim=3, time_dim=3,
+                steps_per_day=task.steps_per_day,
+                rng=named_rng(seed, "compiled-golden-model"),
+            )
+
+        def config(**overrides):
+            base = dict(epochs=epochs, batch_size=8, seed=seed)
+            base.update(overrides)
+            return TrainingConfig(**base)
+
+        straight = model()
+        straight_history = Trainer(config()).fit(straight, task)
+
+        ckpt = str(tmp_path / "state.npz")
+        killed = model()
+        with pytest.raises(SimulatedCrash):
+            GuardedTrainer(Trainer(config(compile=True, checkpoint_path=ckpt))).fit(
+                killed, task, fault_hook=AbortInjector(epoch=1))
+
+        resumed = model()
+        resumed_history = GuardedTrainer(
+            Trainer(config(compile=True, checkpoint_path=ckpt))
+        ).fit(resumed, task, resume=True)
+
+        assert state_hash(resumed) == state_hash(straight)
+        assert resumed_history.train_losses == straight_history.train_losses
+        assert resumed_history.val_maes == straight_history.val_maes
