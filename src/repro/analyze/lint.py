@@ -11,6 +11,9 @@ RL005   error     bare ``except:``
 RL006   warning   silent handler (``except ...: pass``)
 RL007   warning   ``Tensor.data``/``.grad`` mutation outside framework modules
 RL008   error     class attribute written both inside and outside its lock
+RL009   error     ``time.time()`` outside the clock-seam modules (wall-clock
+                  discipline: durations must use monotonic sources; real
+                  timestamps carry an ``allow[RL009]`` note saying so)
 ======  ========  =====================================================
 
 A finding on line *L* is suppressed by ``# analyze: allow[RL00x]`` on *L*
@@ -228,6 +231,28 @@ def _check_wall_clock(ctx: FileContext) -> Iterator[tuple[int, str]]:
         parts = tuple(dotted.split(".")[-2:])
         if len(parts) == 2 and parts in _WALL_CLOCK_CALLS:
             yield node.lineno, f"direct wall-clock call {dotted}() bypasses the injectable clock"
+
+
+@rule(
+    "RL009",
+    "wall-clock-latency",
+    "error",
+    "time.time() is non-monotonic (NTP steps, DST) and corrupts latency math",
+    "use time.monotonic()/time.perf_counter() for durations; annotate genuine "
+    "wall timestamps with '# analyze: allow[RL009]'",
+)
+def _check_wall_clock_latency(ctx: FileContext) -> Iterator[tuple[int, str]]:
+    if ctx.in_any(CLOCK_SEAM_PREFIXES):
+        return  # RL004 already polices these modules with a stricter rule
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        dotted = _dotted(node.func)
+        if tuple(dotted.split(".")[-2:]) == ("time", "time"):
+            yield node.lineno, (
+                "time.time() in a potential latency path; use a monotonic "
+                "source for durations or mark the call as a timestamp"
+            )
 
 
 # --------------------------------------------------------------------- #

@@ -1901,12 +1901,18 @@ class ExecutionEngine:
         return self._replay(state, fn, args)
 
     def _capture(self, state, fn, args):
+        # Lazy import (like _notify_trace): repro.obs pulls the op tracer,
+        # which imports back into autodiff — a cycle at module-load time.
+        from ..obs.spans import finish_span, start_span
+
+        cap_span = start_span("engine_capture", attrs={"engine": self.label})
         cap = _CaptureSession()
         cap.install()
         try:
             result = fn(*args)
         except BaseException:
             self._states.pop(state.sig, None)
+            finish_span(cap_span, status="error")
             raise
         finally:
             cap.uninstall()
@@ -1919,13 +1925,18 @@ class ExecutionEngine:
             self._log("plan_invalidated", signature=self._sig_repr(state.sig),
                       phase="capture", reason=str(exc),
                       failures=state.failures)
+            finish_span(cap_span, status="unsupported", reason=str(exc))
         else:
             self.stats["captures"] += 1
             self._log("plan_captured", signature=self._sig_repr(state.sig),
                       **state.plan.stats)
+            finish_span(cap_span, nodes=state.plan.stats.get("nodes"))
         return _copy_result(result)
 
     def _replay(self, state, fn, args):
+        from ..obs.spans import finish_span, start_span
+
+        replay_span = start_span("engine_replay", attrs={"engine": self.label})
         snapshot = self._snapshot_rngs()
         started = perf_counter()
         try:
@@ -1945,9 +1956,15 @@ class ExecutionEngine:
                 self._log("plan_demoted", signature=self._sig_repr(state.sig),
                           reason=exc.reason)
             self.stats["eager_steps"] += 1
-            return fn(*args)
+            # The span covers the whole call, eager fallback included —
+            # the "invalidated" status is what makes it visible.
+            try:
+                return fn(*args)
+            finally:
+                finish_span(replay_span, status="invalidated", reason=exc.reason)
         self.stats["replays"] += 1
         self._notify_trace(perf_counter() - started)
+        finish_span(replay_span)
         return _copy_result(result)
 
     def _notify_trace(self, seconds):

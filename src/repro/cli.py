@@ -1,5 +1,5 @@
 """Command-line interface: train, evaluate, compare, inspect, profile,
-verify, chaos, serve, bench-serve.
+verify, chaos, serve, bench-serve, obs-report.
 
 Usage::
 
@@ -13,18 +13,21 @@ Usage::
     python -m repro.cli chaos               # fault-injection recovery smoke
     python -m repro.cli serve               # serving-layer containment smoke
     python -m repro.cli bench-serve         # serving throughput/latency bench
+    python -m repro.cli obs-report --spans spans.jsonl   # span-tree analysis
 
 Every command accepts ``--nodes/--days/--seed`` to control the synthetic
 dataset scale, so quick experiments stay quick.  ``--quiet`` silences the
 console (benchmark mode); ``--log-jsonl PATH`` records structured
-per-epoch run logs; ``--trace`` profiles autodiff ops (docs/observability.md).
-``train`` takes ``--checkpoint/--resume/--guard`` for fault-tolerant runs
+per-epoch run logs; ``--trace`` profiles autodiff ops; ``--spans-jsonl
+PATH`` records causal span trees (docs/observability.md).  ``train``
+takes ``--checkpoint/--resume/--guard`` for fault-tolerant runs
 (docs/resilience.md).
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 
 import numpy as np
@@ -68,6 +71,9 @@ def _add_obs_args(parser: argparse.ArgumentParser, tracing: bool = False) -> Non
                         help="suppress console chatter (for benchmark scripts)")
     parser.add_argument("--log-jsonl", default=None, metavar="PATH",
                         help="write structured per-epoch run records (JSONL)")
+    parser.add_argument("--spans-jsonl", default=None, metavar="PATH",
+                        help="record causal span trees (request/epoch/step) "
+                             "to a JSONL file (docs/observability.md)")
     if tracing:
         parser.add_argument("--trace", action="store_true",
                             help="profile autodiff ops and print a hot-op table")
@@ -115,21 +121,48 @@ def _console(args) -> Console:
     return Console(enabled=not getattr(args, "quiet", False))
 
 
+@contextlib.contextmanager
+def _maybe_spans(args):
+    """Install a SpanCollector for the block when ``--spans-jsonl`` is set."""
+    path = getattr(args, "spans_jsonl", None)
+    if not path:
+        yield None
+        return
+    from .obs import SpanCollector
+
+    collector = SpanCollector(path=path).install()
+    try:
+        yield collector
+    finally:
+        collector.close()
+
+
 def _run_traced(args, fn):
     """Run ``fn()`` under the op tracer when ``--trace`` is set.
 
     Prints the hot-op table and writes the Chrome trace afterwards.
+    Span collection (``--spans-jsonl``) composes: span events are merged
+    into the same Chrome trace on the shared perf_counter timebase.
     """
     console = _console(args)
     if not getattr(args, "trace", False):
-        return fn()
+        with _maybe_spans(args) as collector:
+            result = fn()
+        if collector is not None:
+            console.print(f"spans written to {args.spans_jsonl} "
+                          f"({len(collector.records)} spans)")
+        return result
     with trace() as tracer:
-        result = fn()
+        with _maybe_spans(args) as collector:
+            result = fn()
     console.print()
     console.print(tracer.table())
-    path = tracer.export_chrome_trace(args.trace_out)
+    extra = (collector.chrome_events(origin=tracer.origin)
+             if collector is not None else None)
+    path = tracer.export_chrome_trace(args.trace_out, extra_events=extra)
+    merged = f" + {len(extra)} span(s)" if extra else ""
     console.print(f"chrome trace written to {path} "
-                  f"({len(tracer.events)} events; open in chrome://tracing)")
+                  f"({len(tracer.events)} events{merged}; open in chrome://tracing)")
     return result
 
 
@@ -559,6 +592,11 @@ def cmd_serve(args) -> int:
                                cooldown=args.cooldown),
         logger=logger, compile=getattr(args, "compile", False),
     )
+    collector = None
+    if getattr(args, "spans_jsonl", None):
+        from .obs import SpanCollector
+
+        collector = SpanCollector(path=args.spans_jsonl).install()
     server.start()
     failures = 0
     collected = []
@@ -656,6 +694,19 @@ def cmd_serve(args) -> int:
           "intact checkpoint swapped in atomically")
 
     server.stop(drain=True)
+    if collector is not None:
+        # 7. every request produced one complete, single-rooted span tree
+        collector.close()
+        from .obs.report import assemble_traces, check_request_traces
+
+        trees = assemble_traces(collector.records)
+        tcheck = check_request_traces(trees)
+        check(tcheck.ok and tcheck.total > 0,
+              f"{tcheck.complete}/{tcheck.total} request span trees complete "
+              f"({tcheck.orphan_spans} orphan, {tcheck.unfinished_spans} "
+              f"unfinished span(s))")
+        console.print(f"  spans written to {args.spans_jsonl} "
+                      f"({len(collector.records)} spans)")
     if logger is not None:
         logger.close()
     health = server.health()
@@ -679,6 +730,8 @@ def cmd_bench_serve(args) -> int:
     import json as _json
     import time as _time
 
+    from .obs import SpanCollector
+    from .obs.report import assemble_traces, stage_breakdown
     from .serve import ForecastServer
     from .verify import named_rng
 
@@ -690,27 +743,41 @@ def cmd_bench_serve(args) -> int:
                   rng=named_rng(args.seed, "bench-serve-init"))
     server = ForecastServer(model, task, queue_depth=args.queue_depth,
                             max_batch=args.max_batch)
+    # Spans stay on for the whole bench: the per-stage breakdown (queue
+    # wait vs batch assembly vs predict) comes straight from the trees.
+    collector = SpanCollector(path=getattr(args, "spans_jsonl", None)).install()
     submitted = 0
     started = _time.perf_counter()
-    while submitted < args.requests:
-        wave = min(args.max_batch, args.requests - submitted)
-        for i in range(wave):
-            j = (submitted + i) % len(task.test)
-            server.submit({"window": task.test.inputs[j],
-                           "time_index": task.test.time_indices[j]})
-        server.drain()
-        submitted += wave
-    elapsed = _time.perf_counter() - started
+    try:
+        while submitted < args.requests:
+            wave = min(args.max_batch, args.requests - submitted)
+            for i in range(wave):
+                j = (submitted + i) % len(task.test)
+                server.submit({"window": task.test.inputs[j],
+                               "time_index": task.test.time_indices[j]})
+            server.drain()
+            submitted += wave
+        elapsed = _time.perf_counter() - started
+    finally:
+        collector.close()
     responses = server.take_responses()
     model_served = sum(r.source == "model" for r in responses)
     latency = server.metrics.histogram("serve.latency_ms")
     batch = server.metrics.histogram("serve.batch_size")
+    breakdown = stage_breakdown(assemble_traces(collector.records))
+    stages = {
+        "queue_wait": breakdown.get("queue_wait"),
+        "batch_assembly": breakdown.get("batch_assembly"),
+        "predict": breakdown.get("predict"),
+        "total": breakdown.get("request"),
+    }
     result = {
         "requests": args.requests,
         "seconds": elapsed,
         "throughput_rps": args.requests / elapsed,
         "latency_ms": {"p50": latency.quantile(0.5), "p95": latency.quantile(0.95),
                        "mean": latency.mean},
+        "stages": stages,
         "mean_batch_size": batch.mean,
         "model_served": model_served,
         "nodes": task.num_nodes,
@@ -721,6 +788,12 @@ def cmd_bench_serve(args) -> int:
     console.print(f"latency p50 {result['latency_ms']['p50']:.2f}ms  "
                   f"p95 {result['latency_ms']['p95']:.2f}ms  "
                   f"mean batch {batch.mean:.1f}")
+    for name in ("queue_wait", "batch_assembly", "predict", "total"):
+        stats = stages.get(name)
+        if stats:
+            console.print(f"  {name:<15} p50 {stats['p50']:8.3f}ms  "
+                          f"p95 {stats['p95']:8.3f}ms  p99 {stats['p99']:8.3f}ms  "
+                          f"(n={stats['count']})")
     if args.out:
         from .ioutil import atomic_write_text
 
@@ -922,6 +995,88 @@ def cmd_compile_smoke(args) -> int:
     return 0
 
 
+def cmd_obs_report(args) -> int:
+    """Span-tree analysis + the noise-aware bench regression sentinel.
+
+    With ``--spans``, reconstructs every trace from the JSONL stream,
+    checks request-tree completeness, and prints the per-stage latency
+    breakdown plus the slowest request's critical path.  With
+    ``--bench-current/--bench-history``, compares a fresh
+    ``bench_table8_cost`` artifact against committed history with
+    machine-speed-invariant normalization.  ``--fail-on`` gates CI.
+    """
+    import json as _json
+    from pathlib import Path
+
+    from .obs.report import (
+        assemble_traces,
+        check_bench_regression,
+        check_request_traces,
+        critical_path,
+        load_spans,
+        render_regressions,
+        render_report,
+        slowest_request,
+        stage_breakdown,
+    )
+
+    console = _console(args)
+    payload: dict = {}
+    gates_hit: set[str] = set()
+
+    if args.spans:
+        records = load_spans(args.spans)
+        trees = assemble_traces(records)
+        tcheck = check_request_traces(trees)
+        breakdown = stage_breakdown(trees)
+        console.print(render_report(trees, tcheck, breakdown))
+        payload["spans"] = {"path": args.spans, "check": tcheck.to_dict(),
+                            "stages": breakdown}
+        slowest = slowest_request(trees)
+        if slowest is not None and slowest.root is not None:
+            payload["spans"]["critical_path"] = critical_path(slowest.root)
+        if not tcheck.ok:
+            gates_hit.add("incomplete")
+
+    if args.bench_current and args.bench_history:
+        current = _json.loads(Path(args.bench_current).read_text())
+        history = _json.loads(Path(args.bench_history).read_text())
+        findings = check_bench_regression(
+            current, history, threshold=args.threshold)
+        if args.spans:
+            console.print()
+        console.print(render_regressions(findings))
+        payload["bench"] = {"current": args.bench_current,
+                            "history": args.bench_history,
+                            "threshold": args.threshold,
+                            "findings": [f.to_dict() for f in findings]}
+        if any(f.is_regression for f in findings):
+            gates_hit.add("regression")
+    elif args.bench_current or args.bench_history:
+        raise SystemExit("--bench-current and --bench-history go together")
+
+    if not payload:
+        raise SystemExit("nothing to report: pass --spans and/or "
+                         "--bench-current/--bench-history")
+
+    if args.out:
+        from .ioutil import atomic_write_text
+
+        out = Path(args.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        atomic_write_text(out, _json.dumps(payload, indent=2) + "\n")
+        console.print(f"\nreport written to {out}")
+
+    if args.fail_on == "never":
+        return 0
+    gating = gates_hit if args.fail_on == "any" else gates_hit & {args.fail_on}
+    if gating:
+        console.print(f"\nobs-report: FAILED ({', '.join(sorted(gating))})")
+        return 1
+    console.print("\nobs-report: PASSED")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -1101,6 +1256,31 @@ def build_parser() -> argparse.ArgumentParser:
     compile_smoke.add_argument("--quiet", action="store_true",
                                help="suppress console output (exit code still gates)")
     compile_smoke.set_defaults(fn=cmd_compile_smoke)
+
+    obs_report = sub.add_parser(
+        "obs-report",
+        help="reconstruct span trees (completeness, per-stage latency, "
+             "critical paths) and run the bench perf-regression sentinel",
+    )
+    obs_report.add_argument("--spans", default=None, metavar="PATH",
+                            help="span JSONL stream (from --spans-jsonl or a "
+                                 "SpanCollector)")
+    obs_report.add_argument("--bench-current", default=None, metavar="PATH",
+                            help="fresh bench_table8_cost artifact to judge")
+    obs_report.add_argument("--bench-history", default=None, metavar="PATH",
+                            help="committed bench history to compare against")
+    obs_report.add_argument("--threshold", type=float, default=2.0,
+                            help="normalized per-model slowdown that counts as "
+                                 "a regression (default 2.0)")
+    obs_report.add_argument("--out", default=None, metavar="PATH",
+                            help="write the machine-readable JSON report here")
+    obs_report.add_argument("--fail-on", default="never",
+                            choices=["never", "incomplete", "regression", "any"],
+                            help="exit 1 on incomplete span trees and/or bench "
+                                 "regressions (default: never)")
+    obs_report.add_argument("--quiet", action="store_true",
+                            help="suppress console output (exit code still gates)")
+    obs_report.set_defaults(fn=cmd_obs_report)
     return parser
 
 

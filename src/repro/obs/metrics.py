@@ -84,18 +84,33 @@ class Histogram:
         self.last = value
         if self.sample_size > 0:
             if len(self._sample) >= self.sample_size:
-                self._sample[self.count % self.sample_size] = value
+                # This is the count-th observation (count already
+                # incremented), so the ring slot is (count - 1) mod size —
+                # without the -1 the first slot is skipped on wraparound
+                # and keeps its stale oldest value for a whole extra lap.
+                self._sample[(self.count - 1) % self.sample_size] = value
             else:
                 self._sample.append(value)
 
     def quantile(self, q: float) -> float:
         """Linear-interpolated quantile of the retained sample window.
 
-        ``q`` in [0, 1]; NaN before any observation.
+        ``q`` in [0, 1]; NaN before any observation.  The boundaries are
+        exact over *all* observations, not just the sample window:
+        ``q=0.0`` returns the true minimum and ``q=1.0`` the true
+        maximum, so tail reporting never understates an outlier that has
+        already rotated out of the ring.  A single-sample histogram
+        returns that sample for every ``q``.
         """
         if not 0.0 <= q <= 1.0:
             raise ValueError(f"q must be in [0, 1], got {q}")
-        if not self._sample:
+        if not self.count:
+            return float("nan")
+        if q == 0.0:
+            return self.low
+        if q == 1.0:
+            return self.high
+        if not self._sample:  # sample_size=0: summary-only histogram
             return float("nan")
         ordered = sorted(self._sample)
         position = q * (len(ordered) - 1)
@@ -103,6 +118,11 @@ class Histogram:
         hi = min(lo + 1, len(ordered) - 1)
         fraction = position - lo
         return ordered[lo] * (1.0 - fraction) + ordered[hi] * fraction
+
+    def percentiles(self) -> dict:
+        """The standard p50/p95/p99 dict used across serve/bench/report."""
+        return {"p50": self.quantile(0.5), "p95": self.quantile(0.95),
+                "p99": self.quantile(0.99)}
 
     @property
     def mean(self) -> float:
@@ -124,8 +144,7 @@ class Histogram:
             "mean": self.mean,
             "std": self.std,
             "last": self.last,
-            "p50": self.quantile(0.5),
-            "p95": self.quantile(0.95),
+            **self.percentiles(),
         }
 
 
@@ -163,7 +182,7 @@ class MetricsRegistry:
     def snapshot(self) -> dict:
         """One JSON-ready record of every metric's current state."""
         record = {
-            "ts": time.time(),
+            "ts": time.time(),  # analyze: allow[RL009] wall timestamp for correlation, not a duration
             "counters": {k: c.value for k, c in self._counters.items()},
             "gauges": {k: g.value for k, g in self._gauges.items()},
             "histograms": {k: h.summary() for k, h in self._histograms.items()},

@@ -17,6 +17,8 @@ import sys
 import time
 from pathlib import Path
 
+from .spans import current_span
+
 
 class Console:
     """``print``-compatible writer that can be muted (``--quiet``)."""
@@ -37,6 +39,11 @@ class Console:
 
 class RunLogger:
     """Write structured run records to JSONL and/or the console.
+
+    When a causal span is active (:mod:`repro.obs.spans`), every record
+    automatically carries its ``trace_id``/``span_id`` — so an epoch
+    record, a ``plan_invalidated`` event, and the span tree it happened
+    inside all join on one id in post-processing.
 
     Parameters
     ----------
@@ -67,7 +74,7 @@ class RunLogger:
         self.console = Console(enabled=console, stream=stream)
         self._fh = None
         self._epochs = 0
-        self._started = time.time()
+        self._started = time.monotonic()  # duration anchor, never wall clock
         if self.path is not None:
             self.path.parent.mkdir(parents=True, exist_ok=True)
             self._fh = self.path.open(mode)
@@ -77,7 +84,11 @@ class RunLogger:
 
     def log(self, event: str, **fields) -> dict:
         """Append one ``{"event": ..., "ts": ..., **fields}`` record."""
-        record = {"event": event, "ts": time.time(), **fields}
+        record = {"event": event, "ts": time.time(), **fields}  # analyze: allow[RL009] wall timestamp for correlation
+        active = current_span()
+        if active is not None:
+            record.setdefault("trace_id", active.trace_id)
+            record.setdefault("span_id", active.span_id)
         if self._fh is not None:
             self._fh.write(json.dumps(record, allow_nan=True, default=_jsonify) + "\n")
             self._fh.flush()
@@ -95,7 +106,7 @@ class RunLogger:
     def log_summary(self, **fields) -> dict:
         """Record the end-of-run summary (best epoch, totals, ...)."""
         record = self.log("end", epochs=self._epochs,
-                          seconds=time.time() - self._started, **fields)
+                          seconds=time.monotonic() - self._started, **fields)
         if fields:
             parts = " ".join(f"{k} {_fmt(v)}" for k, v in fields.items())
             self.console.print(f"run end: {parts}")

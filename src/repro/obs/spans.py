@@ -1,0 +1,335 @@
+"""Causal span tracing: one tree per request / training step.
+
+The op tracer (:mod:`repro.obs.trace`) answers "which *operation* is
+hot"; spans answer "where did this *request* spend its time".  A span is
+a named interval with a parent, so a full serving round reconstructs as::
+
+    request req-17                      41.8 ms
+    ├── admission                        0.2 ms
+    ├── queue_wait                       8.1 ms
+    ├── batch_assembly                   0.4 ms
+    └── predict                         32.9 ms
+        └── engine_replay               30.1 ms
+
+Two propagation mechanisms, used together:
+
+* **contextvars** — ``with span("epoch"):`` makes the span the implicit
+  parent for anything opened on the same thread/task underneath it (the
+  trainer's epoch → step → validate nesting, and the engine's
+  capture/replay spans).
+* **explicit context capture** — across thread handoffs contextvars do
+  *not* flow, so event-driven code (the ``ForecastServer`` worker
+  thread, queue enqueue/dequeue, batcher merge) holds :class:`Span`
+  objects explicitly and resumes them with ``parent=`` /
+  :func:`use_span` on whatever thread the next stage runs.
+
+Spans only exist while a :class:`SpanCollector` is installed
+(:func:`collect_spans`); otherwise every entry point returns ``None``
+and the hot paths pay one truthiness check.  Timestamps come from
+``perf_counter`` — the same timebase as the op tracer, so
+:meth:`SpanCollector.chrome_events` merges into the op-level Chrome
+trace with correct alignment — and every helper takes an ``at=``
+override for deterministic tests.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import itertools
+import threading
+import time
+from contextvars import ContextVar
+from dataclasses import dataclass, field
+from pathlib import Path
+from time import perf_counter
+
+__all__ = [
+    "Span",
+    "SpanCollector",
+    "collect_spans",
+    "current_span",
+    "finish_span",
+    "is_collecting",
+    "span",
+    "start_span",
+    "use_span",
+]
+
+_IDS = itertools.count(1)
+_CURRENT: ContextVar["Span | None"] = ContextVar("repro_obs_current_span", default=None)
+_COLLECTORS: list["SpanCollector"] = []
+_LOCK = threading.Lock()
+
+
+@dataclass
+class Span:
+    """One named interval in a causal tree.
+
+    ``trace_id`` groups a whole tree (for serving it is the request id);
+    ``parent_id`` is ``None`` exactly at the root.  ``start``/``end`` are
+    ``perf_counter`` seconds; ``end is None`` while the span is open.
+    """
+
+    name: str
+    trace_id: str
+    span_id: str
+    parent_id: str | None
+    start: float
+    end: float | None = None
+    status: str = "ok"
+    thread: str = ""
+    attrs: dict = field(default_factory=dict)
+
+    @property
+    def duration_ms(self) -> float | None:
+        return None if self.end is None else (self.end - self.start) * 1e3
+
+    def to_record(self) -> dict:
+        record = {
+            "event": "span",
+            "name": self.name,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start": self.start,
+            "end": self.end,
+            "duration_ms": self.duration_ms,
+            "status": self.status,
+            "thread": self.thread,
+        }
+        if self.attrs:
+            record["attrs"] = dict(self.attrs)
+        return record
+
+
+def is_collecting() -> bool:
+    """Whether at least one :class:`SpanCollector` is installed."""
+    return bool(_COLLECTORS)
+
+
+def current_span() -> Span | None:
+    """The contextvar-propagated span enclosing the caller (or None)."""
+    return _CURRENT.get()
+
+
+def start_span(
+    name: str,
+    *,
+    parent: Span | None = None,
+    inherit: bool = True,
+    trace_id: str | None = None,
+    attrs: dict | None = None,
+    at: float | None = None,
+) -> Span | None:
+    """Open a span; returns ``None`` when no collector is installed.
+
+    ``parent`` wins over the contextvar current span; pass
+    ``inherit=False`` to force a new root even when a current span
+    exists.  ``trace_id`` defaults to the parent's trace (or a fresh id
+    at a root).  ``at`` backdates the start for event-driven callers
+    that measured the moment before deciding to open the span.
+    """
+    if not _COLLECTORS:
+        return None
+    if parent is None and inherit:
+        parent = _CURRENT.get()
+    span_id = f"s{next(_IDS):06d}"
+    if trace_id is None:
+        trace_id = parent.trace_id if parent is not None else span_id
+    opened = Span(
+        name=name,
+        trace_id=str(trace_id),
+        span_id=span_id,
+        parent_id=parent.span_id if parent is not None else None,
+        start=perf_counter() if at is None else at,
+        thread=threading.current_thread().name,
+        attrs=dict(attrs or {}),
+    )
+    with _LOCK:
+        for collector in _COLLECTORS:
+            collector._on_start(opened)
+    return opened
+
+
+def finish_span(span_obj: Span | None, status: str | None = None,
+                at: float | None = None, **attrs) -> None:
+    """Close a span and report it to every installed collector.
+
+    Safe on ``None`` (no collector was installed at start time) and
+    idempotent (a span already finished stays finished) — event-driven
+    code can defensively close on every exit path.
+    """
+    if span_obj is None or span_obj.end is not None:
+        return
+    span_obj.end = perf_counter() if at is None else at
+    if status is not None:
+        span_obj.status = status
+    if attrs:
+        span_obj.attrs.update(attrs)
+    with _LOCK:
+        for collector in _COLLECTORS:
+            collector._on_finish(span_obj)
+
+
+@contextlib.contextmanager
+def span(name: str, *, parent: Span | None = None, trace_id: str | None = None,
+         attrs: dict | None = None):
+    """Open a span for the enclosed block and make it the current span.
+
+    Yields the :class:`Span` (or ``None`` when nothing is collecting —
+    the block still runs, unobserved).  An escaping exception marks the
+    span ``status="error"`` before re-raising.
+    """
+    opened = start_span(name, parent=parent, trace_id=trace_id, attrs=attrs)
+    if opened is None:
+        yield None
+        return
+    token = _CURRENT.set(opened)
+    try:
+        yield opened
+    except BaseException:
+        _CURRENT.reset(token)
+        finish_span(opened, status="error")
+        raise
+    else:
+        _CURRENT.reset(token)
+        finish_span(opened)
+
+
+@contextlib.contextmanager
+def use_span(span_obj: Span | None):
+    """Reattach an *open* span as the current span on this thread.
+
+    The explicit half of context propagation: a producer thread captures
+    ``Span`` objects (e.g. per queued request), and the consumer thread
+    wraps each stage in ``with use_span(captured):`` so everything it
+    opens nests under the right request.  Does not finish the span.
+    """
+    if span_obj is None:
+        yield None
+        return
+    token = _CURRENT.set(span_obj)
+    try:
+        yield span_obj
+    finally:
+        _CURRENT.reset(token)
+
+
+class SpanCollector:
+    """Thread-safe sink of finished spans with optional JSONL emission.
+
+    Records land in :attr:`records` (insertion order = finish order) and,
+    when ``path`` is given, are appended to a JSONL file one object per
+    span — the stream ``repro.obs.report`` and the ``obs-report`` CLI
+    consume.  Spans still open when the collector closes are flushed
+    with ``status="unfinished"`` and ``end=None`` so a crash mid-request
+    leaves evidence instead of silence.
+    """
+
+    def __init__(self, path: str | Path | None = None, mode: str = "w"):
+        if mode not in ("w", "a"):
+            raise ValueError(f"mode must be 'w' or 'a', got {mode!r}")
+        self.path = Path(path) if path is not None else None
+        self.records: list[dict] = []
+        self._open: dict[str, Span] = {}
+        self._records_lock = threading.Lock()
+        self._fh = None
+        if self.path is not None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = self.path.open(mode)
+
+    # -- collector protocol (called under the module lock) --------------- #
+
+    def _on_start(self, span_obj: Span) -> None:
+        with self._records_lock:
+            self._open[span_obj.span_id] = span_obj
+
+    def _on_finish(self, span_obj: Span) -> None:
+        with self._records_lock:
+            self._open.pop(span_obj.span_id, None)
+            self._write(span_obj.to_record())
+
+    def _write(self, record: dict) -> None:
+        # Callers hold self._records_lock.
+        import json
+
+        record = dict(record)
+        record["ts"] = time.time()  # analyze: allow[RL009] wall timestamp for cross-file correlation
+        self.records.append(record)
+        if self._fh is not None:
+            self._fh.write(json.dumps(record, allow_nan=True) + "\n")
+            self._fh.flush()
+
+    # -- lifecycle ------------------------------------------------------- #
+
+    def install(self) -> "SpanCollector":
+        with _LOCK:
+            if self not in _COLLECTORS:
+                _COLLECTORS.append(self)
+        return self
+
+    def uninstall(self) -> None:
+        with _LOCK:
+            if self in _COLLECTORS:
+                _COLLECTORS.remove(self)
+
+    def close(self) -> None:
+        """Uninstall, flush still-open spans as unfinished, close the file."""
+        self.uninstall()
+        with self._records_lock:
+            for span_obj in self._open.values():
+                record = span_obj.to_record()
+                record["status"] = "unfinished"
+                self._write(record)
+            self._open.clear()
+            if self._fh is not None:
+                self._fh.close()
+                self._fh = None
+
+    # -- export ---------------------------------------------------------- #
+
+    def chrome_events(self, origin: float = 0.0, pid: int = 1) -> list[dict]:
+        """Finished spans as Chrome-trace ``X`` events.
+
+        ``origin`` should be the op tracer's origin (``Tracer.origin``)
+        when merging span and op events into one trace — both timebases
+        are ``perf_counter``, so the alignment is exact.  Spans get one
+        ``tid`` per source thread, offset away from the op tracer's
+        ``tid=1``.
+        """
+        tids: dict[str, int] = {}
+        events = []
+        with self._records_lock:
+            records = list(self.records)
+        for record in records:
+            if record.get("end") is None:
+                continue
+            tid = tids.setdefault(record["thread"], 100 + len(tids))
+            events.append({
+                "name": f"{record['name']} [{record['trace_id']}]",
+                "cat": "span",
+                "ph": "X",
+                "ts": (record["start"] - origin) * 1e6,
+                "dur": (record["end"] - record["start"]) * 1e6,
+                "pid": pid,
+                "tid": tid,
+                "args": {k: record[k] for k in ("trace_id", "span_id", "parent_id", "status")},
+            })
+        return events
+
+    def __enter__(self) -> "SpanCollector":
+        return self.install()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+@contextlib.contextmanager
+def collect_spans(path: str | Path | None = None, mode: str = "w"):
+    """Install a :class:`SpanCollector` for the enclosed region."""
+    collector = SpanCollector(path=path, mode=mode)
+    collector.install()
+    try:
+        yield collector
+    finally:
+        collector.close()

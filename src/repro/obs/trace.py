@@ -259,15 +259,34 @@ class Tracer:
             },
         }
 
-    def chrome_trace(self) -> dict:
-        """Chrome-trace (``chrome://tracing``) JSON object."""
-        return {"traceEvents": list(self.events), "displayTimeUnit": "ms"}
+    @property
+    def origin(self) -> float:
+        """``perf_counter`` instant this trace started (event timebase).
 
-    def export_chrome_trace(self, path: str | Path) -> Path:
-        """Write the Chrome-trace JSON and return its path."""
+        Pass it to :meth:`repro.obs.spans.SpanCollector.chrome_events`
+        so causal spans and op events align in one merged trace.
+        """
+        return self._origin
+
+    def chrome_trace(self, extra_events: list[dict] | None = None) -> dict:
+        """Chrome-trace (``chrome://tracing``) JSON object.
+
+        ``extra_events`` (e.g. span events from a
+        :class:`~repro.obs.spans.SpanCollector`, converted against
+        :attr:`origin`) are merged alongside the op events, so one trace
+        shows request → batch → replay → individual ops.
+        """
+        events = list(self.events)
+        if extra_events:
+            events.extend(extra_events)
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    def export_chrome_trace(self, path: str | Path,
+                            extra_events: list[dict] | None = None) -> Path:
+        """Write the (optionally merged) Chrome-trace JSON; returns the path."""
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
-        atomic_write_text(path, json.dumps(self.chrome_trace()))
+        atomic_write_text(path, json.dumps(self.chrome_trace(extra_events)))
         return path
 
 

@@ -35,7 +35,8 @@ from ..nn.serialization import (
     load_checkpoint,
     state_hash,
 )
-from ..obs import MetricsRegistry
+from ..obs import MetricsRegistry, SLOMonitor
+from ..obs.spans import finish_span, start_span, use_span
 from ..resilience.degrade import output_bound, validate_output
 from .breaker import CircuitBreaker
 from .queueing import MicroBatcher, RequestQueue
@@ -92,6 +93,17 @@ class ForecastServer:
     logger:
         A :class:`~repro.obs.RunLogger` (or None); every admission,
         shed, trip, fallback, and reload event lands in its JSONL.
+    slo:
+        A :class:`~repro.obs.SLOMonitor` evaluated over the response
+        stream (burn-rate transitions land in the log as ``slo_burn``
+        records and in :meth:`health`).  ``None`` (default) builds one
+        from :func:`~repro.obs.default_serving_objectives` on the
+        server's clock; ``False`` disables SLO monitoring entirely.
+    slo_ready_gate:
+        When True, :meth:`ready` also reports not-ready while any
+        objective's *fast-burn* alert is firing, so an orchestrator
+        stops routing new traffic at a latency/error cliff.  Off by
+        default (readiness stays purely lifecycle-based).
     clock:
         Monotonic time source shared with deadlines and the breaker;
         injectable for deterministic tests.
@@ -131,6 +143,8 @@ class ForecastServer:
         clock=time.monotonic,
         shape_check: bool = True,
         compile: bool = False,
+        slo: SLOMonitor | None | bool = None,
+        slo_ready_gate: bool = False,
     ):
         self.task = task
         self.spec = RequestSpec.for_task(task, drift_factor=drift_factor)
@@ -163,6 +177,19 @@ class ForecastServer:
 
             raise ModelShapeError(errors)
 
+        if slo is None:
+            slo = SLOMonitor(clock=clock, logger=logger, metrics=self.metrics)
+        self.slo = slo if slo is not False else None
+        self._slo_ready_gate = slo_ready_gate
+
+        # Causal spans (repro.obs.spans): contextvars cannot cross the
+        # submit-thread → worker-thread handoff, so open Span objects are
+        # captured here per request id and resumed stage by stage on
+        # whichever thread dequeues the request.  No-ops (None entries
+        # are never stored) unless a SpanCollector is installed.
+        self._request_spans: dict[str, dict] = {}
+        self._span_lock = threading.Lock()
+
         self._responses: list[ForecastResponse] = []
         self._responses_lock = threading.Lock()
         self._worker: threading.Thread | None = None
@@ -193,19 +220,46 @@ class ForecastServer:
 
             raise ServiceOverloadedError(len(self.queue), self.queue.max_depth,
                                          detail="server is draining")
+        # Span timebase is perf_counter (same as the op tracer), captured
+        # before validation so the root span covers the whole front door.
+        arrived = time.perf_counter()
         try:
             request = validate_request(payload, self.spec, now=now)
         except Exception as exc:
             self.metrics.counter("serve.rejected").inc()
             code = getattr(exc, "code", "invalid")
             self._log("request_rejected", code=code, detail=str(exc))
+            requested_id = payload.get("id") if isinstance(payload, dict) else None
+            root = start_span("request", parent=None, inherit=False, at=arrived,
+                              trace_id=str(requested_id) if requested_id else None)
+            admission = start_span("admission", parent=root, inherit=False, at=arrived)
+            finish_span(admission, status="error", code=code)
+            finish_span(root, status="rejected", code=code)
             raise
+        root = start_span("request", parent=None, inherit=False, at=arrived,
+                          trace_id=request.request_id,
+                          attrs={"deadline": request.deadline})
+        admission = start_span("admission", parent=root, inherit=False, at=arrived)
+        finish_span(admission)
+        # The queue_wait span and the request-spans entry MUST exist
+        # before queue.put: the worker thread can dequeue and answer the
+        # request the instant it lands, and it resumes the captured spans.
+        queue_span = start_span("queue_wait", parent=root, inherit=False,
+                                attrs={"queue_depth": len(self.queue)})
+        if root is not None:
+            with self._span_lock:
+                self._request_spans[request.request_id] = {
+                    "root": root, "queue": queue_span,
+                }
         try:
             purged = self.queue.put(request, now)
         except Exception as exc:
             self.metrics.counter("serve.shed").inc()
             self._log("request_shed", request_id=request.request_id,
                       stage="admission", detail=str(exc))
+            entry = self._span_pop(request.request_id)
+            finish_span(entry.get("queue"), status="error")
+            finish_span(entry.get("root"), status="rejected", detail=str(exc))
             raise
         for dead in purged:
             self._shed(dead, now, stage="purged_on_admission")
@@ -225,12 +279,18 @@ class ForecastServer:
         """
         now = self._now(now)
         admitted, shed = self.queue.next_batch(self.batcher.max_batch, now)
+        # Dequeue happens here, possibly on the worker thread: resume the
+        # captured queue_wait spans and close them at the handoff point.
+        for request in admitted:
+            finish_span(self._span_entry(request.request_id).get("queue"))
         self.metrics.gauge("serve.queue_depth").set(len(self.queue))
         produced: list[ForecastResponse] = []
         for dead in shed:
             produced.append(self._shed(dead, now, stage="dequeue"))
         for group in self.batcher.groups(admitted):
             produced.extend(self._serve_batch(group, now))
+        if self.slo is not None and produced:
+            self.slo.evaluate(now)
         return produced
 
     def drain(self, now: float | None = None) -> list[ForecastResponse]:
@@ -249,8 +309,20 @@ class ForecastServer:
     # -- batch serving -------------------------------------------------- #
 
     def _serve_batch(self, batch: list[ForecastRequest], now: float) -> list[ForecastResponse]:
+        roots = [self._span_entry(r.request_id).get("root") for r in batch]
+        assembly = self._stage_spans(roots, "batch_assembly", batch=len(batch))
+        x, t = self.batcher.collate(batch)
+        for sp in assembly:
+            finish_span(sp)
         if self.breaker.allow(now):
-            prediction, failure, elapsed = self._model_predict(batch)
+            predict_spans = self._stage_spans(
+                roots, "predict", batch=len(batch), breaker=self.breaker.state)
+            anchor = next((sp for sp in predict_spans if sp is not None), None)
+            with use_span(anchor):
+                prediction, failure, elapsed = self._model_predict(x, t, len(batch))
+            for sp in predict_spans:
+                finish_span(sp, status="ok" if failure is None else "error",
+                            elapsed_s=elapsed)
             if self.batch_timeout is not None and elapsed > self.batch_timeout and failure is None:
                 # Output is usable but the model is too slow to meet
                 # deadlines — feed the breaker so persistent slowness
@@ -271,13 +343,15 @@ class ForecastServer:
                     for i, r in enumerate(batch)]
         self._log("fallback_served", reason=failure, batch=len(batch),
                   breaker_state=self.breaker.state)
+        fallback_spans = self._stage_spans(roots, "fallback", reason=failure)
         fallback = self._fallback_predict(batch)
+        for sp in fallback_spans:
+            finish_span(sp)
         return [self._respond(r, fallback[i], "historical_average", failure, now)
                 for i, r in enumerate(batch)]
 
-    def _model_predict(self, batch: list[ForecastRequest]):
+    def _model_predict(self, x: np.ndarray, t: np.ndarray, batch_size: int):
         """(prediction | None, failure_reason | None, elapsed_seconds)."""
-        x, t = self.batcher.collate(batch)
         started = time.perf_counter()
         try:
             with self._model_lock, no_grad():
@@ -292,7 +366,7 @@ class ForecastServer:
         elapsed = time.perf_counter() - started
         if reason is not None:
             return None, reason, elapsed
-        self.metrics.histogram("serve.batch_size").observe(len(batch))
+        self.metrics.histogram("serve.batch_size").observe(batch_size)
         return prediction, None, elapsed
 
     def _fallback_predict(self, batch: list[ForecastRequest]) -> np.ndarray:
@@ -318,6 +392,12 @@ class ForecastServer:
         )
         self.metrics.counter(f"serve.{'fallback' if degraded else 'model'}").inc()
         self.metrics.histogram("serve.latency_ms").observe(response.latency_ms)
+        if self.slo is not None:
+            self.slo.observe(response.latency_ms, failure=degraded, now=now)
+        entry = self._span_pop(request.request_id)
+        finish_span(entry.get("queue"))  # defensive: normally closed at dequeue
+        finish_span(entry.get("root"), status="ok" if not degraded else "degraded",
+                    source=source, latency_ms=response.latency_ms)
         with self._responses_lock:
             self._responses.append(response)
         return response
@@ -336,6 +416,11 @@ class ForecastServer:
             deadline_missed=True,
             metadata=request.metadata,
         )
+        if self.slo is not None:
+            self.slo.observe(response.latency_ms, failure=True, now=now)
+        entry = self._span_pop(request.request_id)
+        finish_span(entry.get("queue"), status="shed")
+        finish_span(entry.get("root"), status="shed", stage=stage)
         with self._responses_lock:
             self._responses.append(response)
         return response
@@ -373,18 +458,33 @@ class ForecastServer:
     def health(self) -> dict:
         """Liveness probe: one JSON-ready snapshot of serving state."""
         snap = self.metrics.snapshot()
+        statuses = self.slo.evaluate(self._now(None)) if self.slo is not None else []
+        degraded = self.breaker.state != "closed" or any(not s.ok for s in statuses)
         return {
-            "status": "degraded" if self.breaker.state != "closed" else "ok",
+            "status": "degraded" if degraded else "ok",
             "breaker": self.breaker.state,
             "queue_depth": len(self.queue),
             "model_version": self._model_version,
             "uptime_s": self._now(None) - self._started_at,
+            "slo": [s.to_dict() for s in statuses],
             "counters": snap["counters"],
         }
 
     def ready(self) -> bool:
-        """Readiness probe: accepting traffic (not stopped/draining)."""
-        return not (self._draining or self._stop_event.is_set())
+        """Readiness probe: accepting traffic (not stopped/draining).
+
+        With ``slo_ready_gate=True``, a firing *fast-burn* alert on any
+        objective also reports not-ready: the error budget is burning fast
+        enough that routing more traffic here only deepens the incident.
+        Slow burn alone never flips readiness — it pages, it doesn't shed.
+        """
+        if self._draining or self._stop_event.is_set():
+            return False
+        if self._slo_ready_gate and self.slo is not None:
+            statuses = self.slo.evaluate(self._now(None))
+            if any("fast_burn" in s.firing for s in statuses):
+                return False
+        return True
 
     # -- warm reload ---------------------------------------------------- #
 
@@ -403,6 +503,8 @@ class ForecastServer:
         ``checkpoint_rejected`` record is logged; on success the live
         model is swapped under the model lock between batches.
         """
+        reload_span = start_span("reload", parent=None, inherit=False,
+                                 attrs={"path": str(path)})
         try:
             candidate = self._model_factory()
             metadata = load_checkpoint(path, candidate)
@@ -411,12 +513,15 @@ class ForecastServer:
             self._log("checkpoint_rejected", path=str(path), reason=exc.reason,
                       expected_hash=exc.expected, actual_hash=exc.actual,
                       live_model_version=self._model_version)
+            finish_span(reload_span, status="rejected", reason=exc.reason)
             return False
         except Exception as exc:
             self.metrics.counter("serve.reload_rejected").inc()
             self._log("checkpoint_rejected", path=str(path),
                       reason=f"{type(exc).__name__}: {exc}",
                       live_model_version=self._model_version)
+            finish_span(reload_span, status="rejected",
+                        reason=f"{type(exc).__name__}")
             return False
         shape_errors = self._shape_errors(candidate)
         if shape_errors:
@@ -425,6 +530,8 @@ class ForecastServer:
                       reason="static shape check failed",
                       findings=[f.to_dict() for f in shape_errors],
                       live_model_version=self._model_version)
+            finish_span(reload_span, status="rejected",
+                        reason="static shape check failed")
             return False
         version = self._version_of(candidate)
         with self._model_lock:
@@ -434,6 +541,8 @@ class ForecastServer:
         self.metrics.counter("serve.reloads").inc()
         self._log("model_reloaded", path=str(path), old_version=old,
                   new_version=version, metadata=metadata)
+        finish_span(reload_span, status="ok", old_version=old,
+                    new_version=version)
         return True
 
     # -- plumbing ------------------------------------------------------- #
@@ -490,6 +599,21 @@ class ForecastServer:
             return state_hash(dict(model.state_dict()))[:12]
         except Exception:
             return "unhashable"
+
+    def _span_entry(self, request_id: str) -> dict:
+        """Captured spans for a live request ({} when tracing is off)."""
+        with self._span_lock:
+            return self._request_spans.get(request_id, {})
+
+    def _span_pop(self, request_id: str) -> dict:
+        with self._span_lock:
+            return self._request_spans.pop(request_id, {})
+
+    def _stage_spans(self, roots: list, name: str, **attrs) -> list:
+        """One child stage span per request root (None where untraced)."""
+        return [start_span(name, parent=root, inherit=False, attrs=attrs)
+                if root is not None else None
+                for root in roots]
 
     def _now(self, now: float | None) -> float:
         return self._clock() if now is None else now

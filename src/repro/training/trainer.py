@@ -33,6 +33,7 @@ from ..data.datasets import ForecastingTask
 from ..metrics.errors import MetricReport, NonFiniteMetricError, evaluate, horizon_report
 from ..nn import Adam, Module, MultiStepLR, clip_grad_norm
 from ..obs import GraphWatch, RunLogger
+from ..obs.spans import finish_span, start_span, use_span
 
 
 class DivergenceDetected(RuntimeError):
@@ -275,9 +276,21 @@ class Trainer:
             loss.backward()
             return loss, error, time_loss
 
+        # Causal spans (repro.obs.spans): one "fit" root with
+        # epoch → step/validate/checkpoint children; strict no-ops unless
+        # a SpanCollector is installed.  ``epoch_span`` is captured by the
+        # checkpoint closure so a mid-epoch save nests correctly.
+        fit_span = start_span("fit", attrs={
+            "task": task.name, "model": type(model).__name__,
+            "compile": bool(do_compile)})
+        epoch_span = None
+
         def save_checkpoint(next_epoch: int) -> None:
             from ..resilience.checkpoint import TrainingCheckpoint, save_training_checkpoint
 
+            ckpt_span = start_span(
+                "checkpoint", parent=epoch_span if epoch_span is not None else fit_span,
+                inherit=False, attrs={"epoch": next_epoch})
             save_training_checkpoint(ckpt_path, TrainingCheckpoint(
                 epoch=next_epoch,
                 model_state=model.state_dict(),
@@ -290,6 +303,7 @@ class Trainer:
                 metadata={"task": task.name, "model": type(model).__name__,
                           "seed": cfg.seed},
             ))
+            finish_span(ckpt_span)
             logger.log("checkpoint", epoch=next_epoch, path=str(ckpt_path))
 
         # A pristine epoch-0 checkpoint guarantees rollback always has a
@@ -299,6 +313,8 @@ class Trainer:
 
         try:
             for epoch in range(start_epoch, cfg.epochs):
+                epoch_span = start_span("epoch", parent=fit_span,
+                                        inherit=False, attrs={"epoch": epoch})
                 start = time.perf_counter()
                 model.train()
                 probability = cfg.sampling_probability(epoch)
@@ -314,28 +330,35 @@ class Trainer:
                         x = augmenter(x)
                     watch.observe_batch(x, t)
                     optimizer.zero_grad()
-                    if engine is not None:
-                        loss, error, time_loss = engine.run(
-                            compiled_step, Tensor(x), Tensor(y), t,
-                            key=(getattr(model, "scheduled_sampling", 0.0) > 0.0,))
-                        if time_loss is not None:
-                            epoch_time_loss += time_loss.item()
-                    else:
-                        if getattr(model, "scheduled_sampling", 0.0) > 0.0:
-                            prediction = model(Tensor(x), t, targets=Tensor(y))
+                    step_span = start_span("step", parent=epoch_span,
+                                           inherit=False,
+                                           attrs={"epoch": epoch, "batch": batches})
+                    # use_span makes the step the contextvar parent so the
+                    # engine's capture/replay spans nest underneath it.
+                    with use_span(step_span):
+                        if engine is not None:
+                            loss, error, time_loss = engine.run(
+                                compiled_step, Tensor(x), Tensor(y), t,
+                                key=(getattr(model, "scheduled_sampling", 0.0) > 0.0,))
+                            if time_loss is not None:
+                                epoch_time_loss += time_loss.item()
                         else:
-                            prediction = model(Tensor(x), t)
-                        error = cfg.error_loss(prediction, Tensor(y))
-                        loss = error
-                        if discrepancy is not None:
-                            time_loss = discrepancy(t)
-                            loss = error + cfg.lambda_time * time_loss
-                            epoch_time_loss += time_loss.item()
-                        loss.backward()
+                            if getattr(model, "scheduled_sampling", 0.0) > 0.0:
+                                prediction = model(Tensor(x), t, targets=Tensor(y))
+                            else:
+                                prediction = model(Tensor(x), t)
+                            error = cfg.error_loss(prediction, Tensor(y))
+                            loss = error
+                            if discrepancy is not None:
+                                time_loss = discrepancy(t)
+                                loss = error + cfg.lambda_time * time_loss
+                                epoch_time_loss += time_loss.item()
+                            loss.backward()
                     if fault_hook is not None:
                         fault_hook("after_backward", model=model, epoch=epoch, batch=batches)
                     grad_norm = clip_grad_norm(model.parameters(), cfg.grad_clip)
                     loss_value = loss.item()
+                    finish_span(step_span, loss=loss_value, grad_norm=grad_norm)
                     if sentinel is not None:
                         # Checked before the step so flagged gradients
                         # never reach the parameters.
@@ -355,12 +378,16 @@ class Trainer:
                 history.grad_norms.append(epoch_grad_norm / denominator)
                 history.epoch_seconds.append(time.perf_counter() - start)
 
+                val_span = start_span("validate", parent=epoch_span,
+                                      inherit=False, attrs={"epoch": epoch})
                 try:
                     val_mae = self.validate(model, task)
                 except NonFiniteMetricError as exc:
+                    finish_span(val_span, status="error")
                     if sentinel is not None:
                         raise DivergenceDetected("nonfinite_validation", epoch) from exc
                     raise
+                finish_span(val_span, val_mae=val_mae)
                 history.val_maes.append(val_mae)
                 logger.log_epoch(
                     epoch,
@@ -393,6 +420,8 @@ class Trainer:
                     save_checkpoint(epoch + 1)
                 if fault_hook is not None:
                     fault_hook("epoch_end", model=model, epoch=epoch)
+                finish_span(epoch_span, train_loss=history.train_losses[-1],
+                            val_mae=val_mae)
                 if history.stopped_early:
                     break
 
@@ -405,7 +434,14 @@ class Trainer:
                 epochs_run=history.epochs_run,
                 stopped_early=history.stopped_early,
             )
+            finish_span(fit_span, epochs_run=history.epochs_run,
+                        best_val_mae=history.best_val_mae)
         finally:
+            # Idempotent: on the happy path the span is already closed; an
+            # escaping exception (divergence, crash injection) closes it
+            # here as an error while interrupted epoch/step spans flush as
+            # "unfinished" when the collector shuts down.
+            finish_span(fit_span, status="error")
             if owns_logger:
                 logger.close()
         model.load_state_dict(best_state)

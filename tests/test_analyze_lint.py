@@ -73,6 +73,38 @@ class TestClockRule:
         assert [f.location.split("/")[-1] for f in findings] == ["worker.py:2"]
 
 
+class TestWallClockLatencyRule:
+    def test_rl009_flags_time_time_outside_clock_seams(self, tmp_path):
+        source = (
+            "import time\n"
+            "start = time.time()\n"
+            "elapsed = time.time() - start\n"
+        )
+        findings = _lint_source(tmp_path, source, name="training.py",
+                                rules=["RL009"])
+        assert [f.location.split(":")[-1] for f in findings] == ["2", "3"]
+
+    def test_rl009_allows_monotonic_and_annotated_timestamps(self, tmp_path):
+        source = (
+            "import time\n"
+            "start = time.monotonic()\n"
+            "dur = time.perf_counter() - start\n"
+            "ts = time.time()  # analyze: allow[RL009] wall timestamp\n"
+        )
+        findings = _lint_source(tmp_path, source, rules=["RL009"])
+        assert findings == []
+
+    def test_rl009_defers_to_rl004_inside_clock_seam_modules(self, tmp_path):
+        # serve/ and resilience/ are RL004 territory; RL009 must not
+        # double-flag the same call there.
+        (tmp_path / "serve").mkdir()
+        (tmp_path / "serve" / "worker.py").write_text(
+            "import time\nnow = time.time()\n")
+        assert lint_paths([tmp_path], rules=["RL009"]) == []
+        both = lint_paths([tmp_path], rules=["RL004", "RL009"])
+        assert [f.rule_id for f in both] == ["RL004"]
+
+
 class TestExceptionRules:
     def test_rl005_bare_except(self, tmp_path):
         findings = _lint_source(tmp_path, "try:\n    pass\nexcept:\n    raise\n")
@@ -216,7 +248,7 @@ class TestRepoIsClean:
 
     def test_rule_registry_is_documented(self):
         rules = registered_rules()
-        assert set(rules) >= {f"RL00{i}" for i in range(1, 9)}
+        assert set(rules) >= {f"RL00{i}" for i in range(1, 10)}
         for r in rules.values():
             assert r.description and r.fix_hint
 

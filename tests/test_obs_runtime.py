@@ -52,6 +52,15 @@ class TestMetricsRegistry:
         with pytest.raises(ValueError):
             h.quantile(1.5)
 
+    def test_histogram_single_sample_and_percentiles(self):
+        h = MetricsRegistry().histogram("lat")
+        assert all(math.isnan(v) for v in h.percentiles().values())
+        h.observe(42.0)
+        assert h.quantile(0.0) == 42.0
+        assert h.quantile(0.5) == 42.0
+        assert h.quantile(1.0) == 42.0
+        assert h.percentiles() == {"p50": 42.0, "p95": 42.0, "p99": 42.0}
+
     def test_histogram_sample_window_is_bounded(self):
         h = MetricsRegistry().histogram("lat")
         h.sample_size = 8
