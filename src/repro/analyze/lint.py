@@ -14,6 +14,10 @@ RL008   error     class attribute written both inside and outside its lock
 RL009   error     ``time.time()`` outside the clock-seam modules (wall-clock
                   discipline: durations must use monotonic sources; real
                   timestamps carry an ``allow[RL009]`` note saying so)
+RL010   error     hand-rolled retry loop (``for _ in range``/``while`` +
+                  inline ``sleep`` around a ``try``) outside
+                  ``repro.resilience`` — retries must use the
+                  ``resilience.backoff`` seam
 ======  ========  =====================================================
 
 A finding on line *L* is suppressed by ``# analyze: allow[RL00x]`` on *L*
@@ -253,6 +257,63 @@ def _check_wall_clock_latency(ctx: FileContext) -> Iterator[tuple[int, str]]:
                 "time.time() in a potential latency path; use a monotonic "
                 "source for durations or mark the call as a timestamp"
             )
+
+
+# --------------------------------------------------------------------- #
+# retry discipline
+# --------------------------------------------------------------------- #
+
+#: the package that owns the retry/backoff seam (exempt from RL010)
+RETRY_SEAM_EXEMPT = ("resilience/",)
+
+
+@rule(
+    "RL010",
+    "hand-rolled-retry-loop",
+    "error",
+    "retry loop sleeps inline instead of using the jittered-backoff seam; "
+    "fixed delays synchronize retries into thundering herds and cannot be "
+    "tested without real sleeping",
+    "route the loop through resilience.backoff (retry_call, or Backoff's "
+    "delay()/wait() with injected sleep/rng); annotate deliberate "
+    "exceptions with '# analyze: allow[RL010]'",
+)
+def _check_hand_rolled_retry(ctx: FileContext) -> Iterator[tuple[int, str]]:
+    if ctx.in_any(RETRY_SEAM_EXEMPT):
+        return  # the seam itself
+    seen: set[int] = set()
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, (ast.For, ast.While)):
+            continue
+        sleeps = [
+            child
+            for child in ast.walk(node)
+            if isinstance(child, ast.Call)
+            and _dotted(child.func).split(".")[-1] == "sleep"
+        ]
+        if not sleeps:
+            continue
+        # A retry loop either swallows failures inline (try inside the
+        # loop) or counts attempts (for ... in range(...)).  Plain
+        # poll/wait loops — while + sleep with no exception handling —
+        # are not retries and stay legal.
+        has_try = any(isinstance(child, ast.Try) for child in ast.walk(node))
+        counted = (
+            isinstance(node, ast.For)
+            and isinstance(node.iter, ast.Call)
+            and _dotted(node.iter.func).split(".")[-1] == "range"
+        )
+        if not (has_try or counted):
+            continue
+        lineno = min(s.lineno for s in sleeps)
+        if lineno in seen:
+            continue
+        seen.add(lineno)
+        shape = "for-range" if counted else "while"
+        yield lineno, (
+            f"hand-rolled {shape} retry loop with inline sleep; use the "
+            "resilience.backoff seam (jittered, injectable)"
+        )
 
 
 # --------------------------------------------------------------------- #

@@ -1,5 +1,5 @@
 """Command-line interface: train, evaluate, compare, inspect, profile,
-verify, chaos, serve, bench-serve, obs-report.
+verify, chaos, serve, serve-fleet, bench-serve, obs-report.
 
 Usage::
 
@@ -12,7 +12,9 @@ Usage::
     python -m repro.cli verify              # correctness harness outside pytest
     python -m repro.cli chaos               # fault-injection recovery smoke
     python -m repro.cli serve               # serving-layer containment smoke
+    python -m repro.cli serve-fleet         # sharded-fleet chaos smoke
     python -m repro.cli bench-serve         # serving throughput/latency bench
+    python -m repro.cli bench-serve --fleet # fleet load ramp (max QPS under SLO)
     python -m repro.cli obs-report --spans spans.jsonl   # span-tree analysis
 
 Every command accepts ``--nodes/--days/--seed`` to control the synthetic
@@ -720,12 +722,374 @@ def cmd_serve(args) -> int:
     return 1 if failures else 0
 
 
+def cmd_serve_fleet(args) -> int:
+    """Fleet chaos smoke: prove failure containment above one server.
+
+    A thread-driven :class:`~repro.serve.ForecastFleet` (graph-partition
+    sharding, consistent-hash routing, retries, hedging, N-1 rolling
+    reloads) on a tiny task, walked through the scenarios in
+    docs/serving.md: healthy traffic, a replica crash mid-batch, a
+    one-shard brownout via :class:`~repro.serve.SlowModel`, degraded
+    health aggregation, rolling reload with a corrupt checkpoint, and
+    the N-1 refusal.  Exit 0 only if every answer is a model output or a
+    *marked* fallback — zero wrong answers — and every request is
+    answered or explicitly shed.
+    """
+    import time as _time
+    from pathlib import Path
+
+    from .obs import RunLogger
+    from .resilience import Backoff, corrupt_checkpoint
+    from .serve import CircuitBreaker, ForecastFleet, SlowModel
+    from .verify import named_rng
+
+    console = _console(args)
+    task = _load(args)
+
+    def tgcrn_for(sub_task, name):
+        return TGCRN(**default_tgcrn_kwargs(sub_task, hidden_dim=args.hidden,
+                                            node_dim=args.node_dim,
+                                            time_dim=args.time_dim,
+                                            num_layers=args.layers),
+                     rng=named_rng(args.seed, name))
+
+    # Partition on a learned-style adjacency: the TagSL static backbone
+    # of a full-graph model (random-init here — the smoke exercises the
+    # partition path, not forecast quality).
+    from .graph import learned_adjacency, partition_nodes
+
+    adjacency = learned_adjacency(tgcrn_for(task, "fleet-partition-model"))
+    partition = partition_nodes(adjacency, args.shards)
+
+    slow_models: dict[str, SlowModel] = {}
+
+    def factory(sub_task, shard_id, replica_id):
+        wrapped = SlowModel(tgcrn_for(sub_task, f"fleet-{replica_id}"), delay=0.0)
+        slow_models[replica_id] = wrapped
+        return wrapped
+
+    logger = None
+    if args.log_jsonl:
+        logger = RunLogger(path=args.log_jsonl, console=False,
+                           metadata={"command": "serve-fleet",
+                                     "dataset": args.dataset})
+    collector = None
+    if getattr(args, "spans_jsonl", None):
+        from .obs import SpanCollector
+
+        collector = SpanCollector(path=args.spans_jsonl).install()
+    fleet = ForecastFleet(
+        task, factory,
+        num_shards=args.shards, replicas_per_shard=args.replicas,
+        partition=partition,
+        queue_depth=args.queue_depth, max_batch=args.max_batch,
+        max_attempts=3, backoff=Backoff(base=0.01, max_delay=0.1),
+        replica_timeout=args.replica_timeout, hedge_after=args.hedge_after,
+        breaker_factory=lambda rid: CircuitBreaker(
+            failure_threshold=3, cooldown=0.5),
+        logger=logger,
+    )
+    fleet.start()
+    failures = 0
+    collected = []
+
+    def payload(i, tag, **extra):
+        j = i % len(task.test)
+        return {"window": task.test.inputs[j],
+                "time_index": task.test.time_indices[j],
+                "id": f"{tag}-{i}", **extra}
+
+    def await_responses(expected, timeout=20.0):
+        stop_at = _time.monotonic() + timeout
+        while len(collected) < expected and _time.monotonic() < stop_at:
+            collected.extend(fleet.take_responses())
+            _time.sleep(0.005)
+        collected.extend(fleet.take_responses())
+
+    def check(ok, label):
+        nonlocal failures
+        console.print(f"  {'ok  ' if ok else 'FAIL'} {label}")
+        failures += 0 if ok else 1
+
+    def contained(responses):
+        """True when every response is a model answer, a *marked*
+        fallback, or an explicit shed — never silence, never an
+        unmarked degraded prediction (the zero-wrong-answers bar)."""
+        for r in responses:
+            if r.source == "shed":
+                if r.prediction is not None:
+                    return False
+            elif r.prediction is None or not np.all(np.isfinite(r.prediction)):
+                return False
+            elif (r.source != "model") != r.degraded:
+                return False
+        return True
+
+    console.print(
+        f"fleet smoke: {task.num_nodes} nodes -> {args.shards} shards x "
+        f"{args.replicas} replicas, cut fraction "
+        f"{fleet.partition.cut_fraction:.3f}")
+
+    # 1. healthy traffic: every shard answers from its model
+    n1 = args.requests
+    for i in range(n1):
+        fleet.submit(payload(i, "healthy"))
+    await_responses(n1)
+    healthy = [r for r in collected if r.request_id.startswith("healthy-")]
+    check(len(healthy) == n1 and all(r.source == "model" for r in healthy),
+          f"{len(healthy)}/{n1} healthy requests answered entirely by models")
+
+    # 2. replica crash mid-batch: the victim wedges (accepts work,
+    #    answers nothing), then dies holding requests — everything it
+    #    swallowed must fail over, nothing may go unanswered
+    n2 = args.requests
+    victim = fleet.replicas[0]
+    victim.pause()
+    for i in range(n2 // 2):
+        fleet.submit(payload(i, "crash"))
+    _time.sleep(0.1)  # let the router hand sub-requests to the wedged replica
+    victim.kill()     # ... which now dies holding them
+    for i in range(n2 // 2, n2):
+        fleet.submit(payload(i, "crash"))
+    await_responses(n1 + n2)
+    crash = [r for r in collected if r.request_id.startswith("crash-")]
+    failovers = int(fleet.metrics.counter("fleet.failovers").value)
+    check(len(crash) == n2 and contained(crash) and failovers >= 1,
+          f"{len(crash)}/{n2} answered across the crash of {victim.id} "
+          f"(failovers={failovers}, "
+          f"retries={int(fleet.metrics.counter('fleet.retries').value)})")
+
+    # 3. one-shard brownout: SlowModel on every replica of the last shard
+    brown_shard = fleet.shards[-1]
+    for rep in brown_shard.replicas:
+        slow_models[rep.id].delay = args.brownout_delay
+    n3 = args.requests
+    deadline_s = args.brownout_deadline
+    t0 = _time.monotonic()
+    for i in range(n3):
+        fleet.submit(payload(i, "brown", deadline=_time.monotonic() + deadline_s))
+    await_responses(n1 + n2 + n3)
+    tail = _time.monotonic() - t0
+    for rep in brown_shard.replicas:
+        slow_models[rep.id].delay = 0.0
+    brown = [r for r in collected if r.request_id.startswith("brown-")]
+    answered = [r for r in brown if r.source != "shed"]
+    check(len(brown) == n3 and contained(brown),
+          f"{len(brown)}/{n3} answered-or-shed through shard-"
+          f"{brown_shard.shard_id} brownout ({len(answered)} answered, "
+          f"{n3 - len(answered)} shed)")
+    bound = deadline_s + args.brownout_delay + 2.0
+    check(tail < bound,
+          f"brownout tail bounded: {tail:.2f}s for {n3} requests < {bound:.2f}s")
+
+    # 4. fleet health: degraded (a replica is dead) but still available
+    health = fleet.health()
+    check(health["status"] in ("degraded", "ok") and fleet.ready(),
+          f"fleet {health['status']} and ready with {victim.id} down "
+          "(every shard keeps a live replica)")
+
+    # 5. rolling reload under light load: corrupt candidate rejected,
+    #    the swap never drops a shard below N-1
+    ckpt_dir = Path(args.checkpoint_dir)
+    ckpt_dir.mkdir(parents=True, exist_ok=True)
+    victim.revive()
+    victim.resume()  # un-wedge too, or it sits routable-but-silent forever
+    checkpoints = {}
+    for shard in fleet.shards:
+        sub_task = task.node_subset(shard.nodes)
+        fresh = tgcrn_for(sub_task, f"fleet-reload-s{shard.shard_id}")
+        path = str(ckpt_dir / f"shard{shard.shard_id}.npz")
+        save_checkpoint(path, fresh)
+        checkpoints[shard.shard_id] = path
+    corrupt_checkpoint(checkpoints[fleet.shards[-1].shard_id], mode="truncate")
+    for i in range(args.requests):
+        fleet.submit(payload(i, "reload"))
+    versions_before = {r.id: r.server.model_version for r in fleet.replicas}
+    records = fleet.rolling_reload(checkpoints)
+    await_responses(n1 + n2 + n3 + args.requests)
+    good = [r for r in records if r["action"] == "reloaded"]
+    bad = [r for r in records if r["action"] == "rejected"]
+    check(len(good) == (args.shards - 1) * args.replicas
+          and all(r["available_during"] >= 1 for r in records),
+          f"rolling reload swapped {len(good)} replica(s), never below N-1")
+    last = [r.id for r in fleet.shards[-1].replicas]
+    check(len(bad) == args.replicas
+          and all(fleet.replica(rid).server.model_version == versions_before[rid]
+                  for rid in last),
+          f"corrupt checkpoint rejected on {len(bad)} replica(s); "
+          "old models kept serving")
+    reloads = [r for r in collected if r.request_id.startswith("reload-")]
+    check(len(reloads) == args.requests and contained(reloads),
+          f"{len(reloads)}/{args.requests} requests answered during the reload")
+
+    # 6. N-1 floor: with one replica left in a shard, reload is refused
+    spare = fleet.shards[0]
+    for rep in spare.replicas[1:]:
+        rep.kill()
+    refused = fleet.rolling_reload({spare.shard_id: checkpoints[spare.shard_id]})
+    check(any(r["action"] == "refused" for r in refused)
+          and all(r["action"] in ("refused", "skipped") for r in refused),
+          f"reload refused for the last replica of shard {spare.shard_id} "
+          "(structured N-1 refusal; dead replicas skipped)")
+    for rep in spare.replicas[1:]:
+        rep.revive()
+
+    fleet.stop(drain=True)
+    if collector is not None:
+        # 7. every fleet request produced one complete router->replica tree
+        collector.close()
+        from .obs.report import assemble_traces, check_fleet_traces
+
+        trees = assemble_traces(collector.records)
+        tcheck = check_fleet_traces(trees)
+        check(tcheck.ok and tcheck.total > 0,
+              f"{tcheck.complete}/{tcheck.total} fleet span trees complete "
+              f"({tcheck.orphan_spans} orphan, {tcheck.unfinished_spans} "
+              f"unfinished span(s))")
+        console.print(f"  spans written to {args.spans_jsonl} "
+                      f"({len(collector.records)} spans)")
+    if logger is not None:
+        logger.close()
+    health = fleet.health()
+    latency = fleet.metrics.histogram("fleet.latency_ms")
+    console.print(f"\nhealth: {health['status']}  "
+                  f"shards {[(s['shard_id'], s['healthy_replicas']) for s in health['shards']]}")
+    console.print(f"latency p50 {latency.quantile(0.5):.2f}ms  "
+                  f"p95 {latency.quantile(0.95):.2f}ms  over {latency.count} responses")
+    console.print(f"counters: { {k: int(v) for k, v in health['counters'].items()} }")
+    console.print(f"\nserve-fleet: {'FAILED' if failures else 'PASSED'}")
+    return 1 if failures else 0
+
+
+def _bench_fleet(args, console, task) -> int:
+    """Closed-loop load generator against a ForecastFleet.
+
+    Ramps offered concurrency level by level; each level keeps a fixed
+    number of requests in flight (closed loop: a completion immediately
+    funds the next submission) and reports p50/p95/p99 latency,
+    throughput, and the degraded/shed rate.  The headline is
+    ``max_sustainable_qps``: the highest measured throughput among
+    levels that still meet the latency SLO with essentially no sheds.
+    """
+    import json as _json
+    import time as _time
+
+    from .resilience import Backoff
+    from .serve import FleetOverloadedError, ForecastFleet
+    from .verify import named_rng
+
+    def factory(sub_task, shard_id, replica_id):
+        return TGCRN(**default_tgcrn_kwargs(sub_task, hidden_dim=args.hidden,
+                                            node_dim=args.node_dim,
+                                            time_dim=args.time_dim,
+                                            num_layers=args.layers),
+                     rng=named_rng(args.seed, f"bench-fleet-{replica_id}"))
+
+    fleet = ForecastFleet(
+        task, factory,
+        num_shards=args.shards, replicas_per_shard=args.replicas,
+        queue_depth=args.queue_depth, max_batch=args.max_batch,
+        backoff=Backoff(base=0.005, max_delay=0.05),
+        replica_timeout=2.0,
+    )
+    levels = [int(v) for v in str(args.concurrency).split(",") if v.strip()]
+    deadline_s = args.deadline_ms / 1000.0
+    results = []
+    console.print(f"bench-serve --fleet: {args.shards} shards x {args.replicas} "
+                  f"replicas, {args.requests} requests/level, "
+                  f"SLO p95 <= {args.slo_p95_ms:.0f}ms")
+    for concurrency in levels:
+        latencies = []
+        shed = degraded = rejected = completed = 0
+        submitted = 0
+        seq = 0
+        started = _time.perf_counter()
+        while completed < args.requests:
+            while (submitted - completed) < concurrency and submitted < args.requests:
+                j = seq % len(task.test)
+                seq += 1
+                try:
+                    fleet.submit({
+                        "window": task.test.inputs[j],
+                        "time_index": task.test.time_indices[j],
+                        "deadline": fleet._clock() + deadline_s,
+                    })
+                    submitted += 1
+                except FleetOverloadedError:
+                    rejected += 1
+                    break
+            for response in fleet.process_once():
+                completed += 1
+                if response.source == "shed":
+                    shed += 1
+                    continue
+                if response.degraded:
+                    degraded += 1
+                latencies.append(response.latency_ms)
+        elapsed = _time.perf_counter() - started
+        latencies.sort()
+
+        def pct(p):
+            if not latencies:
+                return float("nan")
+            return latencies[min(len(latencies) - 1,
+                                 int(p / 100.0 * len(latencies)))]
+
+        qps = completed / elapsed if elapsed > 0 else 0.0
+        bad_rate = (shed + rejected) / max(1, completed + rejected)
+        sustainable = (bool(latencies) and pct(95) <= args.slo_p95_ms
+                       and bad_rate <= args.max_shed_rate)
+        level = {
+            "concurrency": concurrency,
+            "requests": completed,
+            "seconds": elapsed,
+            "throughput_qps": qps,
+            "latency_ms": {"p50": pct(50), "p95": pct(95), "p99": pct(99)},
+            "shed": shed,
+            "rejected": rejected,
+            "degraded": degraded,
+            "sustainable": sustainable,
+        }
+        results.append(level)
+        console.print(
+            f"  c={concurrency:<3d} {qps:8.1f} qps  p50 {pct(50):7.2f}ms  "
+            f"p95 {pct(95):7.2f}ms  p99 {pct(99):7.2f}ms  "
+            f"shed {shed}  degraded {degraded}  "
+            f"{'OK' if sustainable else 'over SLO'}")
+    sustainable_qps = [r["throughput_qps"] for r in results if r["sustainable"]]
+    payload = {
+        "name": "fleet_serve",
+        "scale": "quick",
+        "ts": _time.time(),
+        "data": {
+            "topology": {"shards": args.shards, "replicas": args.replicas,
+                         "nodes": task.num_nodes, "max_batch": args.max_batch,
+                         "cut_fraction": fleet.partition.cut_fraction},
+            "slo": {"p95_ms": args.slo_p95_ms,
+                    "max_shed_rate": args.max_shed_rate,
+                    "deadline_ms": args.deadline_ms},
+            "levels": results,
+            "max_sustainable_qps": max(sustainable_qps) if sustainable_qps else 0.0,
+        },
+    }
+    console.print(f"max sustainable QPS under SLO: "
+                  f"{payload['data']['max_sustainable_qps']:.1f}")
+    if args.out:
+        from .ioutil import atomic_write_text
+
+        atomic_write_text(args.out, _json.dumps(payload, indent=2) + "\n")
+        console.print(f"result written to {args.out}")
+    return 0 if sustainable_qps else 1
+
+
 def cmd_bench_serve(args) -> int:
     """Closed-loop serving benchmark: throughput and latency percentiles.
 
     Drives the synchronous core directly (no worker thread) so the
     numbers measure validation + batching + inference, not thread
-    scheduling jitter.
+    scheduling jitter.  With ``--fleet`` the target is a sharded
+    :class:`~repro.serve.ForecastFleet` and the run ramps concurrency to
+    find the max sustainable QPS under the latency SLO.
     """
     import json as _json
     import time as _time
@@ -737,6 +1101,8 @@ def cmd_bench_serve(args) -> int:
 
     console = _console(args)
     task = _load(args)
+    if getattr(args, "fleet", False):
+        return _bench_fleet(args, console, task)
     model = TGCRN(**default_tgcrn_kwargs(task, hidden_dim=args.hidden,
                                          node_dim=args.node_dim, time_dim=args.time_dim,
                                          num_layers=args.layers),
@@ -1179,6 +1545,35 @@ def build_parser() -> argparse.ArgumentParser:
     serve.set_defaults(fn=cmd_serve, nodes=6, days=5,
                        hidden=8, node_dim=4, time_dim=4, layers=1)
 
+    serve_fleet = sub.add_parser(
+        "serve-fleet",
+        help="fleet chaos smoke: sharded/replicated serving with a replica "
+             "crash, a one-shard brownout, and rolling N-1 reloads",
+    )
+    _add_dataset_args(serve_fleet)
+    _add_obs_args(serve_fleet)
+    serve_fleet.add_argument("--requests", type=int, default=8,
+                             help="requests per scenario phase")
+    serve_fleet.add_argument("--shards", type=int, default=2,
+                             help="node-partition shards")
+    serve_fleet.add_argument("--replicas", type=int, default=2,
+                             help="replicas per shard")
+    serve_fleet.add_argument("--queue-depth", type=int, default=64)
+    serve_fleet.add_argument("--max-batch", type=int, default=4)
+    serve_fleet.add_argument("--replica-timeout", type=float, default=1.0,
+                             help="seconds before an unanswered dispatch fails over")
+    serve_fleet.add_argument("--hedge-after", type=float, default=0.5,
+                             help="seconds before a dispatch is hedged to the "
+                                  "next replica in the ring")
+    serve_fleet.add_argument("--brownout-delay", type=float, default=0.2,
+                             help="SlowModel delay injected into one shard")
+    serve_fleet.add_argument("--brownout-deadline", type=float, default=1.5,
+                             help="request deadline budget during the brownout")
+    serve_fleet.add_argument("--checkpoint-dir", default="artifacts/serve-fleet",
+                             help="directory for the rolling-reload checkpoints")
+    serve_fleet.set_defaults(fn=cmd_serve_fleet, nodes=8, days=5,
+                             hidden=8, node_dim=4, time_dim=4, layers=1)
+
     bench_serve = sub.add_parser(
         "bench-serve",
         help="closed-loop serving benchmark: throughput and latency percentiles",
@@ -1190,6 +1585,23 @@ def build_parser() -> argparse.ArgumentParser:
     bench_serve.add_argument("--queue-depth", type=int, default=128)
     bench_serve.add_argument("--out", default=None, metavar="PATH",
                              help="write the machine-readable JSON result here")
+    bench_serve.add_argument("--fleet", action="store_true",
+                             help="target a sharded fleet and ramp closed-loop "
+                                  "concurrency to find max sustainable QPS "
+                                  "under the latency SLO")
+    bench_serve.add_argument("--shards", type=int, default=2,
+                             help="fleet shards (with --fleet)")
+    bench_serve.add_argument("--replicas", type=int, default=2,
+                             help="replicas per shard (with --fleet)")
+    bench_serve.add_argument("--concurrency", default="1,2,4,8",
+                             help="comma-separated closed-loop concurrency "
+                                  "levels to ramp through (with --fleet)")
+    bench_serve.add_argument("--slo-p95-ms", type=float, default=250.0,
+                             help="p95 latency objective defining 'sustainable'")
+    bench_serve.add_argument("--max-shed-rate", type=float, default=0.01,
+                             help="max tolerated shed+reject fraction per level")
+    bench_serve.add_argument("--deadline-ms", type=float, default=2000.0,
+                             help="per-request deadline budget (with --fleet)")
     bench_serve.set_defaults(fn=cmd_bench_serve, nodes=6, days=5,
                              hidden=8, node_dim=4, time_dim=4, layers=1)
 

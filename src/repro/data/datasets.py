@@ -118,6 +118,47 @@ class ForecastingTask:
         std = self.scaler.std[: scaled.shape[-1]]
         return scaled * std + mean
 
+    def node_subset(self, nodes) -> "ForecastingTask":
+        """The same task restricted to a subset of nodes (fleet sharding).
+
+        Window tensors are sliced on the node axis; the scaler is shared
+        unchanged (statistics pool over nodes, so per-feature mean/std
+        are identical for every subset), as are the calendar and the
+        underlying dataset.  Used by :mod:`repro.serve.fleet` to build
+        one sub-task per shard of a node partition.
+        """
+        nodes = np.asarray(list(nodes), dtype=np.int64)
+        if nodes.size == 0:
+            raise ValueError("node subset must be non-empty")
+        if nodes.min() < 0 or nodes.max() >= self.num_nodes:
+            raise ValueError(
+                f"node indices must be in [0, {self.num_nodes}), got "
+                f"[{nodes.min()}, {nodes.max()}]"
+            )
+        if len(np.unique(nodes)) != len(nodes):
+            raise ValueError("node subset contains duplicates")
+
+        def slice_windows(windows: WindowSet) -> WindowSet:
+            return WindowSet(
+                inputs=windows.inputs[:, :, nodes, :],
+                targets=windows.targets[:, :, nodes, :],
+                time_indices=windows.time_indices,
+            )
+
+        return ForecastingTask(
+            name=f"{self.name}[{len(nodes)} nodes]",
+            spec=self.spec,
+            train=slice_windows(self.train),
+            val=slice_windows(self.val),
+            test=slice_windows(self.test),
+            scaler=self.scaler,
+            dataset=self.dataset,
+            steps_per_day=self.steps_per_day,
+            num_nodes=int(len(nodes)),
+            history=self.history,
+            horizon=self.horizon,
+        )
+
 
 def load_task(
     name: str,

@@ -10,7 +10,6 @@ from __future__ import annotations
 import csv
 import io
 import json
-import time
 from pathlib import Path
 
 import numpy as np
@@ -54,31 +53,34 @@ def load_dataset(
     retries: int = 0,
     retry_wait: float = 0.0,
     reader=None,
+    backoff=None,
 ) -> SyntheticDataset:
     """Rebuild a dataset saved by :func:`save_dataset` (incl. generator).
 
     ``retries`` re-attempts the read on transient ``OSError`` (flaky
-    network filesystems, NFS timeouts) with ``retry_wait`` seconds between
-    attempts; a missing file is never retried.  ``reader`` overrides the
-    archive opener (the fault-injection seam used by
-    ``repro.resilience.chaos``).
+    network filesystems, NFS timeouts); a missing file is never retried.
+    Delays run through the :class:`~repro.resilience.backoff.Backoff`
+    seam — pass ``backoff`` to control the schedule (and, in tests, the
+    sleep/rng), or just ``retry_wait`` for a fixed delay between
+    attempts.  ``reader`` overrides the archive opener (the
+    fault-injection seam used by ``repro.resilience.chaos``).
     """
+    # Lazy import: repro.resilience's package init pulls in the trainer,
+    # which imports repro.data — a module-level import would be circular.
+    from ..resilience.backoff import Backoff, retry_call
+
     from . import synthetic
 
     reader = reader or np.load
-    attempt = 0
-    while True:
-        try:
-            archive = reader(Path(path))
-            break
-        except FileNotFoundError:
-            raise
-        except OSError:
-            attempt += 1
-            if attempt > retries:
-                raise
-            if retry_wait > 0.0:
-                time.sleep(retry_wait)
+    if backoff is None:
+        backoff = Backoff(base=retry_wait, factor=1.0, jitter=0.0)
+    archive = retry_call(
+        lambda: reader(Path(path)),
+        retries=retries,
+        backoff=backoff,
+        retryable=(OSError,),
+        no_retry=(FileNotFoundError,),
+    )
 
     with archive:
         config_json = bytes(archive["config"].tobytes()).decode()

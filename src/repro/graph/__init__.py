@@ -17,16 +17,21 @@ from .builders import (
     ring_line_edges,
 )
 from .cheb import chebyshev_supports, diffusion_supports
+from .partition import NodePartition, cut_weight, learned_adjacency, partition_nodes
 
 __all__ = [
+    "NodePartition",
     "chebyshev_supports",
+    "cut_weight",
     "correlation_graph",
     "diffusion_supports",
     "distance_graph",
     "graph_diameter",
     "knn_graph",
+    "learned_adjacency",
     "line_graph",
     "normalize",
+    "partition_nodes",
     "random_walk",
     "random_walk_np",
     "ring_line_edges",

@@ -40,6 +40,7 @@ __all__ = [
     "TraceTree",
     "assemble_traces",
     "check_bench_regression",
+    "check_fleet_traces",
     "check_request_traces",
     "critical_path",
     "load_spans",
@@ -189,6 +190,22 @@ class TraceCheck:
         }
 
 
+def _structural_reasons(tree: TraceTree, check: TraceCheck) -> list[str]:
+    """Shape defects shared by every trace kind (roots/orphans/closure)."""
+    reasons = []
+    if len(tree.roots) != 1:
+        reasons.append(f"multi_root:{len(tree.roots)}")
+    if tree.orphans:
+        reasons.append(f"orphan_spans:{len(tree.orphans)}")
+        check.orphan_spans += len(tree.orphans)
+    unfinished = tree.unfinished()
+    if unfinished:
+        reasons.append(
+            "unfinished:" + ",".join(sorted(n.name for n in unfinished)))
+        check.unfinished_spans += len(unfinished)
+    return reasons
+
+
 def check_request_traces(trees) -> TraceCheck:
     """Verify every request trace is single-rooted, closed, and staged.
 
@@ -204,17 +221,7 @@ def check_request_traces(trees) -> TraceCheck:
             check.other_traces += 1
             continue
         check.total += 1
-        reasons = []
-        if len(tree.roots) != 1:
-            reasons.append(f"multi_root:{len(tree.roots)}")
-        if tree.orphans:
-            reasons.append(f"orphan_spans:{len(tree.orphans)}")
-            check.orphan_spans += len(tree.orphans)
-        unfinished = tree.unfinished()
-        if unfinished:
-            reasons.append(
-                "unfinished:" + ",".join(sorted(n.name for n in unfinished)))
-            check.unfinished_spans += len(unfinished)
+        reasons = _structural_reasons(tree, check)
         root = next(r for r in tree.roots if r.name == "request")
         required, alternatives = _REQUIRED_STAGES.get(
             root.status, (set(), ()))
@@ -224,6 +231,59 @@ def check_request_traces(trees) -> TraceCheck:
             reasons.append("missing_stages:" + ",".join(sorted(missing)))
         if alternatives and not any(alt in stages for alt in alternatives):
             reasons.append("missing_stages:" + "|".join(alternatives))
+        if reasons:
+            check.incomplete.append(
+                {"trace_id": tree.trace_id, "reasons": reasons})
+        else:
+            check.complete += 1
+    return check
+
+
+# What a ForecastFleet request tree must contain, by root status.  An
+# answered request must show the admission gate, at least one dispatch
+# to a replica, and the final gather; sheds and rejections only owe the
+# stages they reached (a backpressure shed never dispatches).
+_FLEET_REQUIRED_STAGES = {
+    "ok": {"admission", "dispatch", "gather"},
+    "degraded": {"admission", "dispatch", "gather"},
+    "shed": {"admission"},
+    "rejected": {"admission"},
+}
+
+
+def check_fleet_traces(trees) -> TraceCheck:
+    """Verify fleet traces show the full router → replica causal path.
+
+    A tree counts as a *fleet trace* when any root span is named
+    ``"fleet_request"``.  On top of the structural checks shared with
+    :func:`check_request_traces`, an answered fleet request must contain
+    admission, at least one ``dispatch``, and a ``gather`` — and every
+    dispatch that completed ``ok`` must hold the replica's nested
+    ``request`` subtree (the handoff span actually crossed the router →
+    replica boundary; a missing child means the causal link was
+    dropped).  Dispatches that ended in error/timeout/supersession owe
+    no subtree — the replica may never have seen them.
+    """
+    check = TraceCheck()
+    for tree in trees.values():
+        if not any(r.name == "fleet_request" for r in tree.roots):
+            check.other_traces += 1
+            continue
+        check.total += 1
+        reasons = _structural_reasons(tree, check)
+        root = next(r for r in tree.roots if r.name == "fleet_request")
+        required = _FLEET_REQUIRED_STAGES.get(root.status, set())
+        stages = {child.name for child in root.children}
+        missing = required - stages
+        if missing:
+            reasons.append("missing_stages:" + ",".join(sorted(missing)))
+        unlinked = [
+            d for d in root.children
+            if d.name == "dispatch" and d.status == "ok"
+            and not any(c.name == "request" for c in d.children)
+        ]
+        if unlinked:
+            reasons.append(f"dispatch_without_replica_request:{len(unlinked)}")
         if reasons:
             check.incomplete.append(
                 {"trace_id": tree.trace_id, "reasons": reasons})

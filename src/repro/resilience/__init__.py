@@ -16,10 +16,15 @@ Four pillars:
 * **graceful degradation** — :mod:`.degrade` validates inference output
   and falls back to the historical-average baseline instead of serving
   NaN.
+
+:mod:`.backoff` is the shared retry-delay seam (jittered exponential
+schedules with injectable sleep/RNG) that every retry loop in the repo
+must use (lint rule RL010).
 """
 
 from ..nn.serialization import CheckpointCorruptionError
 from ..training.trainer import DivergenceDetected
+from .backoff import Backoff, retry_call
 from .chaos import (
     AbortInjector,
     ChaosSchedule,
@@ -45,6 +50,7 @@ from .guard import DivergenceSentinel, GuardedTrainer, GuardEvent, TrainingDiver
 
 __all__ = [
     "AbortInjector",
+    "Backoff",
     "ChaosSchedule",
     "CheckpointCorruptionError",
     "DivergenceDetected",
@@ -61,6 +67,7 @@ __all__ = [
     "corrupt_checkpoint",
     "load_training_checkpoint",
     "output_bound",
+    "retry_call",
     "safe_predict",
     "save_training_checkpoint",
     "validate_input",

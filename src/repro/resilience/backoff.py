@@ -1,0 +1,133 @@
+"""Jittered exponential backoff: the one retry-delay seam in the repo.
+
+Tight retry loops synchronize: when a shared dependency hiccups, every
+client that failed at time *t* retries at *t + wait*, re-creating the
+very spike that caused the failure.  The cure is (a) exponential growth,
+so persistent faults see geometrically less traffic, and (b) jitter, so
+retries from independent clients decorrelate instead of arriving in
+lockstep.
+
+:class:`Backoff` computes that schedule with every side effect
+injectable — the RNG that draws jitter, and the ``sleep`` that burns the
+delay — so tests assert exact schedules without sleeping and production
+gets real decorrelation.  :func:`retry_call` is the loop itself.  Lint
+rule RL010 (``repro.analyze.lint``) rejects hand-rolled
+``for attempt in range(...)``-plus-``time.sleep`` retry loops outside
+this package, so every retry in the repo shares this seam.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Iterator
+
+import numpy as np
+
+__all__ = ["Backoff", "retry_call"]
+
+
+class Backoff:
+    """Jittered exponential delay schedule with an injectable sleep.
+
+    ``delay(attempt)`` for attempt ``k`` (0-based) is drawn uniformly
+    from ``[cap * (1 - jitter), cap)`` where
+    ``cap = min(max_delay, base * factor**k)`` — "equal jitter": the
+    deterministic floor keeps the exponential shape while the random
+    component spreads simultaneous retriers across ``jitter`` of the
+    window.  ``jitter=0`` makes the schedule fully deterministic.
+
+    Parameters
+    ----------
+    base / factor / max_delay:
+        Delay for attempt 0, per-attempt growth, and the cap (seconds).
+    jitter:
+        Fraction of each delay that is randomized, in ``[0, 1]``.
+    rng:
+        ``numpy`` Generator drawing the jitter.  The default is
+        intentionally *unseeded*: jitter exists to decorrelate retries
+        across independent processes, which a fixed seed would defeat.
+        Tests inject a seeded generator (or ``jitter=0``).
+    sleep:
+        Callable burning the delay; injectable so tests capture the
+        schedule instead of waiting it out.
+    """
+
+    def __init__(
+        self,
+        base: float = 0.05,
+        factor: float = 2.0,
+        max_delay: float = 5.0,
+        jitter: float = 0.5,
+        rng: np.random.Generator | None = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ):
+        if base < 0.0:
+            raise ValueError(f"base must be >= 0, got {base}")
+        if factor < 1.0:
+            raise ValueError(f"factor must be >= 1, got {factor}")
+        if not 0.0 <= jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {jitter}")
+        self.base = base
+        self.factor = factor
+        self.max_delay = max_delay
+        self.jitter = jitter
+        # Unseeded by design: see the class docstring.  # analyze: allow[RL002]
+        self._rng = rng if rng is not None else np.random.default_rng()
+        self._sleep = sleep
+
+    def delay(self, attempt: int) -> float:
+        """The (possibly jittered) delay before retry ``attempt`` (0-based)."""
+        if attempt < 0:
+            raise ValueError(f"attempt must be >= 0, got {attempt}")
+        cap = min(self.max_delay, self.base * self.factor**attempt)
+        if self.jitter == 0.0 or cap == 0.0:
+            return cap
+        return cap * (1.0 - self.jitter) + cap * self.jitter * float(self._rng.random())
+
+    def delays(self, attempts: int) -> Iterator[float]:
+        """The schedule for ``attempts`` consecutive retries."""
+        for attempt in range(attempts):
+            yield self.delay(attempt)
+
+    def wait(self, attempt: int) -> float:
+        """Sleep out the delay for ``attempt``; returns the seconds slept."""
+        seconds = self.delay(attempt)
+        if seconds > 0.0:
+            self._sleep(seconds)
+        return seconds
+
+
+def retry_call(
+    fn: Callable,
+    *,
+    retries: int = 3,
+    backoff: Backoff | None = None,
+    retryable: tuple = (OSError,),
+    no_retry: tuple = (),
+    on_retry: Callable[[int, BaseException, float], None] | None = None,
+):
+    """Call ``fn`` with up to ``retries`` jittered-backoff retries.
+
+    ``retryable`` exceptions trigger a retry (after ``backoff.wait``);
+    ``no_retry`` types are checked first and always re-raise (e.g.
+    ``FileNotFoundError`` under a broad ``OSError``).  ``on_retry``
+    observes each retry as ``(attempt, exception, delay_seconds)`` —
+    the hook loggers and metrics attach to.  The final failure re-raises
+    the last exception unchanged.
+    """
+    if retries < 0:
+        raise ValueError(f"retries must be >= 0, got {retries}")
+    backoff = backoff if backoff is not None else Backoff()
+    attempt = 0
+    while True:
+        try:
+            return fn()
+        except no_retry:
+            raise
+        except retryable as exc:
+            if attempt >= retries:
+                raise
+            slept = backoff.wait(attempt)
+            if on_retry is not None:
+                on_retry(attempt, exc, slept)
+            attempt += 1

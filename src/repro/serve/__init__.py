@@ -20,12 +20,26 @@ Four pillars:
   swap, and graceful drain.  Every admission/shed/trip/fallback/reload
   event emits through :mod:`repro.obs`.
 
+Above the single server, :mod:`.fleet` scales the same contract out to a
+sharded, replicated fleet: graph-partitioned node shards, consistent-hash
+routing with per-replica circuit breakers, bounded retries with jittered
+backoff, hedged requests, deadline budget propagation, backpressure
+shedding, and rolling N-1 checkpoint reloads.
+
 :mod:`.chaos` stages serve-side faults (NaN model, slow model, malformed
 payloads) so tests prove every containment path fires.
 """
 
 from .breaker import CLOSED, HALF_OPEN, OPEN, BreakerTransition, CircuitBreaker
 from .chaos import NaNModel, SlowModel, malformed_payloads
+from .fleet import (
+    ConsistentHashRing,
+    FleetOverloadedError,
+    FleetResponse,
+    ForecastFleet,
+    Replica,
+    ReplicaDownError,
+)
 from .queueing import (
     DeadlineExceededError,
     MicroBatcher,
@@ -44,7 +58,11 @@ __all__ = [
     "BreakerTransition",
     "CLOSED",
     "CircuitBreaker",
+    "ConsistentHashRing",
     "DeadlineExceededError",
+    "FleetOverloadedError",
+    "FleetResponse",
+    "ForecastFleet",
     "ForecastRequest",
     "ForecastResponse",
     "ForecastServer",
@@ -53,6 +71,8 @@ __all__ = [
     "MicroBatcher",
     "NaNModel",
     "OPEN",
+    "Replica",
+    "ReplicaDownError",
     "RequestQueue",
     "RequestSpec",
     "ServiceOverloadedError",

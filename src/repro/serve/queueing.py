@@ -106,6 +106,13 @@ class RequestQueue:
                 (shed if request.expired(now) else admitted).append(request)
         return admitted, shed
 
+    def clear(self) -> list[ForecastRequest]:
+        """Remove and return everything queued (crash/abort teardown)."""
+        with self._lock:
+            dropped = list(self._items)
+            self._items.clear()
+        return dropped
+
     def wait_nonempty(self, timeout: float) -> bool:
         """Block until the queue has an entry (worker-loop parking)."""
         with self._not_empty:

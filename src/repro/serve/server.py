@@ -203,7 +203,8 @@ class ForecastServer:
 
     # -- front door ----------------------------------------------------- #
 
-    def submit(self, payload, now: float | None = None) -> str:
+    def submit(self, payload, now: float | None = None, *,
+               parent_span=None) -> str:
         """Validate + admit one request; returns its id.
 
         Raises :class:`~.validation.InvalidRequestError` (bad payload),
@@ -211,6 +212,11 @@ class ForecastServer:
         :class:`~.queueing.ServiceOverloadedError` (queue full, or the
         server is draining).  Purged-on-admission expired entries get a
         shed response.
+
+        ``parent_span`` nests this request's span tree under a caller
+        span (the fleet router's per-shard ``dispatch`` span), so one
+        trace covers the whole router → replica causal path; without it
+        the request span is its own root.
         """
         now = self._now(now)
         if self._draining or self._stop_event.is_set():
@@ -230,15 +236,19 @@ class ForecastServer:
             code = getattr(exc, "code", "invalid")
             self._log("request_rejected", code=code, detail=str(exc))
             requested_id = payload.get("id") if isinstance(payload, dict) else None
-            root = start_span("request", parent=None, inherit=False, at=arrived,
-                              trace_id=str(requested_id) if requested_id else None)
+            root = start_span(
+                "request", parent=parent_span, inherit=False, at=arrived,
+                trace_id=None if parent_span is not None
+                else (str(requested_id) if requested_id else None))
             admission = start_span("admission", parent=root, inherit=False, at=arrived)
             finish_span(admission, status="error", code=code)
             finish_span(root, status="rejected", code=code)
             raise
-        root = start_span("request", parent=None, inherit=False, at=arrived,
-                          trace_id=request.request_id,
-                          attrs={"deadline": request.deadline})
+        root = start_span("request", parent=parent_span, inherit=False, at=arrived,
+                          trace_id=None if parent_span is not None
+                          else request.request_id,
+                          attrs={"deadline": request.deadline,
+                                 "request_id": request.request_id})
         admission = start_span("admission", parent=root, inherit=False, at=arrived)
         finish_span(admission)
         # The queue_wait span and the request-spans entry MUST exist
@@ -305,6 +315,24 @@ class ForecastServer:
         with self._responses_lock:
             out, self._responses = self._responses, []
         return out
+
+    def abort(self, reason: str = "aborted") -> list[str]:
+        """Drop everything queued without answering; return the ids.
+
+        Crash teardown: the fleet calls this when a replica is killed so
+        the span trees of requests the replica dies holding are closed
+        (status ``canceled``) instead of dangling unfinished.  No
+        responses are produced — the caller owns the failover.
+        """
+        dropped = self.queue.clear()
+        for request in dropped:
+            entry = self._span_pop(request.request_id)
+            finish_span(entry.get("queue"), status="canceled")
+            finish_span(entry.get("root"), status="canceled", reason=reason)
+        if dropped:
+            self.metrics.gauge("serve.queue_depth").set(len(self.queue))
+            self._log("server_abort", dropped=len(dropped), reason=reason)
+        return [request.request_id for request in dropped]
 
     # -- batch serving -------------------------------------------------- #
 

@@ -72,3 +72,60 @@ class TestCsvExport:
     def test_wrong_feature_names(self, tmp_path, dataset):
         with pytest.raises(ValueError):
             export_csv(tmp_path / "ds.csv", dataset, feature_names=["only_one"])
+
+
+class TestLoadRetries:
+    """The transient-IO retry seam: jittered backoff, injectable sleep."""
+
+    def _flaky_reader(self, failures, exc=OSError):
+        calls = {"n": 0}
+
+        def reader(path):
+            calls["n"] += 1
+            if calls["n"] <= failures:
+                raise exc(f"transient failure {calls['n']}")
+            return np.load(path)
+
+        return reader, calls
+
+    def test_transient_oserror_retried_through_backoff(self, tmp_path, dataset):
+        from repro.resilience import Backoff
+
+        path = tmp_path / "ds.npz"
+        save_dataset(path, dataset)
+        reader, calls = self._flaky_reader(failures=2)
+        slept = []
+        backoff = Backoff(base=0.1, factor=2.0, jitter=0.0, sleep=slept.append)
+        restored = load_dataset(path, retries=3, backoff=backoff, reader=reader)
+        assert calls["n"] == 3
+        assert slept == [0.1, 0.2]  # exponential, never actually slept
+        np.testing.assert_array_equal(restored.values, dataset.values)
+
+    def test_retries_exhausted_reraises(self, tmp_path, dataset):
+        from repro.resilience import Backoff
+
+        path = tmp_path / "ds.npz"
+        save_dataset(path, dataset)
+        reader, calls = self._flaky_reader(failures=10)
+        backoff = Backoff(base=0.0, jitter=0.0, sleep=lambda _s: None)
+        with pytest.raises(OSError, match="transient failure 3"):
+            load_dataset(path, retries=2, backoff=backoff, reader=reader)
+        assert calls["n"] == 3
+
+    def test_missing_file_never_retried(self, tmp_path):
+        from repro.resilience import Backoff
+
+        slept = []
+        backoff = Backoff(base=0.1, jitter=0.0, sleep=slept.append)
+        with pytest.raises(FileNotFoundError):
+            load_dataset(tmp_path / "absent.npz", retries=5, backoff=backoff)
+        assert slept == []
+
+    def test_retry_wait_builds_a_fixed_schedule(self, tmp_path, dataset):
+        # The legacy scalar knob still works: constant delay, no jitter.
+        path = tmp_path / "ds.npz"
+        save_dataset(path, dataset)
+        reader, calls = self._flaky_reader(failures=1)
+        restored = load_dataset(path, retries=1, retry_wait=0.0, reader=reader)
+        assert calls["n"] == 2
+        np.testing.assert_array_equal(restored.values, dataset.values)

@@ -204,3 +204,26 @@ class TestLoadTask:
     def test_electricity_has_one_feature(self):
         task = load_task("electricity", num_nodes=6, num_days=12)
         assert task.in_dim == 1 and task.out_dim == 1
+
+
+class TestNodeSubset:
+    def test_windows_sliced_scaler_and_calendar_shared(self, tiny_task):
+        nodes = [5, 1, 3]
+        sub = tiny_task.node_subset(nodes)
+        assert sub.num_nodes == 3
+        np.testing.assert_array_equal(
+            sub.test.inputs, tiny_task.test.inputs[:, :, nodes, :])
+        np.testing.assert_array_equal(
+            sub.test.targets, tiny_task.test.targets[:, :, nodes, :])
+        np.testing.assert_array_equal(
+            sub.test.time_indices, tiny_task.test.time_indices)
+        assert sub.scaler is tiny_task.scaler
+        assert sub.history == tiny_task.history and sub.horizon == tiny_task.horizon
+
+    def test_invalid_subsets_rejected(self, tiny_task):
+        with pytest.raises(ValueError):
+            tiny_task.node_subset([])
+        with pytest.raises(ValueError):
+            tiny_task.node_subset([0, tiny_task.num_nodes])
+        with pytest.raises(ValueError):
+            tiny_task.node_subset([1, 1])

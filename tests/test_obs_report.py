@@ -13,6 +13,7 @@ import pytest
 from repro.obs.report import (
     assemble_traces,
     check_bench_regression,
+    check_fleet_traces,
     check_request_traces,
     critical_path,
     load_spans,
@@ -119,6 +120,66 @@ class TestCompleteness:
         records = _request("req-0", 0.0)
         records.append(_rec("fit", "train-1", "f1", dur=2.0))
         check = check_request_traces(assemble_traces(records))
+        assert check.total == 1 and check.other_traces == 1
+
+
+def _fleet_request(trace_id, base=0.0, status="ok", with_replica=True):
+    """A complete fleet trace: fleet_request → admission/dispatch/gather,
+    with the replica's nested request subtree hanging off the dispatch."""
+    sid = trace_id
+    records = [
+        _rec("fleet_request", trace_id, f"{sid}-root", start=base, dur=0.1,
+             status=status),
+        _rec("admission", trace_id, f"{sid}-adm", f"{sid}-root",
+             start=base, dur=0.001),
+        _rec("dispatch", trace_id, f"{sid}-d0", f"{sid}-root",
+             start=base + 0.002, dur=0.05),
+        _rec("gather", trace_id, f"{sid}-g", f"{sid}-root",
+             start=base + 0.08, dur=0.001),
+    ]
+    if with_replica:
+        records.append(_rec("request", trace_id, f"{sid}-rep", f"{sid}-d0",
+                            start=base + 0.003, dur=0.04))
+    return records
+
+
+class TestFleetCompleteness:
+    def test_complete_fleet_trace_passes(self):
+        check = check_fleet_traces(assemble_traces(_fleet_request("f-0")))
+        assert check.ok and check.total == 1 and check.complete == 1
+
+    def test_ok_dispatch_must_hold_the_replica_subtree(self):
+        records = _fleet_request("f-0", with_replica=False)
+        check = check_fleet_traces(assemble_traces(records))
+        (entry,) = check.incomplete
+        assert "dispatch_without_replica_request:1" in entry["reasons"]
+
+    def test_failed_dispatch_owes_no_replica_subtree(self):
+        # An errored handoff never reached the replica — a missing child
+        # subtree is expected, not a broken causal link.
+        records = _fleet_request("f-0")
+        records.append(_rec("dispatch", "f-0", "f-0-d1", "f-0-root",
+                            start=0.06, dur=0.01, status="error"))
+        check = check_fleet_traces(assemble_traces(records))
+        assert check.ok and check.complete == 1
+
+    def test_shed_fleet_request_only_owes_admission(self):
+        records = [
+            _rec("fleet_request", "f-s", "fs-root", dur=0.02, status="shed"),
+            _rec("admission", "f-s", "fs-adm", "fs-root", dur=0.001),
+        ]
+        check = check_fleet_traces(assemble_traces(records))
+        assert check.ok and check.complete == 1
+
+    def test_answered_fleet_request_missing_gather_fails(self):
+        records = [r for r in _fleet_request("f-0") if r["name"] != "gather"]
+        check = check_fleet_traces(assemble_traces(records))
+        (entry,) = check.incomplete
+        assert "missing_stages:gather" in ";".join(entry["reasons"])
+
+    def test_server_traces_counted_as_other(self):
+        records = _fleet_request("f-0") + _request("req-0", 5.0)
+        check = check_fleet_traces(assemble_traces(records))
         assert check.total == 1 and check.other_traces == 1
 
 

@@ -1,0 +1,95 @@
+"""The retry-delay seam: Backoff schedules and the retry_call loop."""
+
+import numpy as np
+import pytest
+
+from repro.resilience import Backoff, retry_call
+
+
+class TestBackoff:
+    def test_deterministic_exponential_schedule(self):
+        backoff = Backoff(base=0.1, factor=2.0, max_delay=1.0, jitter=0.0)
+        assert list(backoff.delays(5)) == pytest.approx([0.1, 0.2, 0.4, 0.8, 1.0])
+
+    def test_jitter_stays_inside_the_equal_jitter_window(self):
+        backoff = Backoff(base=1.0, factor=1.0, jitter=0.5,
+                          rng=np.random.default_rng(0))
+        draws = [backoff.delay(0) for _ in range(200)]
+        assert all(0.5 <= d < 1.0 for d in draws)
+        assert len(set(draws)) > 1  # actually randomized
+
+    def test_wait_goes_through_the_injected_sleep(self):
+        slept = []
+        backoff = Backoff(base=0.25, jitter=0.0, sleep=slept.append)
+        assert backoff.wait(0) == pytest.approx(0.25)
+        assert slept == [0.25]
+        zero = Backoff(base=0.0, jitter=0.0, sleep=slept.append)
+        assert zero.wait(0) == 0.0
+        assert slept == [0.25]  # zero delays never call sleep
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            Backoff(base=-1.0)
+        with pytest.raises(ValueError):
+            Backoff(factor=0.5)
+        with pytest.raises(ValueError):
+            Backoff(jitter=1.5)
+        with pytest.raises(ValueError):
+            Backoff().delay(-1)
+
+
+class TestRetryCall:
+    def _flaky(self, failures, exc=OSError):
+        calls = {"n": 0}
+
+        def fn():
+            calls["n"] += 1
+            if calls["n"] <= failures:
+                raise exc(f"boom {calls['n']}")
+            return "done"
+
+        return fn, calls
+
+    def test_succeeds_after_transient_failures(self):
+        fn, calls = self._flaky(2)
+        slept = []
+        backoff = Backoff(base=0.1, factor=2.0, jitter=0.0, sleep=slept.append)
+        assert retry_call(fn, retries=3, backoff=backoff) == "done"
+        assert calls["n"] == 3
+        assert slept == [0.1, 0.2]
+
+    def test_budget_exhausted_reraises_last_error(self):
+        fn, calls = self._flaky(10)
+        backoff = Backoff(base=0.0, jitter=0.0, sleep=lambda _s: None)
+        with pytest.raises(OSError, match="boom 3"):
+            retry_call(fn, retries=2, backoff=backoff)
+        assert calls["n"] == 3
+
+    def test_no_retry_types_win_over_retryable(self):
+        fn, calls = self._flaky(5, exc=FileNotFoundError)
+        with pytest.raises(FileNotFoundError):
+            retry_call(fn, retries=5, retryable=(OSError,),
+                       no_retry=(FileNotFoundError,),
+                       backoff=Backoff(base=0.0, jitter=0.0, sleep=lambda _s: None))
+        assert calls["n"] == 1
+
+    def test_unlisted_exceptions_propagate_immediately(self):
+        fn, calls = self._flaky(5, exc=ValueError)
+        with pytest.raises(ValueError):
+            retry_call(fn, retries=5,
+                       backoff=Backoff(base=0.0, jitter=0.0, sleep=lambda _s: None))
+        assert calls["n"] == 1
+
+    def test_on_retry_observes_every_attempt(self):
+        fn, _calls = self._flaky(2)
+        seen = []
+        backoff = Backoff(base=0.1, factor=2.0, jitter=0.0, sleep=lambda _s: None)
+        retry_call(fn, retries=3, backoff=backoff,
+                   on_retry=lambda attempt, exc, delay: seen.append(
+                       (attempt, type(exc).__name__, delay)))
+        assert seen == [(0, "OSError", pytest.approx(0.1)),
+                        (1, "OSError", pytest.approx(0.2))]
+
+    def test_negative_retries_rejected(self):
+        with pytest.raises(ValueError):
+            retry_call(lambda: None, retries=-1)

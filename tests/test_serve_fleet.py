@@ -1,0 +1,434 @@
+"""ForecastFleet: sharding, routing, failover, hedging, deadlines, traces.
+
+Everything runs on an injected :class:`FakeClock` with ``jitter=0``
+backoff, so retry schedules, timeouts, and hedges are exact — no test
+sleeps.  Replica faults are staged through the router-side seams
+(``kill``/``pause``) rather than thread timing.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import TGCRN
+from repro.graph import partition_nodes
+from repro.obs import MetricsRegistry
+from repro.obs.report import assemble_traces, check_fleet_traces
+from repro.obs.spans import collect_spans
+from repro.resilience import Backoff
+from repro.serve import (
+    ConsistentHashRing,
+    DeadlineExceededError,
+    FleetOverloadedError,
+    ForecastFleet,
+    InvalidRequestError,
+)
+from repro.training import default_tgcrn_kwargs
+from repro.verify import named_rng
+
+
+class FakeClock:
+    def __init__(self, t=0.0):
+        self.t = t
+
+    def __call__(self):
+        return self.t
+
+    def advance(self, dt):
+        self.t += dt
+
+
+def _factory(sub_task, shard_id, replica_id):
+    return TGCRN(
+        **default_tgcrn_kwargs(sub_task, hidden_dim=4, node_dim=3, time_dim=3,
+                               num_layers=1),
+        rng=named_rng(3, f"fleet-{replica_id}"),
+    )
+
+
+def _payload(task, i, rid=None, **extra):
+    j = i % len(task.test)
+    return {"window": task.test.inputs[j],
+            "time_index": task.test.time_indices[j],
+            "id": rid or f"req-{i}", **extra}
+
+
+def _make_fleet(task, clock, **overrides):
+    kwargs = dict(
+        num_shards=2, replicas_per_shard=2, queue_depth=8, max_batch=4,
+        max_attempts=3, backoff=Backoff(base=0.01, factor=2.0, jitter=0.0),
+        replica_timeout=1.0, clock=clock, slo=False,
+        metrics=MetricsRegistry(run="fleet-test"),
+    )
+    kwargs.update(overrides)
+    return ForecastFleet(task, _factory, **kwargs)
+
+
+def _run(fleet, clock, want, step=0.05, rounds=200):
+    """Pump the router on the fake clock until ``want`` responses land.
+
+    Reads the response sink, so answers produced by earlier
+    ``process_once`` calls in the same test are counted too.
+    """
+    collected = []
+    for _ in range(rounds):
+        fleet.process_once(clock())
+        collected.extend(fleet.take_responses())
+        if len(collected) >= want:
+            return collected
+        clock.advance(step)
+    raise AssertionError(f"only {len(collected)}/{want} responses after {rounds} rounds")
+
+
+def _counter(fleet, name):
+    return int(fleet.metrics.counter(name).value)
+
+
+@pytest.fixture
+def clock():
+    return FakeClock(t=100.0)
+
+
+@pytest.fixture
+def fleet(tiny_task, clock):
+    return _make_fleet(tiny_task, clock)
+
+
+def _assert_contained(task, responses):
+    """The zero-wrong-answers contract: model, marked fallback, or shed."""
+    for r in responses:
+        if r.source == "shed":
+            assert r.prediction is None and r.degraded
+            continue
+        assert r.source in ("model", "mixed", "historical_average")
+        assert r.prediction.shape == (task.horizon, task.num_nodes, task.out_dim)
+        assert np.all(np.isfinite(r.prediction))
+        assert r.degraded == (r.source != "model")
+        assert set(r.shard_sources.values()) <= {"model", "historical_average"}
+
+
+class TestTopology:
+    def test_shards_cover_nodes_exactly_once(self, tiny_task, fleet):
+        covered = sorted(int(n) for s in fleet.shards for n in s.nodes)
+        assert covered == list(range(tiny_task.num_nodes))
+        assert [len(s.replicas) for s in fleet.shards] == [2, 2]
+        assert [r.id for r in fleet.shards[0].replicas] == ["s0r0", "s0r1"]
+
+    def test_graph_aware_partition_beats_contiguous_cut(self, tiny_task, clock):
+        # Two 4-node cliques, nodes interleaved so the contiguous split
+        # is maximally wrong; the graph-aware partition recovers them.
+        n = tiny_task.num_nodes
+        adj = np.zeros((n, n))
+        groups = [list(range(0, n, 2)), list(range(1, n, 2))]
+        for group in groups:
+            for a in group:
+                for b in group:
+                    if a != b:
+                        adj[a, b] = 1.0
+        fleet = _make_fleet(tiny_task, clock, adjacency=adj)
+        assert fleet.partition.cut_fraction == 0.0
+        assert sorted(sorted(s) for s in fleet.partition.shards) == sorted(groups)
+
+    def test_explicit_partition_and_coverage_validation(self, tiny_task, clock):
+        n = tiny_task.num_nodes
+        fleet = _make_fleet(tiny_task, clock,
+                            partition=[list(range(n // 2)), list(range(n // 2, n))])
+        assert [len(s.nodes) for s in fleet.shards] == [n // 2, n // 2]
+        with pytest.raises(ValueError, match="cover every node"):
+            _make_fleet(tiny_task, clock, partition=[[0, 1], [2, 3]])
+
+    def test_partition_nodes_is_deterministic(self, tiny_task):
+        rng = np.random.default_rng(11)
+        adj = rng.random((tiny_task.num_nodes,) * 2)
+        assert partition_nodes(adj, 2) == partition_nodes(adj, 2)
+
+
+class TestConsistentHashRing:
+    KEYS = [f"key-{i}" for i in range(1000)]
+
+    def test_owner_is_deterministic_and_successors_cover_members(self):
+        ring = ConsistentHashRing(["a", "b", "c"])
+        assert ring.owner("x") == ring.owner("x")
+        chain = ring.successors("x")
+        assert sorted(chain) == ["a", "b", "c"]
+        assert chain[0] == ring.owner("x")
+
+    def test_remove_moves_only_the_removed_members_keys(self):
+        ring = ConsistentHashRing(["a", "b", "c", "d"])
+        before = {k: ring.owner(k) for k in self.KEYS}
+        ring.remove("c")
+        after = {k: ring.owner(k) for k in self.KEYS}
+        moved = [k for k in self.KEYS if before[k] != after[k]]
+        # Consistent hashing: only keys the departed member owned remap.
+        assert all(before[k] == "c" for k in moved)
+        assert 0.10 < len(moved) / len(self.KEYS) < 0.45
+
+    def test_add_steals_a_bounded_fraction(self):
+        ring = ConsistentHashRing(["a", "b", "c", "d"])
+        before = {k: ring.owner(k) for k in self.KEYS}
+        ring.add("e")
+        after = {k: ring.owner(k) for k in self.KEYS}
+        moved = [k for k in self.KEYS if before[k] != after[k]]
+        assert all(after[k] == "e" for k in moved)
+        assert 0.05 < len(moved) / len(self.KEYS) < 0.40
+
+    def test_duplicate_and_missing_members_raise(self):
+        ring = ConsistentHashRing(["a"])
+        with pytest.raises(ValueError):
+            ring.add("a")
+        with pytest.raises(KeyError):
+            ring.remove("zz")
+        with pytest.raises(KeyError):
+            ConsistentHashRing([]).owner("x")
+
+
+class TestServing:
+    def test_healthy_requests_answered_entirely_by_models(self, tiny_task, fleet, clock):
+        ids = [fleet.submit(_payload(tiny_task, i), now=clock()) for i in range(5)]
+        responses = _run(fleet, clock, want=5)
+        assert sorted(r.request_id for r in responses) == sorted(ids)
+        for r in responses:
+            assert r.source == "model" and not r.degraded
+            assert r.shard_sources == {0: "model", 1: "model"}
+        _assert_contained(tiny_task, responses)
+        assert _counter(fleet, "fleet.model") == 5
+
+    def test_routing_follows_the_ring_owner(self, tiny_task, fleet, clock):
+        rid = "pinned-request"
+        owner = fleet.shards[0].ring.owner(rid)
+        for rep in fleet.shards[0].replicas:  # park the shard so subs queue
+            rep.pause()
+        fleet.submit(_payload(tiny_task, 0, rid=rid), now=clock())
+        fleet.process_once(clock())
+        holder = fleet.replica(owner)
+        assert len(holder.server.queue) == 1
+        others = [r for r in fleet.shards[0].replicas if r.id != owner]
+        assert all(len(r.server.queue) == 0 for r in others)
+
+    def test_invalid_and_doa_requests_rejected_at_admission(self, tiny_task, fleet, clock):
+        with pytest.raises(InvalidRequestError):
+            fleet.submit({"window": "nope"}, now=clock())
+        with pytest.raises(DeadlineExceededError):
+            fleet.submit(_payload(tiny_task, 0, deadline=clock() - 1.0), now=clock())
+        assert _counter(fleet, "fleet.rejected") == 2
+
+
+class TestFailover:
+    def test_killed_replica_fails_over_to_model_answer(self, tiny_task, fleet, clock):
+        victim = fleet.replicas[0]
+        victim.pause()  # wedge first, so dispatches land and sit there
+        ids = [fleet.submit(_payload(tiny_task, i, rid=f"crash-{i}"), now=clock())
+               for i in range(6)]
+        victim_owned = [rid for rid in ids
+                        if fleet.shards[0].ring.owner(rid) == victim.id]
+        assert victim_owned, "hash spread left the victim idle; widen the batch"
+        fleet.process_once(clock())  # dispatch: victim now holds its share
+        victim.kill()                # and dies holding it
+        responses = _run(fleet, clock, want=6)
+        assert len(responses) == 6
+        assert all(r.source == "model" for r in responses)
+        _assert_contained(tiny_task, responses)
+        assert _counter(fleet, "fleet.failovers") >= len(victim_owned)
+        assert _counter(fleet, "fleet.retries") >= len(victim_owned)
+
+    def test_whole_shard_down_serves_marked_fallback_slice(self, tiny_task, fleet, clock):
+        for rep in fleet.shards[0].replicas:
+            rep.kill()
+        fleet.submit(_payload(tiny_task, 0), now=clock())
+        (response,) = _run(fleet, clock, want=1)
+        assert response.source == "mixed" and response.degraded
+        assert response.shard_sources == {0: "historical_average", 1: "model"}
+        assert np.all(np.isfinite(response.prediction))
+        assert "no replica available" in response.reason
+        assert _counter(fleet, "fleet.shard_fallbacks") == 1
+
+    def test_retries_are_bounded_and_backoff_scheduled(self, tiny_task, clock):
+        fleet = _make_fleet(tiny_task, clock, replica_timeout=0.1,
+                            backoff=Backoff(base=0.01, factor=2.0, jitter=0.0))
+        for rep in fleet.shards[1].replicas:  # the whole shard wedges
+            rep.pause()
+        fleet.submit(_payload(tiny_task, 0), now=clock())
+        (response,) = _run(fleet, clock, want=1, step=0.05)
+        # attempts 1..max_attempts all time out; the first two reschedule
+        # (retries), the last exhausts the budget into the marked fallback.
+        assert response.source == "mixed"
+        assert response.shard_sources[1] == "historical_average"
+        assert response.retries == fleet.max_attempts - 1
+        assert _counter(fleet, "fleet.failovers") == fleet.max_attempts
+        assert "replica timeout" in response.reason
+
+    def test_retry_waits_out_the_backoff_delay(self, tiny_task, clock):
+        fleet = _make_fleet(tiny_task, clock, replica_timeout=0.1,
+                            backoff=Backoff(base=10.0, factor=1.0,
+                                            max_delay=30.0, jitter=0.0))
+        for rep in fleet.shards[0].replicas:
+            rep.pause()
+        fleet.submit(_payload(tiny_task, 0), now=clock())
+        fleet.process_once(clock())          # dispatch
+        clock.advance(0.2)
+        fleet.process_once(clock())          # timeout -> retry in 10s
+        t_retry = clock()
+        sub = next(iter(fleet._entries.values())).subs[0]
+        assert sub.status == "pending"
+        assert sub.not_before == pytest.approx(t_retry + 10.0)
+        # The wedged primary still holds the stale attempt — the router
+        # cannot reach into a wedged process; only *new* dispatches count.
+        queued_before = sum(len(r.server.queue) for r in fleet.shards[0].replicas)
+        clock.advance(5.0)
+        fleet.process_once(clock())          # still inside the backoff window
+        assert sum(len(r.server.queue)
+                   for r in fleet.shards[0].replicas) == queued_before
+        clock.advance(6.0)
+        fleet.process_once(clock())          # due: redispatched
+        assert sum(len(r.server.queue)
+                   for r in fleet.shards[0].replicas) == queued_before + 1
+
+
+class TestHedging:
+    def test_wedged_primary_is_hedged_and_the_hedge_wins(self, tiny_task, clock):
+        fleet = _make_fleet(tiny_task, clock, hedge_after=0.5, replica_timeout=30.0)
+        rid = "hedge-me"
+        for shard in fleet.shards:  # wedge every primary for this key
+            fleet.replica(shard.ring.owner(rid)).pause()
+        fleet.submit(_payload(tiny_task, 0, rid=rid), now=clock())
+        fleet.process_once(clock())
+        clock.advance(0.6)  # past hedge_after, far from replica_timeout
+        responses = _run(fleet, clock, want=1)
+        (response,) = responses
+        assert response.source == "model" and response.hedged
+        assert response.retries == 0
+        assert _counter(fleet, "fleet.hedges") == 2
+        assert _counter(fleet, "fleet.hedge_wins") == 2
+
+    def test_no_hedge_before_the_threshold(self, tiny_task, clock):
+        fleet = _make_fleet(tiny_task, clock, hedge_after=5.0, replica_timeout=30.0)
+        for rep in fleet.replicas:
+            rep.pause()
+        fleet.submit(_payload(tiny_task, 0), now=clock())
+        fleet.process_once(clock())
+        clock.advance(1.0)
+        fleet.process_once(clock())
+        assert _counter(fleet, "fleet.hedges") == 0
+
+
+class TestBackpressureAndDeadlines:
+    def test_saturated_shard_sheds_at_admission(self, tiny_task, clock):
+        fleet = _make_fleet(tiny_task, clock, backpressure_limit=2)
+        for rep in fleet.replicas:
+            rep.pause()
+        for i in range(2):
+            fleet.submit(_payload(tiny_task, i), now=clock())
+        with pytest.raises(FleetOverloadedError) as excinfo:
+            fleet.submit(_payload(tiny_task, 9), now=clock())
+        assert excinfo.value.shard_id in (0, 1)
+        assert "saturated" in str(excinfo.value)
+        assert _counter(fleet, "fleet.shed_backpressure") == 1
+
+    def test_deadline_budget_propagates_minus_gather_margin(self, tiny_task, clock):
+        fleet = _make_fleet(tiny_task, clock, gather_margin=0.25)
+        for rep in fleet.replicas:
+            rep.pause()
+        deadline = clock() + 2.0
+        fleet.submit(_payload(tiny_task, 0, deadline=deadline), now=clock())
+        fleet.process_once(clock())
+        queued = [req for rep in fleet.replicas
+                  for req in rep.server.queue.clear()]
+        assert len(queued) == 2  # one sub-request per shard
+        assert all(req.deadline == pytest.approx(deadline - 0.25) for req in queued)
+
+    def test_expired_request_is_shed_not_dropped(self, tiny_task, clock):
+        # replica_timeout > deadline: the deadline expires while the
+        # subs are still outstanding, hitting the shed path (a shorter
+        # timeout would fail over into the marked fallback instead).
+        fleet = _make_fleet(tiny_task, clock, replica_timeout=30.0)
+        for rep in fleet.replicas:
+            rep.pause()
+        fleet.submit(_payload(tiny_task, 0, deadline=clock() + 1.0), now=clock())
+        fleet.process_once(clock())
+        clock.advance(1.5)
+        (response,) = fleet.process_once(clock())
+        assert response.source == "shed" and response.prediction is None
+        assert response.deadline_missed
+        assert set(response.shard_sources.values()) == {"unanswered"}
+        assert _counter(fleet, "fleet.shed") == 1
+        _assert_contained(tiny_task, [response])
+
+    def test_draining_fleet_refuses_new_work(self, tiny_task, fleet, clock):
+        fleet.stop(drain=True)
+        with pytest.raises(FleetOverloadedError, match="draining"):
+            fleet.submit(_payload(tiny_task, 0), now=clock())
+        assert not fleet.ready()
+
+
+class TestHealthAndReadiness:
+    def test_full_redundancy_is_ok_and_ready(self, fleet):
+        report = fleet.health()
+        assert report["status"] == "ok"
+        assert [s["healthy_replicas"] for s in report["shards"]] == [2, 2]
+        assert fleet.ready()
+
+    def test_one_dead_replica_degrades_but_stays_ready(self, fleet):
+        fleet.replicas[0].kill()
+        assert fleet.health()["status"] == "degraded"
+        assert fleet.ready()
+
+    def test_empty_shard_is_unavailable_and_not_ready(self, fleet):
+        for rep in fleet.shards[1].replicas:
+            rep.kill()
+        assert fleet.health()["status"] == "unavailable"
+        assert not fleet.ready()
+        for rep in fleet.shards[1].replicas:
+            rep.revive()
+        assert fleet.health()["status"] == "ok" and fleet.ready()
+
+
+class TestChaosContainment:
+    def test_mixed_faults_never_produce_a_wrong_answer(self, tiny_task, clock):
+        """Crash + wedge across shards: every answer is model, marked
+        fallback, or an explicit shed — nothing silent, nothing bogus."""
+        fleet = _make_fleet(tiny_task, clock, replica_timeout=0.2,
+                            hedge_after=0.1,
+                            backoff=Backoff(base=0.01, factor=2.0, jitter=0.0))
+        fleet.shards[0].replicas[0].kill()
+        fleet.shards[1].replicas[0].pause()
+        n = 8
+        for i in range(n):
+            fleet.submit(_payload(tiny_task, i, deadline=clock() + 5.0), now=clock())
+        responses = _run(fleet, clock, want=n, step=0.05)
+        assert len(responses) == n
+        _assert_contained(tiny_task, responses)
+        answered = [r for r in responses if r.source != "shed"]
+        assert answered, "every request shed: containment held but nothing served"
+
+    def test_fleet_traces_are_complete_across_chaos(self, tiny_task, clock):
+        with collect_spans() as collector:
+            fleet = _make_fleet(tiny_task, clock, replica_timeout=0.2)
+            fleet.submit(_payload(tiny_task, 0, rid="trace-ok"), now=clock())
+            _run(fleet, clock, want=1)
+            victim = fleet.replicas[0]
+            victim.pause()
+            fleet.submit(_payload(tiny_task, 1, rid="trace-crash"), now=clock())
+            fleet.process_once(clock())
+            victim.kill()
+            _run(fleet, clock, want=1)
+            for rep in fleet.replicas:  # everything wedged -> shed path
+                if not rep.killed:
+                    rep.pause()
+            fleet.submit(_payload(tiny_task, 2, rid="trace-shed",
+                                  deadline=clock() + 0.5), now=clock())
+            fleet.process_once(clock())
+            clock.advance(1.0)
+            fleet.process_once(clock())
+            # Un-wedge so the servers close out the stale work they
+            # still hold (late responses); otherwise their replica-side
+            # span trees are honestly — but unhelpfully — unfinished.
+            for rep in fleet.replicas:
+                rep.resume()
+            for _ in range(5):
+                fleet.process_once(clock())
+                clock.advance(0.1)
+        assert _counter(fleet, "fleet.late_responses") >= 1
+        trees = assemble_traces(collector.records)
+        fleet_check = check_fleet_traces(trees)
+        assert fleet_check.total == 3
+        assert fleet_check.incomplete == []
+        assert fleet_check.complete == 3

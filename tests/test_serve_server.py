@@ -86,6 +86,19 @@ class TestServing:
             server.submit(_payload(tiny_task, 99))
         assert server.metrics._counters["serve.shed"].value == 1
 
+    def test_abort_drops_queued_work_and_closes_spans(self, tiny_task, server):
+        from repro.obs.spans import collect_spans
+
+        with collect_spans() as collector:
+            ids = [server.submit(_payload(tiny_task, i)) for i in range(3)]
+            dropped = server.abort(reason="crash teardown")
+        assert dropped == ids
+        assert len(server.queue) == 0
+        assert server.take_responses() == []  # nothing answered, by design
+        roots = [r for r in collector.records if r["name"] == "request"]
+        assert len(roots) == 3
+        assert all(r["status"] == "canceled" for r in roots)
+
     def test_deadline_shed_at_dequeue_answers_explicitly(self, tiny_task, server, clock):
         server.submit(_payload(tiny_task, 0, deadline=5.0))
         server.submit(_payload(tiny_task, 1))
