@@ -21,9 +21,13 @@ mix into the symbolic graph.  Comparing that set against
 * **GF004** (warning) — the linter could not complete (forward failed or
   output was not symbolic); absence of findings proves nothing.
 
-Limits: a ``detach()`` applied to a *real* (non-symbolic) tensor severs
-its autodiff ancestry before the linter can see it, so such parameters
-report as GF001 rather than GF002.
+Real-side ``detach()`` is tracked through *chains*: the symbolic
+harness records which parameters fed every real ``detach()`` and
+carries that severed set across subsequent real ops (which otherwise
+drop their ancestry the moment no operand requires grad), so a
+parameter whose value reaches the output only via
+``param.detach() * scale + shift`` still reports as GF002 (detached,
+actionable) rather than GF001 (dead).
 """
 
 from __future__ import annotations

@@ -797,21 +797,43 @@ def symbolic_execution(model: Module | None = None, model_name: str = "model"):
         # A detach() on a *real* tensor severs its autodiff ancestry; remember
         # which parameters fed it so GF002 can see through the cut when the
         # result mixes into the symbolic graph.  (SymTensor overrides detach,
-        # so symbolic instances never reach this wrapper.)
+        # so symbolic instances never reach this wrapper.)  Detaching an
+        # already-severed tensor carries its provenance forward too.
         out = original_detach(self)
-        params = ctx.collect_params(self)
+        params = ctx.collect_params(self) | ctx.detached_reals.get(id(self), _EMPTY)
         if params:
             ctx.detached_reals[id(out)] = params
             ctx._prov_keepalive[id(out)] = out
         return out
 
+    original_make = Tensor._make
+
+    def tracked_make(data, parents, backward_fn):
+        # Real ops downstream of a detach() drop their parents the moment
+        # no operand requires grad (Tensor._make), which is exactly what
+        # makes detach *chains* (detach → scale → shift → mix into the
+        # symbolic graph) invisible to a parent walk.  Intercept result
+        # construction itself and carry the severed-parameter set across
+        # every real op, so _lift's lookup sees through arbitrary chains.
+        out = original_make(data, parents, backward_fn)
+        severed = _EMPTY
+        for parent in parents:
+            severed |= ctx.detached_reals.get(id(parent), _EMPTY)
+        if severed:
+            ctx.detached_reals[id(out)] = (
+                severed | ctx.detached_reals.get(id(out), _EMPTY))
+            ctx._prov_keepalive[id(out)] = out
+        return out
+
     Module.__call__ = tracked_call
     Tensor.detach = tracked_detach
+    Tensor._make = staticmethod(tracked_make)
     try:
         yield ctx
     finally:
         Module.__call__ = original_call
         Tensor.detach = original_detach
+        Tensor._make = staticmethod(original_make)
         set_symbolic_handler(previous_handler)
         _CONTEXT = previous_ctx
 

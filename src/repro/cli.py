@@ -745,6 +745,8 @@ def cmd_serve_fleet(args) -> int:
 
     console = _console(args)
     task = _load(args)
+    if getattr(args, "procs", False):
+        return _serve_fleet_procs(args, console, task)
 
     def tgcrn_for(sub_task, name):
         return TGCRN(**default_tgcrn_kwargs(sub_task, hidden_dim=args.hidden,
@@ -958,6 +960,270 @@ def cmd_serve_fleet(args) -> int:
                   f"p95 {latency.quantile(0.95):.2f}ms  over {latency.count} responses")
     console.print(f"counters: { {k: int(v) for k, v in health['counters'].items()} }")
     console.print(f"\nserve-fleet: {'FAILED' if failures else 'PASSED'}")
+    return 1 if failures else 0
+
+
+def _serve_fleet_procs(args, console, task) -> int:
+    """Kill-based chaos smoke against the process-isolated fleet.
+
+    Unlike the thread-mode smoke (which stages faults through
+    router-side seams), every fault here is *real*: replicas are forked
+    children behind the socket transport (docs/serving.md, "Process
+    isolation"), the crash is a genuine ``SIGKILL`` mid-batch, the wedge
+    is a child that stops heartbeating *and* ignores SIGTERM (forcing
+    the supervisor's kill escalation), the crash loop is repeated kills
+    until the restart budget parks the replica, and the wire corruption
+    is damaged bytes on the socket.  Exit 0 requires 100%
+    answered-or-shed, supervisor recovery within budget, the
+    crash-looper parked, complete cross-process span trees, and zero
+    orphan replica processes after ``fleet.stop()``.
+    """
+    import os as _os
+    import signal as _signal
+    import time as _time
+
+    from .obs import RunLogger
+    from .resilience import Backoff, RestartPolicy
+    from .serve import ForecastFleet
+    from .verify import named_rng
+
+    def factory(sub_task, shard_id, replica_id):
+        # Runs in the forked child: the model never crosses the wire.
+        return TGCRN(**default_tgcrn_kwargs(sub_task, hidden_dim=args.hidden,
+                                            node_dim=args.node_dim,
+                                            time_dim=args.time_dim,
+                                            num_layers=args.layers),
+                     rng=named_rng(args.seed, f"fleet-{replica_id}"))
+
+    logger = None
+    if args.log_jsonl:
+        logger = RunLogger(path=args.log_jsonl, console=False,
+                           metadata={"command": "serve-fleet --procs",
+                                     "dataset": args.dataset})
+    collector = None
+    if getattr(args, "spans_jsonl", None):
+        from .obs import SpanCollector
+
+        collector = SpanCollector(path=args.spans_jsonl).install()
+
+    policy = RestartPolicy(max_restarts=3, window_s=20.0,
+                           ready_deadline_s=60.0,
+                           heartbeat_timeout_s=1.0, term_deadline_s=1.0)
+    fleet = ForecastFleet(
+        task, factory,
+        num_shards=args.shards, replicas_per_shard=args.replicas,
+        queue_depth=args.queue_depth, max_batch=args.max_batch,
+        max_attempts=3, backoff=Backoff(base=0.01, max_delay=0.1),
+        replica_timeout=args.replica_timeout, hedge_after=args.hedge_after,
+        transport="process", restart_policy=policy,
+        proc_kwargs={"heartbeat_interval": 0.1, "ack_timeout": 5.0,
+                     "ready_timeout": 120.0},
+        logger=logger,
+    )
+    fleet.start()
+    failures = 0
+    collected = []
+    seen_pids = set()
+
+    def snapshot_pids():
+        for rep in fleet.replicas:
+            pid = getattr(rep.server, "pid", None)
+            if pid:
+                seen_pids.add(pid)
+
+    def payload(i, tag, **extra):
+        j = i % len(task.test)
+        return {"window": task.test.inputs[j],
+                "time_index": task.test.time_indices[j],
+                "id": f"{tag}-{i}", **extra}
+
+    def await_responses(expected, timeout=60.0):
+        stop_at = _time.monotonic() + timeout
+        while len(collected) < expected and _time.monotonic() < stop_at:
+            collected.extend(fleet.take_responses())
+            _time.sleep(0.005)
+        collected.extend(fleet.take_responses())
+
+    def await_state(replica_id, predicate, timeout=30.0):
+        stop_at = _time.monotonic() + timeout
+        while _time.monotonic() < stop_at:
+            if predicate():
+                return True
+            _time.sleep(0.02)
+        return predicate()
+
+    def check(ok, label):
+        nonlocal failures
+        console.print(f"  {'ok  ' if ok else 'FAIL'} {label}")
+        failures += 0 if ok else 1
+
+    def contained(responses):
+        for r in responses:
+            if r.source == "shed":
+                if r.prediction is not None:
+                    return False
+            elif r.prediction is None or not np.all(np.isfinite(r.prediction)):
+                return False
+            elif (r.source != "model") != r.degraded:
+                return False
+        return True
+
+    def sup_counter(name):
+        return int(fleet.metrics.counter(name).value)
+
+    snapshot_pids()
+    console.print(
+        f"process-fleet smoke: {task.num_nodes} nodes -> {args.shards} shards "
+        f"x {args.replicas} replicas, pids "
+        f"{[rep.server.pid for rep in fleet.replicas]}")
+
+    # 1. healthy traffic across the socket transport
+    n1 = args.requests
+    for i in range(n1):
+        fleet.submit(payload(i, "healthy"))
+    await_responses(n1)
+    healthy = [r for r in collected if r.request_id.startswith("healthy-")]
+    check(len(healthy) == n1 and all(r.source == "model" for r in healthy),
+          f"{len(healthy)}/{n1} healthy requests answered entirely by models")
+
+    # 2. real SIGKILL mid-batch: submit, kill the child holding work,
+    #    submit more — everything answered-or-shed, supervisor restarts
+    victim = fleet.shards[0].replicas[0]
+    victim_pid = victim.server.pid
+    n2 = args.requests
+    for i in range(n2 // 2):
+        fleet.submit(payload(i, "crash"))
+    _os.kill(victim_pid, _signal.SIGKILL)
+    for i in range(n2 // 2, n2):
+        fleet.submit(payload(i, "crash"))
+    await_responses(n1 + n2)
+    crash = [r for r in collected if r.request_id.startswith("crash-")]
+    check(len(crash) == n2 and contained(crash),
+          f"{len(crash)}/{n2} answered-or-shed across SIGKILL of {victim.id} "
+          f"(pid {victim_pid}, failovers="
+          f"{int(fleet.metrics.counter('fleet.failovers').value)})")
+    recovered = await_state(
+        victim.id,
+        lambda: (fleet.supervisor.state(victim.id) == "running"
+                 and not victim.killed and victim.server.pid != victim_pid))
+    snapshot_pids()
+    check(recovered and fleet.supervisor.restart_count(victim.id) >= 1,
+          f"supervisor restarted {victim.id} within budget "
+          f"(pid {victim_pid} -> {victim.server.pid}, "
+          f"restarts={fleet.supervisor.restart_count(victim.id)})")
+
+    # 3. wedged child ignoring SIGTERM: heartbeats stop, the watchdog
+    #    TERMs, the deadline passes, SIGKILL escalation recovers it
+    wedged = fleet.shards[-1].replicas[0]
+    wedged_pid = wedged.server.pid
+    wedged.server.inject_wedge(ignore_term=True)
+    n3 = args.requests
+    for i in range(n3):
+        fleet.submit(payload(i, "wedge"))
+    await_responses(n1 + n2 + n3)
+    wedge_rs = [r for r in collected if r.request_id.startswith("wedge-")]
+    check(len(wedge_rs) == n3 and contained(wedge_rs),
+          f"{len(wedge_rs)}/{n3} answered-or-shed around the wedged {wedged.id}")
+    escalated = await_state(
+        wedged.id,
+        lambda: (sup_counter("supervisor.kill_escalations") >= 1
+                 and fleet.supervisor.state(wedged.id) == "running"
+                 and wedged.server.pid != wedged_pid))
+    snapshot_pids()
+    check(escalated,
+          f"watchdog TERMed the silent {wedged.id}, escalated to SIGKILL "
+          f"(escalations={sup_counter('supervisor.kill_escalations')}), "
+          "and restarted it")
+
+    # 4. crash loop: keep killing one replica until the restart budget
+    #    parks it; its shard keeps serving on the surviving replica
+    looper = fleet.shards[0].replicas[1]
+    kills = 0
+    stop_at = _time.monotonic() + 90.0
+    while (not fleet.supervisor.is_parked(looper.id)
+           and _time.monotonic() < stop_at):
+        pid = looper.server.pid
+        if (pid and looper.server.is_alive()
+                and fleet.supervisor.state(looper.id) == "running"):
+            seen_pids.add(pid)
+            try:
+                _os.kill(pid, _signal.SIGKILL)
+                kills += 1
+            except OSError:  # analyze: allow[RL006] victim already dead: exactly what we want
+                pass
+        _time.sleep(0.02)  # analyze: allow[RL010] chaos kill pacing, not a retry loop
+    check(fleet.supervisor.is_parked(looper.id)
+          and sup_counter("supervisor.parked") == 1,
+          f"crash-looping {looper.id} parked after {kills} kills "
+          f"(budget {policy.max_restarts} restarts/{policy.window_s:.0f}s)")
+    n4 = args.requests
+    for i in range(n4):
+        fleet.submit(payload(i, "parked"))
+    await_responses(n1 + n2 + n3 + n4)
+    parked_rs = [r for r in collected if r.request_id.startswith("parked-")]
+    check(len(parked_rs) == n4 and contained(parked_rs) and fleet.ready(),
+          f"{len(parked_rs)}/{n4} answered with {looper.id} parked "
+          "(shard held by its surviving replica)")
+
+    # 5. corrupt wire frames: recoverable tiers are dropped and counted
+    #    by the child, which keeps serving
+    target = fleet.shards[-1].replicas[-1]
+    target.server.inject_corrupt_frame("crc")
+    target.server.inject_corrupt_frame("payload")
+    n5 = args.requests
+    for i in range(n5):
+        fleet.submit(payload(i, "wire"))
+    await_responses(n1 + n2 + n3 + n4 + n5)
+    wire_rs = [r for r in collected if r.request_id.startswith("wire-")]
+    counted = await_state(
+        target.id,
+        lambda: target.server.health().get("corrupt_frames", 0) >= 2,
+        timeout=10.0)
+    check(len(wire_rs) == n5 and contained(wire_rs) and counted
+          and target.server.is_alive(),
+          f"{len(wire_rs)}/{n5} answered through wire corruption "
+          f"({target.server.health().get('corrupt_frames', 0)} corrupt "
+          f"frame(s) dropped by {target.id}, child alive)")
+
+    # 6. drain, stop, stitched traces, zero orphans
+    snapshot_pids()
+    fleet.stop(drain=True)
+    if collector is not None:
+        collector.close()
+        from .obs.report import assemble_traces, check_fleet_traces
+
+        trees = assemble_traces(collector.records)
+        tcheck = check_fleet_traces(trees)
+        check(tcheck.ok and tcheck.total > 0,
+              f"{tcheck.complete}/{tcheck.total} cross-process span trees "
+              f"complete ({tcheck.orphan_spans} orphan, "
+              f"{tcheck.unfinished_spans} unfinished span(s))")
+        console.print(f"  spans written to {args.spans_jsonl} "
+                      f"({len(collector.records)} spans)")
+    orphans = []
+    for pid in sorted(seen_pids):
+        try:
+            _os.kill(pid, 0)
+        except OSError:
+            continue
+        try:
+            with open(f"/proc/{pid}/stat") as fh:
+                state = fh.read().rsplit(")", 1)[1].split()[0]
+        except OSError:
+            continue
+        if state != "Z":
+            orphans.append(pid)
+    check(not orphans,
+          f"zero orphan replica processes across {len(seen_pids)} pid(s)"
+          + (f" -- still alive: {orphans}" if orphans else ""))
+    if logger is not None:
+        logger.close()
+    console.print(
+        f"\nsupervisor: restarts={sup_counter('supervisor.restarts')} "
+        f"kill_escalations={sup_counter('supervisor.kill_escalations')} "
+        f"parked={sup_counter('supervisor.parked')} "
+        f"unresponsive={sup_counter('supervisor.unresponsive')}")
+    console.print(f"\nserve-fleet --procs: {'FAILED' if failures else 'PASSED'}")
     return 1 if failures else 0
 
 
@@ -1571,6 +1837,12 @@ def build_parser() -> argparse.ArgumentParser:
                              help="request deadline budget during the brownout")
     serve_fleet.add_argument("--checkpoint-dir", default="artifacts/serve-fleet",
                              help="directory for the rolling-reload checkpoints")
+    serve_fleet.add_argument("--procs", action="store_true",
+                             help="run the kill-based chaos tier instead: "
+                                  "process-isolated replicas over the socket "
+                                  "transport, real SIGKILL mid-batch, a wedged "
+                                  "child ignoring SIGTERM, crash-loop parking, "
+                                  "and corrupt wire frames (docs/serving.md)")
     serve_fleet.set_defaults(fn=cmd_serve_fleet, nodes=8, days=5,
                              hidden=8, node_dim=4, time_dim=4, layers=1)
 

@@ -20,6 +20,11 @@ Four pillars:
 :mod:`.backoff` is the shared retry-delay seam (jittered exponential
 schedules with injectable sleep/RNG) that every retry loop in the repo
 must use (lint rule RL010).
+
+:mod:`.supervisor` watches a set of out-of-process serving replicas
+(:mod:`repro.serve.proc`): heartbeat watchdog, readiness/termination
+deadlines, budgeted restarts through the backoff seam, and crash-loop
+parking — every transition a structured JSONL record.
 """
 
 from ..nn.serialization import CheckpointCorruptionError
@@ -47,6 +52,7 @@ from .degrade import (
     validate_output,
 )
 from .guard import DivergenceSentinel, GuardedTrainer, GuardEvent, TrainingDivergedError
+from .supervisor import ReplicaSupervisor, RestartPolicy
 
 __all__ = [
     "AbortInjector",
@@ -59,6 +65,8 @@ __all__ = [
     "GuardEvent",
     "GuardedTrainer",
     "NaNGradientInjector",
+    "ReplicaSupervisor",
+    "RestartPolicy",
     "SafePrediction",
     "SimulatedCrash",
     "TrainingCheckpoint",

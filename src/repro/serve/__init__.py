@@ -28,6 +28,12 @@ shedding, and rolling N-1 checkpoint reloads.
 
 :mod:`.chaos` stages serve-side faults (NaN model, slow model, malformed
 payloads) so tests prove every containment path fires.
+
+:mod:`.proc` moves each fleet replica into its own OS process behind a
+length-prefixed socket transport that speaks the identical router
+contract — ``ForecastFleet(transport="process")`` gets real crash
+isolation (SIGKILL-able children, supervised restarts, cross-process
+span stitching) with zero router-logic changes.
 """
 
 from .breaker import CLOSED, HALF_OPEN, OPEN, BreakerTransition, CircuitBreaker
@@ -39,6 +45,12 @@ from .fleet import (
     ForecastFleet,
     Replica,
     ReplicaDownError,
+)
+from .proc import (
+    ProcReplicaClient,
+    ReplicaStartupError,
+    WireCorruptFrameError,
+    WireDesyncError,
 )
 from .queueing import (
     DeadlineExceededError,
@@ -71,12 +83,16 @@ __all__ = [
     "MicroBatcher",
     "NaNModel",
     "OPEN",
+    "ProcReplicaClient",
     "Replica",
     "ReplicaDownError",
+    "ReplicaStartupError",
     "RequestQueue",
     "RequestSpec",
     "ServiceOverloadedError",
     "SlowModel",
+    "WireCorruptFrameError",
+    "WireDesyncError",
     "malformed_payloads",
     "validate_request",
 ]

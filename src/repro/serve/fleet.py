@@ -154,7 +154,13 @@ class ConsistentHashRing:
 
 
 class Replica:
-    """One :class:`ForecastServer` plus the router-side view of it.
+    """One replica backend plus the router-side view of it.
+
+    ``server`` is either an in-process :class:`ForecastServer`
+    (``transport="thread"``) or a
+    :class:`~repro.serve.proc.ProcReplicaClient` fronting a child
+    process (``transport="process"``) — both speak the same contract,
+    so the router never branches on which it holds.
 
     ``killed`` models a crashed process: dispatches raise
     :class:`ReplicaDownError`, the router stops pumping it, and whatever
@@ -164,7 +170,7 @@ class Replica:
     temporarily out of rotation during a rolling reload.
     """
 
-    def __init__(self, replica_id: str, shard_id: int, server: ForecastServer,
+    def __init__(self, replica_id: str, shard_id: int, server,
                  breaker: CircuitBreaker):
         self.id = replica_id
         self.shard_id = shard_id
@@ -180,23 +186,43 @@ class Replica:
         return not self.killed and not self.reloading
 
     def kill(self) -> None:
-        """Simulate a process crash (queued work is lost).
+        """Crash the replica (queued work is lost).
 
-        The server's queue is aborted so the span trees of requests the
-        replica dies holding are closed as ``canceled`` — the router's
-        sweep owns the failover for those sub-requests.
+        Thread transport simulates the crash; process transport delivers
+        a real ``SIGKILL`` mid-whatever-the-child-was-doing.  Either
+        way the backend's queue view is aborted so span trees of
+        requests the replica dies holding are closed as ``canceled`` —
+        the router's sweep owns the failover for those sub-requests.
         """
         self.killed = True
+        kill_process = getattr(self.server, "kill_process", None)
+        if kill_process is not None:
+            kill_process()
         self.server.abort(reason=f"replica {self.id} killed")
 
     def revive(self) -> None:
+        respawn = getattr(self.server, "respawn", None)
+        if respawn is not None and not self.server.is_alive():
+            respawn()
+            self.server.wait_ready()
         self.killed = False
 
     def pause(self) -> None:
-        """Simulate a wedged worker: accepts submits, answers nothing."""
+        """Wedge the worker: accepts submits, answers nothing.
+
+        Process transport wedges the *child* for real — it stops
+        heartbeating too, so the supervisor's watchdog (not just router
+        timeouts) sees it.
+        """
         self.paused = True
+        wedge = getattr(self.server, "inject_wedge", None)
+        if wedge is not None:
+            wedge()
 
     def resume(self) -> None:
+        unwedge = getattr(self.server, "inject_unwedge", None)
+        if unwedge is not None:
+            unwedge()
         self.paused = False
 
     def submit(self, payload, now: float, parent_span=None) -> str:
@@ -330,6 +356,21 @@ class ForecastFleet:
     slo / slo_ready_gate / metrics / logger / clock:
         As on :class:`ForecastServer`; the clock is shared with every
         replica server so absolute deadlines propagate unchanged.
+    transport:
+        ``"thread"`` (default) runs every replica in-process;
+        ``"process"`` forks each replica into its own OS process behind
+        the :mod:`repro.serve.proc` socket transport — same router
+        contract, real crash isolation — and puts the set under a
+        :class:`~repro.resilience.supervisor.ReplicaSupervisor`
+        (heartbeat watchdog, budgeted restarts, crash-loop parking)
+        polled from :meth:`process_once`.  Process mode requires a real
+        clock: deadlines cross the process boundary as absolute
+        ``CLOCK_MONOTONIC`` values.
+    restart_policy / proc_kwargs:
+        Process-mode tuning: a
+        :class:`~repro.resilience.supervisor.RestartPolicy`, and extra
+        kwargs for each :class:`~repro.serve.proc.ProcReplicaClient`
+        (``heartbeat_interval``, ``ack_timeout``, ``slow_start_s``).
     """
 
     def __init__(
@@ -356,11 +397,18 @@ class ForecastFleet:
         slo: SLOMonitor | None | bool = None,
         slo_ready_gate: bool = False,
         server_kwargs: dict | None = None,
+        transport: str = "thread",
+        restart_policy=None,
+        proc_kwargs: dict | None = None,
     ):
         if replicas_per_shard < 1:
             raise ValueError(f"replicas_per_shard must be >= 1, got {replicas_per_shard}")
         if max_attempts < 1:
             raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        if transport not in ("thread", "process"):
+            raise ValueError(f"transport must be 'thread' or 'process', got {transport!r}")
+        self.transport = transport
+        self.supervisor = None
         self.task = task
         self.spec = RequestSpec.for_task(task)
         self.metrics = metrics if metrics is not None else MetricsRegistry(run="fleet")
@@ -388,18 +436,28 @@ class ForecastFleet:
             shard = Shard(shard_id=shard_id, nodes=nodes)
             for idx in range(replicas_per_shard):
                 replica_id = f"s{shard_id}r{idx}"
-                model = model_factory(sub_task, shard_id, replica_id)
-                server = ForecastServer(
-                    model, sub_task, queue_depth=queue_depth, max_batch=max_batch,
-                    model_factory=lambda st=sub_task, sid=shard_id, rid=replica_id:
-                        model_factory(st, sid, rid),
-                    metrics=self.metrics, logger=logger, clock=clock, slo=False,
-                    **(server_kwargs or {}),
-                )
+                if transport == "process":
+                    backend = self._make_proc_client(
+                        replica_id, sub_task, shard_id, model_factory,
+                        queue_depth, max_batch, server_kwargs,
+                        proc_kwargs or {})
+                else:
+                    model = model_factory(sub_task, shard_id, replica_id)
+                    backend = ForecastServer(
+                        model, sub_task, queue_depth=queue_depth,
+                        max_batch=max_batch,
+                        model_factory=lambda st=sub_task, sid=shard_id,
+                            rid=replica_id: model_factory(st, sid, rid),
+                        metrics=self.metrics, logger=logger, clock=clock,
+                        slo=False, **(server_kwargs or {}),
+                    )
                 shard.replicas.append(
-                    Replica(replica_id, shard_id, server, breaker_factory(replica_id)))
+                    Replica(replica_id, shard_id, backend,
+                            breaker_factory(replica_id)))
             shard.ring = ConsistentHashRing([r.id for r in shard.replicas])
             self.shards.append(shard)
+        if transport == "process":
+            self._start_process_fleet(restart_policy, proc_kwargs or {})
 
         self._fallback = HistoricalAverage.for_task(task)
         if slo is None:
@@ -448,6 +506,60 @@ class ForecastFleet:
                 f"partition must cover every node exactly once "
                 f"(task has {self.task.num_nodes} nodes)")
         return resolved
+
+    def _make_proc_client(self, replica_id, sub_task, shard_id, model_factory,
+                          queue_depth, max_batch, server_kwargs, proc_kwargs):
+        """Build the out-of-process backend for one replica.
+
+        The server factory runs **in the forked child**: the model is
+        constructed there (nothing heavy crosses the fork besides the
+        inherited address space), with its own metrics registry, a real
+        monotonic clock (deadlines arrive as absolute CLOCK_MONOTONIC
+        values), and no SLO monitor (the fleet monitor owns burn
+        alerts, exactly as in thread mode).
+        """
+        from .proc import ProcReplicaClient
+
+        def server_factory(st=sub_task, sid=shard_id, rid=replica_id,
+                           skw=dict(server_kwargs or {})):
+            model = model_factory(st, sid, rid)
+            return ForecastServer(
+                model, st, queue_depth=queue_depth, max_batch=max_batch,
+                model_factory=lambda: model_factory(st, sid, rid),
+                metrics=MetricsRegistry(run=f"replica-{rid}"),
+                logger=None, clock=time.monotonic, slo=False, **skw,
+            )
+
+        allowed = {"heartbeat_interval", "ack_timeout", "slow_start_s"}
+        return ProcReplicaClient(
+            replica_id, server_factory, logger=self.logger,
+            **{k: v for k, v in proc_kwargs.items() if k in allowed})
+
+    def _start_process_fleet(self, restart_policy, proc_kwargs) -> None:
+        """Spawn every replica child and put the set under supervision."""
+        from ..resilience.supervisor import ReplicaSupervisor, RestartPolicy
+
+        for rep in self.replicas:
+            rep.server.spawn()
+        ready_timeout = float(proc_kwargs.get("ready_timeout", 30.0))
+        for rep in self.replicas:
+            rep.server.wait_ready(timeout=ready_timeout)
+        policy = restart_policy if restart_policy is not None else RestartPolicy()
+        self.supervisor = ReplicaSupervisor(
+            policy, Backoff(base=0.05, max_delay=2.0, jitter=0.5),
+            clock=self._clock, logger=self.logger, metrics=self.metrics)
+
+        def mark_down(replica_id, reason):
+            with self._lock:
+                self.replica(replica_id).killed = True
+
+        def mark_up(replica_id):
+            with self._lock:
+                self.replica(replica_id).killed = False
+
+        for rep in self.replicas:
+            self.supervisor.register(rep.id, rep.server,
+                                     on_down=mark_down, on_up=mark_up)
 
     def replica(self, replica_id: str) -> Replica:
         for shard in self.shards:
@@ -548,6 +660,8 @@ class ForecastFleet:
         to the sink for :meth:`take_responses`).
         """
         now = self._now(now)
+        if self.supervisor is not None:
+            self.supervisor.poll(now)
         with self._lock:
             self._dispatch_due(now)
         self._pump_replicas(now)
@@ -911,7 +1025,14 @@ class ForecastFleet:
         self._worker.start()
 
     def stop(self, drain: bool = True, timeout: float = 30.0) -> None:
-        """Stop the worker; with ``drain`` resolve everything in flight."""
+        """Stop the worker; with ``drain`` resolve everything in flight.
+
+        Process transport: after the drain, supervision is disabled
+        (restarts would re-create what we are tearing down) and every
+        replica child is closed gracefully — SHUTDOWN over the wire,
+        escalating SIGTERM → SIGKILL on a deadline, so no orphan
+        processes survive the fleet.
+        """
         with self._lock:
             self._draining = drain
         self._stop_event.set()
@@ -920,6 +1041,11 @@ class ForecastFleet:
             self._worker = None
         if drain:
             self.drain()
+        if self.supervisor is not None:
+            self.supervisor.disable()
+        if self.transport == "process":
+            for rep in self.replicas:
+                rep.server.close(drain=False)
         self._log("fleet_stop", drained=drain)
 
     def health(self) -> dict:

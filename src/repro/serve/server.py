@@ -472,16 +472,35 @@ class ForecastServer:
         self._worker = threading.Thread(target=loop, name="forecast-serve", daemon=True)
         self._worker.start()
 
-    def stop(self, drain: bool = True, timeout: float = 30.0) -> None:
-        """Stop the worker; with ``drain`` answer everything queued first."""
+    def stop(self, drain: bool = True, timeout: float = 30.0) -> bool:
+        """Stop the worker; with ``drain`` answer everything queued first.
+
+        Returns ``True`` on a clean stop.  If the worker thread is still
+        alive after ``join(timeout)`` — wedged mid-batch, most likely —
+        the failure is **not** swallowed: a structured ``drain_timeout``
+        record is emitted, ``serve.drain_timeouts`` is counted, the
+        thread handle is kept (so a later call can re-check), the
+        synchronous drain is skipped (the queue is not safe to touch
+        while the wedged worker may still be consuming it), and the
+        method returns ``False`` so callers (the fleet, the replica
+        supervisor) can escalate instead of believing the replica
+        stopped.
+        """
         self._draining = drain
         self._stop_event.set()
         if self._worker is not None:
             self._worker.join(timeout)
+            if self._worker.is_alive():
+                self.metrics.counter("serve.drain_timeouts").inc()
+                self._log("drain_timeout", timeout_s=timeout, drain=drain,
+                          queue_depth=len(self.queue),
+                          worker=self._worker.name)
+                return False
             self._worker = None
         if drain:
             self.drain()  # no-op when the worker already emptied it
         self._log("server_drain", drained=drain, queue_depth=len(self.queue))
+        return True
 
     def health(self) -> dict:
         """Liveness probe: one JSON-ready snapshot of serving state."""

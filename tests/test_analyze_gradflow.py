@@ -71,6 +71,28 @@ class TestDetachedParameter:
         assert gf002 and all(f.severity == "error" for f in gf002)
         assert any("scale" in f.location for f in gf002)
 
+    def test_detach_chain_through_real_ops_is_gf002_not_gf001(self, rng):
+        class Chained(Module):
+            def __init__(self):
+                super().__init__()
+                self.proj = Linear(DIMS["in_dim"], DIMS["out_dim"], rng=rng)
+                self.gain = Parameter(np.ones(DIMS["out_dim"]))
+
+            def forward(self, x, t):
+                # The detached value goes through further *real-side*
+                # arithmetic before mixing into the symbolic graph.
+                # Those ops drop their autodiff ancestry (no operand
+                # requires grad), so only severed-set propagation can
+                # see that `gain` fed this path: GF002, never GF001.
+                warped = self.gain.detach() * 2.0 + 1.0
+                return _horizon_stack(self.proj(x[:, -1]) * warped)
+
+        findings = lint_gradient_flow(Chained(), **DIMS)
+        gf002 = [f for f in findings if f.rule_id == "GF002"]
+        assert any("gain" in f.location for f in gf002), \
+            [str(f.to_dict()) for f in findings]
+        assert not any(f.rule_id == "GF001" for f in findings)
+
     def test_detach_plus_live_path_is_clean(self, rng):
         class Fine(Module):
             def __init__(self):

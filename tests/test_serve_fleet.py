@@ -6,6 +6,9 @@ sleeps.  Replica faults are staged through the router-side seams
 (``kill``/``pause``) rather than thread timing.
 """
 
+import os
+import time
+
 import numpy as np
 import pytest
 
@@ -14,7 +17,7 @@ from repro.graph import partition_nodes
 from repro.obs import MetricsRegistry
 from repro.obs.report import assemble_traces, check_fleet_traces
 from repro.obs.spans import collect_spans
-from repro.resilience import Backoff
+from repro.resilience import Backoff, RestartPolicy
 from repro.serve import (
     ConsistentHashRing,
     DeadlineExceededError,
@@ -77,6 +80,61 @@ def _run(fleet, clock, want, step=0.05, rounds=200):
             return collected
         clock.advance(step)
     raise AssertionError(f"only {len(collected)}/{want} responses after {rounds} rounds")
+
+
+def _make_proc_fleet(task, **overrides):
+    """Process-transport twin of ``_make_fleet``: real clock, real kills.
+
+    The supervisor's heartbeat watchdog is parked at 30 s so a wedged
+    replica stays wedged for the duration of a test (mirroring the
+    thread-mode ``pause`` seam) instead of being TERM/KILL-cycled out
+    from under the assertions; liveness (dead process -> restart) is
+    unaffected.
+    """
+    kwargs = dict(
+        num_shards=2, replicas_per_shard=2, queue_depth=8, max_batch=4,
+        max_attempts=3, backoff=Backoff(base=0.01, factor=2.0, jitter=0.0),
+        replica_timeout=0.6, slo=False,
+        metrics=MetricsRegistry(run="fleet-proc-test"),
+        transport="process",
+        restart_policy=RestartPolicy(max_restarts=3, window_s=10.0,
+                                     ready_deadline_s=15.0,
+                                     heartbeat_timeout_s=30.0,
+                                     term_deadline_s=1.0),
+        proc_kwargs={"heartbeat_interval": 0.05, "ack_timeout": 2.0,
+                     "ready_timeout": 60.0},
+    )
+    kwargs.update(overrides)
+    return ForecastFleet(task, _factory, **kwargs)
+
+
+def _run_real(fleet, want, budget=30.0):
+    """Real-clock pump loop for process-transport fleets."""
+    collected = []
+    end = time.monotonic() + budget
+    while time.monotonic() < end:
+        fleet.process_once()
+        collected.extend(fleet.take_responses())
+        if len(collected) >= want:
+            return collected
+        time.sleep(0.005)
+    raise AssertionError(f"only {len(collected)}/{want} responses after {budget}s")
+
+
+def _assert_no_orphans(pids):
+    for pid in pids:
+        if pid is None:
+            continue
+        try:
+            os.kill(pid, 0)
+        except OSError:
+            continue  # gone entirely
+        try:
+            with open(f"/proc/{pid}/stat") as fh:
+                state = fh.read().rsplit(")", 1)[1].split()[0]
+        except OSError:
+            continue
+        assert state == "Z", f"replica pid {pid} survived fleet.stop()"
 
 
 def _counter(fleet, name):
@@ -381,25 +439,55 @@ class TestHealthAndReadiness:
         assert fleet.health()["status"] == "ok" and fleet.ready()
 
 
+@pytest.mark.parametrize("transport", ["thread", "process"])
 class TestChaosContainment:
-    def test_mixed_faults_never_produce_a_wrong_answer(self, tiny_task, clock):
+    """Same fault matrix, both transports.
+
+    Thread mode stays on the FakeClock with router-side fault seams;
+    process mode runs real children on the real clock, so ``kill`` is a
+    genuine SIGKILL and ``pause`` is a wedge RPC into the child.  The
+    invariants asserted are identical.
+    """
+
+    def test_mixed_faults_never_produce_a_wrong_answer(self, tiny_task, transport):
         """Crash + wedge across shards: every answer is model, marked
         fallback, or an explicit shed — nothing silent, nothing bogus."""
-        fleet = _make_fleet(tiny_task, clock, replica_timeout=0.2,
-                            hedge_after=0.1,
-                            backoff=Backoff(base=0.01, factor=2.0, jitter=0.0))
-        fleet.shards[0].replicas[0].kill()
-        fleet.shards[1].replicas[0].pause()
-        n = 8
-        for i in range(n):
-            fleet.submit(_payload(tiny_task, i, deadline=clock() + 5.0), now=clock())
-        responses = _run(fleet, clock, want=n, step=0.05)
-        assert len(responses) == n
-        _assert_contained(tiny_task, responses)
-        answered = [r for r in responses if r.source != "shed"]
-        assert answered, "every request shed: containment held but nothing served"
+        if transport == "thread":
+            clock = FakeClock(t=100.0)
+            fleet = _make_fleet(tiny_task, clock, replica_timeout=0.2,
+                                hedge_after=0.1,
+                                backoff=Backoff(base=0.01, factor=2.0, jitter=0.0))
+        else:
+            fleet = _make_proc_fleet(tiny_task, hedge_after=0.3)
+        try:
+            fleet.shards[0].replicas[0].kill()
+            fleet.shards[1].replicas[0].pause()
+            n = 8
+            if transport == "thread":
+                for i in range(n):
+                    fleet.submit(_payload(tiny_task, i, deadline=clock() + 5.0),
+                                 now=clock())
+                responses = _run(fleet, clock, want=n, step=0.05)
+            else:
+                for i in range(n):
+                    fleet.submit(_payload(tiny_task, i,
+                                          deadline=time.monotonic() + 20.0))
+                responses = _run_real(fleet, want=n)
+            assert len(responses) == n
+            _assert_contained(tiny_task, responses)
+            answered = [r for r in responses if r.source != "shed"]
+            assert answered, "every request shed: containment held but nothing served"
+        finally:
+            if transport == "process":
+                pids = [getattr(rep.server, "pid", None) for rep in fleet.replicas]
+                fleet.stop(drain=False)
+                _assert_no_orphans(pids)
 
-    def test_fleet_traces_are_complete_across_chaos(self, tiny_task, clock):
+    def test_fleet_traces_are_complete_across_chaos(self, tiny_task, transport):
+        if transport == "process":
+            self._traces_process(tiny_task)
+            return
+        clock = FakeClock(t=100.0)
         with collect_spans() as collector:
             fleet = _make_fleet(tiny_task, clock, replica_timeout=0.2)
             fleet.submit(_payload(tiny_task, 0, rid="trace-ok"), now=clock())
@@ -426,6 +514,49 @@ class TestChaosContainment:
             for _ in range(5):
                 fleet.process_once(clock())
                 clock.advance(0.1)
+        assert _counter(fleet, "fleet.late_responses") >= 1
+        trees = assemble_traces(collector.records)
+        fleet_check = check_fleet_traces(trees)
+        assert fleet_check.total == 3
+        assert fleet_check.incomplete == []
+        assert fleet_check.complete == 3
+
+    @staticmethod
+    def _traces_process(tiny_task):
+        """Cross-process variant: child span records ship back over the
+        wire and must stitch into complete router->replica trees even
+        when one child is SIGKILLed mid-flight and a request sheds."""
+        with collect_spans() as collector:
+            fleet = _make_proc_fleet(tiny_task)
+            try:
+                fleet.submit(_payload(tiny_task, 0, rid="trace-ok"))
+                _run_real(fleet, want=1)
+                victim = fleet.replicas[0]
+                victim.pause()
+                fleet.submit(_payload(tiny_task, 1, rid="trace-crash"))
+                fleet.process_once()
+                victim.kill()  # real SIGKILL with the sub possibly in flight
+                _run_real(fleet, want=1)
+                for rep in fleet.replicas:  # everything wedged -> shed path
+                    if not rep.killed:
+                        rep.pause()
+                fleet.submit(_payload(tiny_task, 2, rid="trace-shed",
+                                      deadline=time.monotonic() + 0.4))
+                _run_real(fleet, want=1, budget=10.0)
+                for rep in fleet.replicas:
+                    rep.resume()
+                # Pump until the un-wedged children flush their stale
+                # work back (late responses carry the closing spans).
+                end = time.monotonic() + 10.0
+                while (_counter(fleet, "fleet.late_responses") < 1
+                       and time.monotonic() < end):
+                    fleet.process_once()
+                    time.sleep(0.01)
+                fleet.process_once()
+            finally:
+                pids = [getattr(rep.server, "pid", None) for rep in fleet.replicas]
+                fleet.stop(drain=False)
+                _assert_no_orphans(pids)
         assert _counter(fleet, "fleet.late_responses") >= 1
         trees = assemble_traces(collector.records)
         fleet_check = check_fleet_traces(trees)

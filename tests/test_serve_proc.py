@@ -1,0 +1,386 @@
+"""Process-isolated replica transport: wire protocol, child lifecycle, chaos.
+
+Two layers under test:
+
+* the frame codec (:class:`FrameConn`) over plain socketpairs — no
+  child process, so corruption tiers are exact and deterministic;
+* :class:`ProcReplicaClient` against a real forked child running a
+  real ``ForecastServer`` — spawn/ready, submit/respond, heartbeats,
+  wedges, SIGKILL, wire corruption, reload, span stitching, shutdown.
+"""
+
+import os
+import pickle
+import socket
+import time
+import zlib
+from contextlib import contextmanager
+
+import numpy as np
+import pytest
+
+from repro.core import TGCRN
+from repro.nn import save_checkpoint
+from repro.obs import MetricsRegistry
+from repro.obs.report import assemble_traces
+from repro.obs.spans import collect_spans, finish_span, start_span
+from repro.serve import (
+    DeadlineExceededError,
+    ForecastServer,
+    InvalidRequestError,
+    ProcReplicaClient,
+    ReplicaStartupError,
+    WireDesyncError,
+)
+from repro.serve.fleet import ReplicaDownError
+from repro.serve.proc import (
+    FRAME_ACK,
+    FRAME_CONTROL,
+    FRAME_HEARTBEAT,
+    FRAME_SUBMIT,
+    MAGIC,
+    MAX_FRAME,
+    _HEADER,
+    FrameConn,
+    _drop_corrupt,
+    _error_payload,
+    encode_frame,
+    rebuild_wire_error,
+)
+from repro.serve.queueing import ServiceOverloadedError
+from repro.training import default_tgcrn_kwargs
+from repro.verify import named_rng
+
+
+# --------------------------------------------------------------------- #
+# wire protocol (no child process)
+# --------------------------------------------------------------------- #
+
+
+@contextmanager
+def _pair():
+    a, b = socket.socketpair()
+    try:
+        yield FrameConn(a), FrameConn(b)
+    finally:
+        a.close()
+        b.close()
+
+
+class TestWireProtocol:
+    def test_frame_roundtrip_preserves_type_and_payload(self):
+        with _pair() as (tx, rx):
+            tx.send_frame(FRAME_SUBMIT, {"id": "r1", "n": 3})
+            tx.send_frame(FRAME_ACK, {"ok": True, "arr": [1.5, 2.5]})
+            frames = _drop_corrupt(rx.recv_frames(timeout=1.0))
+            assert frames == [(FRAME_SUBMIT, {"id": "r1", "n": 3}),
+                              (FRAME_ACK, {"ok": True, "arr": [1.5, 2.5]})]
+            assert rx.corrupt_frames == 0
+
+    def test_partial_frame_waits_for_the_rest(self):
+        blob = encode_frame(FRAME_CONTROL, {"op": "noop"})
+        with _pair() as (tx, rx):
+            tx.send_raw(blob[:7])
+            assert rx.recv_frames(timeout=0.05) == []
+            tx.send_raw(blob[7:])
+            assert _drop_corrupt(rx.recv_frames(timeout=1.0)) == [
+                (FRAME_CONTROL, {"op": "noop"})]
+
+    def test_bad_crc_is_counted_and_stream_continues(self):
+        body = pickle.dumps({"op": "noop"})
+        damaged = _HEADER.pack(MAGIC, FRAME_CONTROL, len(body),
+                               zlib.crc32(body) ^ 0xDEADBEEF) + body
+        with _pair() as (tx, rx):
+            tx.send_raw(damaged)
+            tx.send_frame(FRAME_ACK, {"ok": True})
+            frames = _drop_corrupt(rx.recv_frames(timeout=1.0))
+            assert frames == [(FRAME_ACK, {"ok": True})]
+            assert rx.corrupt_frames == 1
+
+    def test_unpicklable_payload_is_corrupt_not_desync(self):
+        junk = b"\x80\x05not-a-pickle"
+        damaged = _HEADER.pack(MAGIC, FRAME_CONTROL, len(junk),
+                               zlib.crc32(junk)) + junk
+        with _pair() as (tx, rx):
+            tx.send_raw(damaged)
+            tx.send_frame(FRAME_ACK, {"ok": True})
+            assert _drop_corrupt(rx.recv_frames(timeout=1.0)) == [
+                (FRAME_ACK, {"ok": True})]
+            assert rx.corrupt_frames == 1
+
+    def test_bad_magic_is_desync(self):
+        blob = encode_frame(FRAME_CONTROL, {"op": "noop"})
+        with _pair() as (tx, rx):
+            tx.send_raw(b"XX" + blob[2:])
+            with pytest.raises(WireDesyncError):
+                rx.recv_frames(timeout=1.0)
+
+    def test_oversized_length_is_desync(self):
+        body = pickle.dumps({})
+        raw = _HEADER.pack(MAGIC, FRAME_CONTROL, MAX_FRAME + 1,
+                           zlib.crc32(body)) + body
+        with _pair() as (tx, rx):
+            tx.send_raw(raw)
+            with pytest.raises(WireDesyncError):
+                rx.recv_frames(timeout=1.0)
+
+    def test_eof_sets_flag_and_returns_parsed_prefix(self):
+        with _pair() as (tx, rx):
+            tx.send_frame(FRAME_ACK, {"ok": True})
+            tx.close()
+            frames = _drop_corrupt(rx.recv_frames(timeout=1.0))
+            assert frames == [(FRAME_ACK, {"ok": True})]
+            assert rx.eof
+
+
+class TestWireErrors:
+    def test_invalid_request_roundtrip(self):
+        exc = rebuild_wire_error(
+            _error_payload(InvalidRequestError("shape", "bad window")))
+        assert isinstance(exc, InvalidRequestError)
+        assert exc.code == "shape" and exc.detail == "bad window"
+
+    def test_deadline_exceeded_roundtrip_keeps_message(self):
+        original = DeadlineExceededError("req-9", 10.0, 11.0)
+        exc = rebuild_wire_error(_error_payload(original))
+        assert isinstance(exc, DeadlineExceededError)
+        assert exc.request_id == "req-9"
+        assert str(exc) == str(original)
+
+    def test_overloaded_roundtrip(self):
+        exc = rebuild_wire_error(
+            _error_payload(ServiceOverloadedError(8, 8, detail="full")))
+        assert isinstance(exc, ServiceOverloadedError)
+        assert (exc.depth, exc.max_depth) == (8, 8)
+
+    def test_unknown_error_degrades_to_runtime_error(self):
+        exc = rebuild_wire_error(_error_payload(KeyError("boom")))
+        assert isinstance(exc, RuntimeError)
+        assert "KeyError" in str(exc)
+
+
+# --------------------------------------------------------------------- #
+# live child process
+# --------------------------------------------------------------------- #
+
+
+def _model(task, tag="proc"):
+    return TGCRN(
+        **default_tgcrn_kwargs(task, hidden_dim=4, node_dim=3, time_dim=3,
+                               num_layers=1),
+        rng=named_rng(3, f"proc-{tag}"),
+    )
+
+
+def _server_factory(task):
+    def factory():
+        return ForecastServer(
+            _model(task), task, queue_depth=8, max_batch=4,
+            model_factory=lambda: _model(task),
+            metrics=MetricsRegistry(run="proc-test"),
+            logger=None, clock=time.monotonic, slo=False)
+    return factory
+
+
+def _payload(task, i, rid=None, **extra):
+    j = i % len(task.test)
+    return {"window": task.test.inputs[j],
+            "time_index": task.test.time_indices[j],
+            "id": rid or f"req-{i}", **extra}
+
+
+@contextmanager
+def _client(task, **kw):
+    kw.setdefault("heartbeat_interval", 0.05)
+    kw.setdefault("ack_timeout", 2.0)
+    client = ProcReplicaClient("p0", _server_factory(task), **kw)
+    client.spawn()
+    try:
+        client.wait_ready(timeout=60.0)
+        yield client
+    finally:
+        client.close(drain=False, timeout=5.0)
+
+
+def _answers(client, want=1, budget=30.0):
+    got = []
+    end = time.monotonic() + budget
+    while len(got) < want and time.monotonic() < end:
+        client.process_once()
+        got.extend(client.take_responses())
+        time.sleep(0.005)
+    assert len(got) >= want, f"only {len(got)}/{want} responses in {budget}s"
+    return got
+
+
+def _assert_reaped(pid):
+    try:
+        os.kill(pid, 0)
+    except OSError:
+        return
+    with open(f"/proc/{pid}/stat") as fh:
+        state = fh.read().rsplit(")", 1)[1].split()[0]
+    assert state == "Z", f"child pid {pid} still running"
+
+
+class TestProcReplicaLifecycle:
+    def test_spawn_serve_health_close(self, tiny_task):
+        with _client(tiny_task) as client:
+            pid = client.pid
+            assert client.is_alive() and client.ready
+            assert pid is not None and pid != os.getpid()
+            rid = client.submit(_payload(tiny_task, 0))
+            (resp,) = _answers(client, want=1)
+            assert resp.request_id == rid and resp.source == "model"
+            assert resp.prediction.shape == (
+                tiny_task.horizon, tiny_task.num_nodes, tiny_task.out_dim)
+            assert np.all(np.isfinite(resp.prediction))
+            # heartbeats keep flowing and surface child-side state
+            time.sleep(0.15)
+            health = client.health()
+            assert health["status"] == "ok"
+            assert health["transport"] == "process"
+            assert health["pid"] == pid
+            assert client.last_heartbeat is not None
+        assert not client.is_alive()
+        _assert_reaped(pid)
+
+    def test_invalid_request_error_crosses_the_wire(self, tiny_task):
+        with _client(tiny_task) as client:
+            with pytest.raises(InvalidRequestError) as excinfo:
+                client.submit({"id": "bad", "window": "nonsense"})
+            assert excinfo.value.code
+            # the child survived the rejection
+            client.submit(_payload(tiny_task, 0))
+            _answers(client, want=1)
+
+    def test_sigkill_then_respawn(self, tiny_task):
+        with _client(tiny_task) as client:
+            first_pid = client.pid
+            client.submit(_payload(tiny_task, 0, rid="doomed"))
+            client.kill_process()
+            assert not client.is_alive()
+            with pytest.raises(ReplicaDownError):
+                client.submit(_payload(tiny_task, 1))
+            dropped = client.abort("failover")
+            assert "doomed" in dropped
+            client.respawn()
+            client.wait_ready(timeout=60.0)
+            assert client.pid != first_pid
+            assert client.restarts == 1
+            client.submit(_payload(tiny_task, 2))
+            (resp,) = _answers(client, want=1)
+            assert resp.source == "model"
+            _assert_reaped(first_pid)
+
+    def test_wedge_admits_but_never_answers_until_unwedged(self, tiny_task):
+        with _client(tiny_task) as client:
+            assert client.inject_wedge()
+            client.submit(_payload(tiny_task, 0, rid="stuck"))
+            deadline = time.monotonic() + 0.4
+            while time.monotonic() < deadline:
+                client.process_once()
+                time.sleep(0.01)
+            assert client.take_responses() == []
+            assert client.outstanding == 1
+            assert client.inject_unwedge()
+            (resp,) = _answers(client, want=1)
+            assert resp.request_id == "stuck"
+
+    def test_recoverable_corruption_is_counted_not_fatal(self, tiny_task):
+        with _client(tiny_task) as client:
+            client.inject_corrupt_frame("crc")
+            client.inject_corrupt_frame("payload")
+            client.submit(_payload(tiny_task, 0))
+            (resp,) = _answers(client, want=1)
+            assert resp.source == "model"
+            # the heartbeat reports the child-side corrupt-frame count
+            deadline = time.monotonic() + 5.0
+            while time.monotonic() < deadline:
+                if client.health().get("corrupt_frames", 0) >= 2:
+                    break
+                time.sleep(0.01)
+            assert client.health().get("corrupt_frames", 0) >= 2
+            assert client.is_alive()
+
+    def test_magic_corruption_desyncs_the_child(self, tiny_task):
+        with _client(tiny_task) as client:
+            pid = client.pid
+            client.inject_corrupt_frame("magic")
+            deadline = time.monotonic() + 10.0
+            while client.is_alive() and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert not client.is_alive(), "child should exit on stream desync"
+            assert client._process.exitcode == 3
+            client.respawn()
+            client.wait_ready(timeout=60.0)
+            client.submit(_payload(tiny_task, 0))
+            _answers(client, want=1)
+            _assert_reaped(pid)
+
+    def test_reload_checkpoint_over_the_wire(self, tiny_task, tmp_path):
+        with _client(tiny_task) as client:
+            old_version = client.model_version
+            path = tmp_path / "candidate.npz"
+            save_checkpoint(path, _model(tiny_task, tag="v2"),
+                            metadata={"tag": "v2"})
+            assert client.reload_checkpoint(path)
+            assert client.model_version != old_version
+            assert not client.reload_checkpoint(tmp_path / "missing.npz")
+            client.submit(_payload(tiny_task, 0))
+            (resp,) = _answers(client, want=1)
+            assert resp.source == "model"
+
+    def test_slow_start_misses_short_ready_deadline(self, tiny_task):
+        client = ProcReplicaClient("p0", _server_factory(tiny_task),
+                                   heartbeat_interval=0.05, ack_timeout=2.0,
+                                   slow_start_s=1.0)
+        client.spawn()
+        try:
+            with pytest.raises(ReplicaStartupError):
+                client.wait_ready(timeout=0.2)
+            client.wait_ready(timeout=60.0)  # eventually comes up
+            assert client.ready
+        finally:
+            client.close(drain=False, timeout=5.0)
+
+    def test_graceful_close_drains_in_flight_work(self, tiny_task):
+        client = ProcReplicaClient("p0", _server_factory(tiny_task),
+                                   heartbeat_interval=0.05, ack_timeout=2.0)
+        client.spawn()
+        pid = None
+        try:
+            client.wait_ready(timeout=60.0)
+            pid = client.pid
+            client.submit(_payload(tiny_task, 0, rid="draining"))
+        finally:
+            client.close(drain=True, timeout=15.0)
+        responses = client.take_responses()
+        assert [r.request_id for r in responses] == ["draining"]
+        assert not client.is_alive()
+        if pid is not None:
+            _assert_reaped(pid)
+
+
+class TestCrossProcessSpans:
+    def test_child_spans_ship_back_and_stitch_under_parent(self, tiny_task):
+        with collect_spans() as collector:
+            with _client(tiny_task) as client:
+                root = start_span("fleet_request", attrs={"request_id": "t1"})
+                client.submit(_payload(tiny_task, 0, rid="t1"),
+                              parent_span=root)
+                _answers(client, want=1)
+                finish_span(root, status="ok")
+        records = collector.records
+        child = [r for r in records
+                 if str(r.get("span_id", "")).startswith("p0.")]
+        assert child, "no child-side span records were ingested"
+        assert any(r.get("name") == "request" for r in child)
+        # every shipped child span stitches into the parent's trace
+        trees = assemble_traces(records)
+        (tree,) = [t for t in trees.values()
+                   if any(r.name == "fleet_request" for r in t.roots)]
+        names = {node.name for node in tree.nodes.values()}
+        assert "request" in names
+        assert tree.orphans == []
+        assert tree.unfinished() == []

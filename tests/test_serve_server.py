@@ -176,6 +176,47 @@ class TestLifecycle:
         assert len(server.take_responses()) == 12
 
 
+class TestDrainTimeout:
+    def test_wedged_worker_is_reported_not_swallowed(self, tiny_task):
+        events = []
+
+        class Recorder:
+            def log(self, event, **fields):
+                events.append({"event": event, **fields})
+
+        server = ForecastServer(_model(tiny_task), tiny_task, queue_depth=8,
+                                max_batch=4, logger=Recorder())
+        release = threading.Event()
+        real_process_once = server.process_once
+
+        def wedged_process_once(*args, **kwargs):
+            release.wait(10.0)
+            return real_process_once(*args, **kwargs)
+
+        server.process_once = wedged_process_once
+        server.start(poll_interval=0.005)
+        server.submit(_payload(tiny_task, 0))
+        deadline = time.monotonic() + 5.0
+        while not release.is_set() and time.monotonic() < deadline:
+            time.sleep(0.005)  # let the worker pick the request up
+            break
+        assert server.stop(drain=True, timeout=0.05) is False
+        drain_timeouts = [e for e in events if e["event"] == "drain_timeout"]
+        assert len(drain_timeouts) == 1
+        assert drain_timeouts[0]["timeout_s"] == 0.05
+        assert server.metrics._counters["serve.drain_timeouts"].value == 1
+        # the wedge clears: a later stop() succeeds and drains cleanly
+        release.set()
+        assert server.stop(drain=True, timeout=10.0) is True
+        assert [r.request_id for r in server.take_responses()] == ["req-0"]
+
+    def test_clean_stop_returns_true(self, tiny_task):
+        server = ForecastServer(_model(tiny_task), tiny_task, queue_depth=8,
+                                max_batch=4)
+        server.start(poll_interval=0.005)
+        assert server.stop(drain=True) is True
+
+
 class TestWarmReload:
     def test_good_checkpoint_swaps_atomically(self, tiny_task, server, tmp_path):
         other = _model(tiny_task, name="serve-other-model")
