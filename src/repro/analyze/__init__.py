@@ -6,10 +6,14 @@ Three analyzers behind one :class:`~repro.analyze.findings.Finding` model:
 * :mod:`repro.analyze.gradflow` — gradient-flow linter (GF rules)
 * :mod:`repro.analyze.lint` — repo-invariant AST lint (RL rules)
 * :mod:`repro.analyze.engine_support` — capture/replay compilability (EN rules)
+* :mod:`repro.analyze.concurrency` — cross-module lock-discipline lint (CC rules)
+* :mod:`repro.analyze.lockorder` — runtime lock-order sanitizer (witness graph)
+* :mod:`repro.analyze.fixes` — mechanical autofixes (``analyze --fix``)
 
 See ``docs/analysis.md`` for the rule catalog and baseline workflow.
 """
 
+from .concurrency import CONCURRENCY_RULES, analyze_concurrency
 from .findings import (
     Baseline,
     DEFAULT_BASELINE_NAME,
@@ -22,8 +26,10 @@ from .findings import (
     severity_rank,
 )
 from .engine_support import check_engine_support
+from .fixes import FIXABLE_RULES, apply_fixes
 from .gradflow import lint_gradient_flow
 from .lint import LintRule, lint_paths, registered_rules, rule
+from .lockorder import LockOrderSanitizer, LockOrderViolation, checkpoint
 from .runner import AnalysisReport, analyze_models, run_analysis
 from .shapes import (
     ModelShapeError,
@@ -40,16 +46,23 @@ from .shapes import (
 __all__ = [
     "AnalysisReport",
     "Baseline",
+    "CONCURRENCY_RULES",
     "DEFAULT_BASELINE_NAME",
+    "FIXABLE_RULES",
     "Finding",
     "LintRule",
+    "LockOrderSanitizer",
+    "LockOrderViolation",
     "ModelShapeError",
     "SEVERITIES",
     "SymDim",
     "SymTensor",
     "SymbolicShapeError",
+    "analyze_concurrency",
     "analyze_models",
+    "apply_fixes",
     "check_engine_support",
+    "checkpoint",
     "check_forecast_model",
     "check_micro_batch_shapes",
     "check_served_model",

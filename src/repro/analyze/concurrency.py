@@ -1,0 +1,849 @@
+"""Cross-module concurrency lint: guarded-by inference + lock graphs.
+
+The serving stack (``serve/``, ``resilience/``, ``obs/``) is genuinely
+concurrent — worker threads, a fleet router, socket-backed replica
+clients — and the single-file rules in :mod:`repro.analyze.lint` cannot
+see the discipline that keeps it correct: *which lock guards which
+attribute*, and *in which order locks nest across modules*.  This pass
+parses every file once, builds whole-program lock facts, and reports:
+
+======  ========  =====================================================
+CC001   error     mixed guarded/unguarded access to a mutable instance
+                  attribute in a threaded class (a data race)
+CC002   error     lock-ordering cycle in the inter-procedural
+                  lock-acquisition graph (a potential deadlock)
+CC003   warning   blocking call (socket ``recv``/``accept``, un-timed
+                  ``join``, ``sleep``, un-timed ``Queue.get``,
+                  ``retry_call``) while holding a lock
+CC004   error     ``Condition.wait`` outside a predicate ``while`` loop
+                  (misses spurious wakeups)
+======  ========  =====================================================
+
+Inference rules (also documented in ``docs/analysis.md``):
+
+* A *lock attribute* is any ``self.X = threading.Lock()/RLock()/
+  Condition()/Semaphore()`` assignment (or an attribute whose name
+  contains ``lock``).  ``Condition(self._lock)`` aliases the condition
+  to the underlying lock, so ``with self._cond:`` and ``with
+  self._lock:`` count as the same guard.
+* A class is *threaded* when it constructs ``threading.Thread`` anywhere
+  or lives under a worker-path prefix (``serve/``, ``resilience/``,
+  ``obs/``) — code on those paths runs on server/fleet worker threads.
+* *Inter-procedural guards*: a private method (leading underscore) whose
+  every in-class call site runs with a lock held inherits that lock as
+  its entry guard — the ``fleet.py`` "callers hold ``self._lock``"
+  convention.  Public methods are assumed callable from anywhere.
+* ``__init__`` — and private methods reachable *only* from
+  ``__init__`` — run before the object is shared; accesses there are
+  exempt from CC001.
+* Calls resolve: ``self.m()`` to the same class; ``self.attr.m()`` via
+  ``self.attr = ClassName(...)`` assignments; bare ``f()`` to a module
+  function; otherwise by unique method name across all scanned classes
+  (ambiguous names stay unresolved — the analyzer under-approximates
+  rather than guess).
+
+A finding on line *L* is suppressed by ``# analyze: allow[CC00x]
+<reason>`` on *L* or the line above, same convention as the RL rules.
+Findings anchor on the file path (no line numbers) so fingerprints
+survive unrelated edits.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from .findings import Finding
+from .lint import _ALLOW_RE, _LOCK_FACTORIES, _dotted, _iter_py_files
+
+#: module prefixes whose classes are treated as running on worker threads
+WORKER_PATH_PREFIXES = ("serve/", "resilience/", "obs/")
+
+#: dotted-name tails that always block (per the serving stack's inventory)
+_BLOCKING_TAILS = {"recv", "recv_into", "recvfrom", "accept", "sleep", "retry_call"}
+
+#: methods that mutate their receiver in place
+_MUTATORS = {
+    "append", "appendleft", "extend", "extendleft", "insert",
+    "pop", "popleft", "popitem", "clear", "add", "discard",
+    "remove", "update", "setdefault", "sort", "reverse", "put",
+}
+
+#: rule catalog (mirrored in docs/analysis.md; tests assert both exist)
+CONCURRENCY_RULES: dict[str, dict] = {
+    "CC001": dict(
+        name="mixed-guarded-access",
+        severity="error",
+        description=(
+            "mutable instance attribute accessed both under the class lock "
+            "and without it in a threaded class — a data race"
+        ),
+        fix_hint=(
+            "take the lock on every non-init access, or document the benign "
+            "race with '# analyze: allow[CC001] <reason>'"
+        ),
+    ),
+    "CC002": dict(
+        name="lock-order-cycle",
+        severity="error",
+        description=(
+            "inter-procedural lock-acquisition graph contains a cycle — two "
+            "threads taking the locks in opposite orders deadlock"
+        ),
+        fix_hint=(
+            "pick one global acquisition order, or release the first lock "
+            "before calling into the subsystem that takes the second"
+        ),
+    ),
+    "CC003": dict(
+        name="blocking-under-lock",
+        severity="warning",
+        description=(
+            "blocking call (recv/accept, un-timed join, sleep, un-timed "
+            "Queue.get, retry_call) while holding a lock stalls every other "
+            "thread that needs it"
+        ),
+        fix_hint=(
+            "move the blocking call outside the critical section or bound it "
+            "with a timeout; if the lock must serialize the wait, annotate "
+            "with '# analyze: allow[CC003] <reason>'"
+        ),
+    ),
+    "CC004": dict(
+        name="wait-without-while",
+        severity="error",
+        description=(
+            "un-timed Condition.wait() outside a predicate while-loop — "
+            "spurious wakeups and stolen wakeups break the invariant"
+        ),
+        fix_hint="re-check the predicate: 'while not pred: cond.wait()'",
+    ),
+}
+
+
+# --------------------------------------------------------------------- #
+# model extraction
+# --------------------------------------------------------------------- #
+
+
+@dataclass
+class _ClassInfo:
+    name: str
+    module: "_ModuleInfo"
+    node: ast.ClassDef
+    lock_attrs: dict[str, str] = field(default_factory=dict)  # attr -> canonical attr
+    lock_kinds: dict[str, str] = field(default_factory=dict)  # canonical attr -> factory
+    attr_types: dict[str, str] = field(default_factory=dict)  # self.attr -> ClassName
+    methods: dict[str, ast.FunctionDef] = field(default_factory=dict)
+    starts_threads: bool = False
+
+    @property
+    def qualname(self) -> str:
+        return self.name
+
+    def lock_id(self, attr: str) -> str:
+        return f"{self.name}.{self.lock_attrs.get(attr, attr)}"
+
+
+@dataclass
+class _ModuleInfo:
+    path: Path
+    display: str
+    pkg_rel: str
+    tree: ast.Module
+    lines: list[str]
+    mod_name: str
+    module_locks: dict[str, str] = field(default_factory=dict)  # NAME -> factory
+    classes: list[_ClassInfo] = field(default_factory=list)
+    functions: dict[str, ast.FunctionDef] = field(default_factory=dict)
+
+    def allows(self) -> dict[int, set[str]]:
+        out: dict[int, set[str]] = {}
+        for lineno, line in enumerate(self.lines, start=1):
+            match = _ALLOW_RE.search(line)
+            if match:
+                out[lineno] = {p.strip() for p in match.group(1).split(",") if p.strip()}
+        return out
+
+    def in_any(self, prefixes: Iterable[str]) -> bool:
+        return any(
+            self.pkg_rel == p or self.pkg_rel.startswith(p) or f"/{p}" in f"/{self.pkg_rel}"
+            for p in prefixes
+        )
+
+
+def _lock_factory_of(value: ast.expr) -> str | None:
+    if isinstance(value, ast.Call):
+        tail = _dotted(value.func).split(".")[-1]
+        if tail in _LOCK_FACTORIES:
+            return tail
+    return None
+
+
+def _lockish_name(attr: str) -> bool:
+    """True for names where ``lock`` is a token (``_lock``, ``model_lock``)
+    — not a substring (``_clock`` is a clock, not a lock)."""
+    name = attr.lower().lstrip("_")
+    return name == "lock" or name.endswith("_lock") or name.startswith("lock_")
+
+
+def _collect_class(module: _ModuleInfo, node: ast.ClassDef) -> _ClassInfo:
+    info = _ClassInfo(name=node.name, module=module, node=node)
+    for child in ast.walk(node):
+        if isinstance(child, ast.Call):
+            if _dotted(child.func).split(".")[-1] == "Thread":
+                info.starts_threads = True
+        if not isinstance(child, ast.Assign):
+            continue
+        for target in child.targets:
+            if not (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                continue
+            factory = _lock_factory_of(child.value)
+            if factory == "Condition" and isinstance(child.value, ast.Call) and child.value.args:
+                # Condition(self._lock) shares the underlying lock
+                arg = child.value.args[0]
+                if (
+                    isinstance(arg, ast.Attribute)
+                    and isinstance(arg.value, ast.Name)
+                    and arg.value.id == "self"
+                ):
+                    info.lock_attrs[target.attr] = arg.attr
+                    continue
+            if factory is not None or _lockish_name(target.attr):
+                info.lock_attrs.setdefault(target.attr, target.attr)
+                info.lock_kinds[target.attr] = factory or "Lock"
+            elif isinstance(child.value, ast.Call) and isinstance(child.value.func, ast.Name):
+                info.attr_types[target.attr] = child.value.func.id
+    for stmt in node.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            info.methods[stmt.name] = stmt
+    return info
+
+
+def _collect_module(path: Path, top: Path, root: Path | None) -> _ModuleInfo | None:
+    display = str(path)
+    if root is not None:
+        try:
+            display = path.resolve().relative_to(Path(root).resolve()).as_posix()
+        except ValueError:
+            display = str(path)
+    pkg_rel = path.resolve().relative_to(top.resolve()).as_posix()
+    source = path.read_text()
+    try:
+        tree = ast.parse(source)
+    except SyntaxError:
+        return None  # lint.py already reports RL000 for unparsable files
+    module = _ModuleInfo(
+        path=path, display=display, pkg_rel=pkg_rel, tree=tree,
+        lines=source.splitlines(), mod_name=pkg_rel[:-3].replace("/", "."),
+    )
+    for stmt in tree.body:
+        if isinstance(stmt, ast.Assign):
+            factory = _lock_factory_of(stmt.value)
+            if factory is not None:
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name):
+                        module.module_locks[target.id] = factory
+        elif isinstance(stmt, ast.ClassDef):
+            module.classes.append(_collect_class(module, stmt))
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            module.functions[stmt.name] = stmt
+    return module
+
+
+# --------------------------------------------------------------------- #
+# per-function facts
+# --------------------------------------------------------------------- #
+
+#: (module, class_name or None, func_name) — the global function key
+_FuncKey = tuple
+
+
+@dataclass
+class _FuncFacts:
+    key: _FuncKey
+    module: _ModuleInfo
+    cls: _ClassInfo | None
+    node: ast.FunctionDef
+    # (attr, lineno, held, is_write) for every self.<attr> access
+    accesses: list = field(default_factory=list)
+    # (lock_id, lineno, held_at_acquire)
+    acquires: list = field(default_factory=list)
+    # (callee_key | None, lineno, held, call_repr)
+    calls: list = field(default_factory=list)
+    # (primitive, lineno, held)
+    blocking: list = field(default_factory=list)
+    # (lineno, receiver_repr) for un-timed Condition.wait outside a while
+    bad_waits: list = field(default_factory=list)
+    entry_guard: frozenset = frozenset()
+    init_only: bool = False
+    may_acquire: set = field(default_factory=set)
+    may_block: set = field(default_factory=set)
+
+
+class _Program:
+    """Whole-program indexes shared by the rule passes."""
+
+    def __init__(self, modules: list[_ModuleInfo]):
+        self.modules = modules
+        self.classes: list[_ClassInfo] = [c for m in modules for c in m.classes]
+        self.facts: dict[_FuncKey, _FuncFacts] = {}
+        # unique method-name -> owning class (None once ambiguous)
+        self._method_owner: dict[str, _ClassInfo | None] = {}
+        for cls in self.classes:
+            for name in cls.methods:
+                if name in self._method_owner:
+                    self._method_owner[name] = None
+                else:
+                    self._method_owner[name] = cls
+        # unique lock-attr name -> (class, canonical) for foreign receivers
+        self._lock_owner: dict[str, tuple | None] = {}
+        for cls in self.classes:
+            for attr, canonical in cls.lock_attrs.items():
+                if attr in self._lock_owner:
+                    self._lock_owner[attr] = None
+                else:
+                    self._lock_owner[attr] = (cls, canonical)
+        self._class_by_name: dict[str, _ClassInfo | None] = {}
+        for cls in self.classes:
+            if cls.name in self._class_by_name:
+                self._class_by_name[cls.name] = None
+            else:
+                self._class_by_name[cls.name] = cls
+
+    def unique_method_owner(self, name: str) -> _ClassInfo | None:
+        return self._method_owner.get(name)
+
+    def unique_lock_owner(self, attr: str):
+        return self._lock_owner.get(attr)
+
+    def class_named(self, name: str) -> _ClassInfo | None:
+        return self._class_by_name.get(name)
+
+    def lock_kind(self, lock_id: str) -> str:
+        cls_name, _, attr = lock_id.rpartition(".")
+        cls = self.class_named(cls_name)
+        if cls is not None:
+            return cls.lock_kinds.get(attr, "Lock")
+        for module in self.modules:
+            if module.mod_name == cls_name:
+                return module.module_locks.get(attr, "Lock")
+        return "Lock"
+
+
+def _lock_id_of(expr: ast.expr, cls: _ClassInfo | None, module: _ModuleInfo,
+                program: _Program) -> str | None:
+    """Canonical lock id of a ``with``-item context expression, if any."""
+    if isinstance(expr, ast.Attribute):
+        if isinstance(expr.value, ast.Name) and expr.value.id == "self" and cls is not None:
+            if expr.attr in cls.lock_attrs:
+                return cls.lock_id(expr.attr)
+            return None
+        owner = program.unique_lock_owner(expr.attr)
+        if owner is not None:
+            owner_cls, canonical = owner
+            return f"{owner_cls.name}.{canonical}"
+        if _lockish_name(expr.attr):
+            return f"?.{expr.attr}"  # opaque: counts as held, weak graph node
+        return None
+    if isinstance(expr, ast.Name) and expr.id in module.module_locks:
+        return f"{module.mod_name}.{expr.id}"
+    return None
+
+
+def _resolve_call(call: ast.Call, cls: _ClassInfo | None, module: _ModuleInfo,
+                  program: _Program) -> _FuncKey | None:
+    func = call.func
+    if isinstance(func, ast.Name):
+        if func.id in module.functions:
+            return (module.mod_name, None, func.id)
+        target = program.class_named(func.id)
+        if target is not None and "__init__" in target.methods:
+            return (target.module.mod_name, target.name, "__init__")
+        return None
+    if not isinstance(func, ast.Attribute):
+        return None
+    recv = func.value
+    if isinstance(recv, ast.Name) and recv.id == "self" and cls is not None:
+        if func.attr in cls.methods:
+            return (module.mod_name, cls.name, func.attr)
+        return None
+    if (
+        isinstance(recv, ast.Attribute)
+        and isinstance(recv.value, ast.Name)
+        and recv.value.id == "self"
+        and cls is not None
+    ):
+        type_name = cls.attr_types.get(recv.attr)
+        target = program.class_named(type_name) if type_name else None
+        if target is not None and func.attr in target.methods:
+            return (target.module.mod_name, target.name, func.attr)
+    owner = program.unique_method_owner(func.attr)
+    if owner is not None and func.attr in owner.methods:
+        return (owner.module.mod_name, owner.name, func.attr)
+    return None
+
+
+def _is_untimed(call: ast.Call) -> bool:
+    return not call.args and not call.keywords
+
+
+def _blocking_primitive(call: ast.Call) -> str | None:
+    dotted = _dotted(call.func)
+    tail = dotted.split(".")[-1]
+    if tail in _BLOCKING_TAILS:
+        return tail
+    if tail == "join" and isinstance(call.func, ast.Attribute) and _is_untimed(call):
+        return "join"  # un-timed Thread/Process.join; str.join takes an argument
+    if tail == "get" and _is_untimed(call) and "queue" in dotted.lower():
+        return "Queue.get"
+    return None
+
+
+def _walk_function(facts: _FuncFacts, func_node: ast.FunctionDef,
+                   cls: _ClassInfo | None, module: _ModuleInfo,
+                   program: _Program, cond_attrs: set) -> None:
+    def record_access(attr: str, lineno: int, held: frozenset, is_write: bool):
+        if cls is not None and attr not in cls.lock_attrs:
+            facts.accesses.append((attr, lineno, held, is_write))
+
+    def handle_call(call: ast.Call, held: frozenset, in_while: bool):
+        func = call.func
+        # Condition.wait discipline
+        if isinstance(func, ast.Attribute) and func.attr == "wait":
+            recv = func.value
+            is_cond = False
+            if (
+                isinstance(recv, ast.Attribute)
+                and isinstance(recv.value, ast.Name)
+                and recv.value.id == "self"
+                and cls is not None
+                and recv.attr in cond_attrs
+            ):
+                is_cond = True
+            elif isinstance(recv, ast.Name) and "cond" in recv.id.lower():
+                is_cond = True
+            if is_cond and _is_untimed(call) and not in_while:
+                facts.bad_waits.append((call.lineno, _dotted(recv)))
+        primitive = _blocking_primitive(call)
+        if primitive is not None:
+            facts.blocking.append((primitive, call.lineno, held))
+        callee = _resolve_call(call, cls, module, program)
+        facts.calls.append((callee, call.lineno, held, _dotted(call.func)))
+        # mutating method on self.<attr> counts as a write
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in _MUTATORS
+            and isinstance(func.value, ast.Attribute)
+            and isinstance(func.value.value, ast.Name)
+            and func.value.value.id == "self"
+        ):
+            record_access(func.value.attr, call.lineno, held, True)
+
+    def visit(node: ast.AST, held: frozenset, in_while: bool):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            for child in node.body:
+                visit(child, frozenset(), False)
+            return
+        if isinstance(node, ast.Lambda):
+            visit(node.body, frozenset(), False)
+            return
+        if isinstance(node, ast.With):
+            inner = held
+            for item in node.items:
+                lock_id = _lock_id_of(item.context_expr, cls, module, program)
+                if lock_id is not None:
+                    facts.acquires.append((lock_id, node.lineno, inner))
+                    inner = inner | {lock_id}
+                else:
+                    visit(item.context_expr, held, in_while)
+                if item.optional_vars is not None:
+                    visit(item.optional_vars, inner, in_while)
+            for child in node.body:
+                visit(child, inner, in_while)
+            return
+        if isinstance(node, ast.While):
+            visit(node.test, held, in_while)
+            for child in node.body + node.orelse:
+                visit(child, held, True)
+            return
+        if isinstance(node, ast.Call):
+            handle_call(node, held, in_while)
+        elif isinstance(node, ast.Attribute):
+            if isinstance(node.value, ast.Name) and node.value.id == "self":
+                record_access(node.attr, node.lineno, held, False)
+        elif isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign, ast.Delete)):
+            targets = (
+                node.targets if isinstance(node, (ast.Assign, ast.Delete))
+                else [node.target]
+            )
+            for target in targets:
+                base = target
+                if isinstance(base, ast.Subscript):
+                    base = base.value
+                if (
+                    isinstance(base, ast.Attribute)
+                    and isinstance(base.value, ast.Name)
+                    and base.value.id == "self"
+                ):
+                    record_access(base.attr, node.lineno, held, True)
+        for child in ast.iter_child_nodes(node):
+            visit(child, held, in_while)
+
+    for stmt in func_node.body:
+        visit(stmt, frozenset(), False)
+
+
+def _build_program(paths: Sequence, root) -> _Program:
+    modules = []
+    for path, top in _iter_py_files(paths):
+        module = _collect_module(path, top, root)
+        if module is not None:
+            modules.append(module)
+    program = _Program(modules)
+    for module in modules:
+        for name, node in module.functions.items():
+            key = (module.mod_name, None, name)
+            program.facts[key] = _FuncFacts(key=key, module=module, cls=None, node=node)
+            _walk_function(program.facts[key], node, None, module, program, set())
+        for cls in module.classes:
+            cond_attrs = {a for a, kind in cls.lock_kinds.items() if kind == "Condition"}
+            cond_attrs |= {a for a, c in cls.lock_attrs.items() if a != c}
+            for name, node in cls.methods.items():
+                key = (module.mod_name, cls.name, name)
+                program.facts[key] = _FuncFacts(key=key, module=module, cls=cls, node=node)
+                _walk_function(program.facts[key], node, cls, module, program, cond_attrs)
+    return program
+
+
+# --------------------------------------------------------------------- #
+# inter-procedural inference
+# --------------------------------------------------------------------- #
+
+
+def _infer_guards(program: _Program) -> None:
+    """Entry guards + init-only reachability, per class, to fixpoint."""
+    for cls in program.classes:
+        keys = {name: (cls.module.mod_name, cls.name, name) for name in cls.methods}
+        # call sites within the class: method -> [(caller, held_at_site)]
+        sites: dict[str, list] = {name: [] for name in cls.methods}
+        for name in cls.methods:
+            facts = program.facts[keys[name]]
+            for callee, _lineno, held, _repr in facts.calls:
+                if callee is not None and callee[:2] == (cls.module.mod_name, cls.name):
+                    sites[callee[2]].append((name, held))
+        # entry guards: private methods whose every in-class call site
+        # holds a common lock inherit it
+        for _ in range(len(cls.methods) + 1):
+            changed = False
+            for name in cls.methods:
+                facts = program.facts[keys[name]]
+                if not name.startswith("_") or name.startswith("__") or not sites[name]:
+                    continue
+                guards = [
+                    held | program.facts[keys[caller]].entry_guard
+                    for caller, held in sites[name]
+                ]
+                merged = frozenset.intersection(*[frozenset(g) for g in guards])
+                if guards and all(g for g in guards) and merged != facts.entry_guard:
+                    facts.entry_guard = merged
+                    changed = True
+            if not changed:
+                break
+        # init-only: __init__ plus private methods called only from
+        # init-only methods
+        init_only = {"__init__"}
+        for _ in range(len(cls.methods) + 1):
+            grew = False
+            for name in cls.methods:
+                if name in init_only or not name.startswith("_") or name.startswith("__"):
+                    continue
+                if sites[name] and all(c in init_only for c, _ in sites[name]):
+                    init_only.add(name)
+                    grew = True
+            if not grew:
+                break
+        for name in cls.methods:
+            program.facts[keys[name]].init_only = name in init_only
+
+
+def _infer_summaries(program: _Program) -> None:
+    """may_acquire / may_block closure over the resolved call graph."""
+    for facts in program.facts.values():
+        facts.may_acquire = {lock for lock, _, _ in facts.acquires}
+        facts.may_block = {prim for prim, _, _ in facts.blocking}
+    for _ in range(24):  # bounded fixpoint; call-graph depth is shallow
+        changed = False
+        for facts in program.facts.values():
+            for callee, _lineno, _held, _repr in facts.calls:
+                summary = program.facts.get(callee) if callee else None
+                if summary is None:
+                    continue
+                if not summary.may_acquire <= facts.may_acquire:
+                    facts.may_acquire |= summary.may_acquire
+                    changed = True
+                if not summary.may_block <= facts.may_block:
+                    facts.may_block |= summary.may_block
+                    changed = True
+        if not changed:
+            break
+
+
+# --------------------------------------------------------------------- #
+# rule passes
+# --------------------------------------------------------------------- #
+
+
+def _cc001(program: _Program) -> list[tuple[_ModuleInfo, int, str, str]]:
+    out = []
+    for cls in program.classes:
+        threaded = cls.starts_threads or cls.module.in_any(WORKER_PATH_PREFIXES)
+        if not threaded or not cls.lock_attrs:
+            continue
+        per_attr: dict[str, dict] = {}
+        for name in cls.methods:
+            facts = program.facts[(cls.module.mod_name, cls.name, name)]
+            if facts.init_only:
+                continue
+            for attr, lineno, held, is_write in facts.accesses:
+                effective = held | facts.entry_guard
+                bucket = per_attr.setdefault(
+                    attr, {"guarded": [], "unguarded": [], "writes": 0, "locks": set()}
+                )
+                bucket["guarded" if effective else "unguarded"].append(lineno)
+                bucket["locks"] |= effective
+                if is_write:
+                    bucket["writes"] += 1
+        for attr, bucket in sorted(per_attr.items()):
+            if bucket["writes"] and bucket["guarded"] and bucket["unguarded"]:
+                lines = sorted(set(bucket["unguarded"]))
+                # message stays line-free so the fingerprint (rule, anchor,
+                # message) survives unrelated edits; `location` has the line
+                out.append((
+                    cls.module,
+                    lines[0],
+                    "CC001",
+                    f"{cls.name}.{attr}: mutable attribute accessed under "
+                    f"{sorted(bucket['locks'])} but also without it "
+                    f"({len(lines)} unguarded site"
+                    f"{'s' if len(lines) > 1 else ''})",
+                ))
+    return out
+
+
+def _cc002(program: _Program) -> list[tuple[_ModuleInfo, int, str, str]]:
+    # edge (a, b) -> witness (module, line, description)
+    edges: dict[tuple, tuple] = {}
+
+    def add_edge(a: str, b: str, module: _ModuleInfo, lineno: int, what: str):
+        if a == b:
+            return  # RLock reentrancy / imprecise resolution
+        edges.setdefault((a, b), (module, lineno, what))
+
+    for facts in program.facts.values():
+        guard = facts.entry_guard
+        for lock, lineno, held in facts.acquires:
+            for prior in held | guard:
+                add_edge(prior, lock, facts.module, lineno, f"acquires {lock}")
+        for callee, lineno, held, call_repr in facts.calls:
+            summary = program.facts.get(callee) if callee else None
+            if summary is None:
+                continue
+            for prior in held | guard:
+                for lock in summary.may_acquire:
+                    add_edge(prior, lock, facts.module, lineno,
+                             f"calls {call_repr}() which may acquire {lock}")
+
+    graph: dict[str, set] = {}
+    for (a, b) in edges:
+        graph.setdefault(a, set()).add(b)
+        graph.setdefault(b, set())
+
+    # Tarjan SCC
+    index: dict[str, int] = {}
+    low: dict[str, int] = {}
+    on_stack: set = set()
+    stack: list = []
+    sccs: list[list[str]] = []
+    counter = [0]
+
+    def strongconnect(v: str):
+        work = [(v, iter(sorted(graph[v])))]
+        index[v] = low[v] = counter[0]
+        counter[0] += 1
+        stack.append(v)
+        on_stack.add(v)
+        while work:
+            node, it = work[-1]
+            advanced = False
+            for w in it:
+                if w not in index:
+                    index[w] = low[w] = counter[0]
+                    counter[0] += 1
+                    stack.append(w)
+                    on_stack.add(w)
+                    work.append((w, iter(sorted(graph[w]))))
+                    advanced = True
+                    break
+                if w in on_stack:
+                    low[node] = min(low[node], index[w])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+            if low[node] == index[node]:
+                scc = []
+                while True:
+                    w = stack.pop()
+                    on_stack.discard(w)
+                    scc.append(w)
+                    if w == node:
+                        break
+                sccs.append(scc)
+
+    for v in sorted(graph):
+        if v not in index:
+            strongconnect(v)
+
+    out = []
+    for scc in sccs:
+        if len(scc) < 2:
+            continue
+        members = sorted(scc)
+        # recover one concrete cycle through the SCC for the message
+        cycle = _find_cycle(graph, set(members))
+        witness_parts = []
+        for a, b in zip(cycle, cycle[1:] + cycle[:1]):
+            module, lineno, _what = edges[(a, b)]
+            # no line numbers in the message: keeps fingerprints stable
+            witness_parts.append(f"{a} -> {b} ({module.display})")
+        first = edges[(cycle[0], cycle[1] if len(cycle) > 1 else cycle[0])]
+        out.append((
+            first[0], first[1], "CC002",
+            f"lock-order cycle: {'; '.join(witness_parts)}",
+        ))
+    return out
+
+
+def _find_cycle(graph: dict, members: set) -> list[str]:
+    start = sorted(members)[0]
+    path = [start]
+    seen = {start}
+    node = start
+    while True:
+        nxt = next(n for n in sorted(graph[node]) if n in members)
+        if nxt == start:
+            return path
+        if nxt in seen:
+            return path[path.index(nxt):]
+        path.append(nxt)
+        seen.add(nxt)
+        node = nxt
+
+
+def _cc003(program: _Program) -> list[tuple[_ModuleInfo, int, str, str]]:
+    out = []
+    for facts in program.facts.values():
+        where = (
+            f"{facts.cls.name}.{facts.node.name}" if facts.cls is not None
+            else facts.node.name
+        )
+        for primitive, lineno, held in facts.blocking:
+            if held:
+                out.append((
+                    facts.module, lineno, "CC003",
+                    f"{where}: blocking {primitive}() while holding "
+                    f"{sorted(held)}",
+                ))
+        for callee, lineno, held, call_repr in facts.calls:
+            if not held:
+                continue
+            summary = program.facts.get(callee) if callee else None
+            if summary is None or not summary.may_block:
+                continue
+            out.append((
+                facts.module, lineno, "CC003",
+                f"{where}: call {call_repr}() may block "
+                f"({', '.join(sorted(summary.may_block))}) while holding "
+                f"{sorted(held)}",
+            ))
+    return out
+
+
+def _cc004(program: _Program) -> list[tuple[_ModuleInfo, int, str, str]]:
+    out = []
+    for facts in program.facts.values():
+        where = (
+            f"{facts.cls.name}.{facts.node.name}" if facts.cls is not None
+            else facts.node.name
+        )
+        for lineno, recv in facts.bad_waits:
+            out.append((
+                facts.module, lineno, "CC004",
+                f"{where}: un-timed {recv}.wait() outside a predicate while "
+                f"loop misses spurious wakeups",
+            ))
+    return out
+
+
+# --------------------------------------------------------------------- #
+# entry point
+# --------------------------------------------------------------------- #
+
+
+def analyze_concurrency(
+    paths: Sequence[str | Path],
+    *,
+    root: str | Path | None = None,
+    rules: Sequence[str] | None = None,
+) -> list[Finding]:
+    """Run the CC rules over every ``.py`` file under ``paths``.
+
+    ``rules`` restricts by rule-id prefix, same contract as
+    :func:`repro.analyze.lint.lint_paths`.
+    """
+    wants = lambda rule_id: rules is None or any(rule_id.startswith(p) for p in rules)
+    if not any(wants(rid) for rid in CONCURRENCY_RULES):
+        return []
+    program = _build_program(paths, root)
+    _infer_guards(program)
+    _infer_summaries(program)
+
+    raw: list[tuple[_ModuleInfo, int, str, str]] = []
+    if wants("CC001"):
+        raw.extend(_cc001(program))
+    if wants("CC002"):
+        raw.extend(_cc002(program))
+    if wants("CC003"):
+        raw.extend(_cc003(program))
+    if wants("CC004"):
+        raw.extend(_cc004(program))
+
+    allows_cache: dict[str, dict[int, set[str]]] = {}
+    findings: list[Finding] = []
+    for module, lineno, rule_id, message in raw:
+        allows = allows_cache.setdefault(module.display, module.allows())
+        allowed = allows.get(lineno, set()) | allows.get(lineno - 1, set())
+        if rule_id in allowed or "*" in allowed:
+            continue
+        spec = CONCURRENCY_RULES[rule_id]
+        findings.append(
+            Finding(
+                rule_id=rule_id,
+                severity=spec["severity"],
+                location=f"{module.display}:{lineno}",
+                anchor=module.display,
+                message=message,
+                fix_hint=spec["fix_hint"],
+            )
+        )
+    findings.sort(key=lambda f: (f.location, f.rule_id))
+    return findings

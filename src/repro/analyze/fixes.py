@@ -1,0 +1,222 @@
+"""Mechanical autofixes for a safe subset of the RL lint findings.
+
+``repro.cli analyze --fix`` routes here.  Only rewrites whose semantics
+are provably identical-or-strictly-better are attempted:
+
+* **RL003** — ``target.write_text(text)`` becomes
+  ``atomic_write_text(target, text)`` (plus the import), the exact
+  temp+fsync+rename protocol the rule demands.  Calls with keyword
+  arguments or extra positionals (encodings, newline policy) are left
+  for a human.
+* **RL006** — ``except E: pass`` gains an ``as exc`` binding and a
+  ``logging.getLogger(__name__).warning(...)`` body (plus ``import
+  logging``), so the swallowed error at least leaves a trace.  Handlers
+  that already do something, and bare ``except:`` (RL005's business),
+  are untouched.
+
+Both rewrites are idempotent: the fixed form no longer matches the
+rule, so a second ``--fix`` run is a no-op.  Files are rewritten through
+:func:`repro.ioutil.atomic_write_text` — the fixer practices what it
+preaches.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Sequence
+
+from ..ioutil import atomic_write_text
+from .lint import RAW_WRITE_WHITELIST, _ALLOW_RE, _iter_py_files
+
+FIXABLE_RULES = ("RL003", "RL006")
+
+
+def _allows(source: str) -> dict[int, set[str]]:
+    out: dict[int, set[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _ALLOW_RE.search(line)
+        if match:
+            out[lineno] = {p.strip() for p in match.group(1).split(",") if p.strip()}
+    return out
+
+
+def _is_allowed(allows: dict[int, set[str]], lineno: int, rule_id: str) -> bool:
+    marked = allows.get(lineno, set()) | allows.get(lineno - 1, set())
+    return rule_id in marked or "*" in marked
+
+
+def _line_starts(source: str) -> list[int]:
+    starts = [0]
+    for line in source.splitlines(keepends=True):
+        starts.append(starts[-1] + len(line))
+    return starts
+
+
+def _span(starts: list[int], node: ast.AST) -> tuple[int, int]:
+    begin = starts[node.lineno - 1] + node.col_offset
+    end = starts[node.end_lineno - 1] + node.end_col_offset
+    return begin, end
+
+
+def _fix_rl003(source: str, tree: ast.Module) -> tuple[str, int]:
+    """Rewrite zero-keyword ``X.write_text(arg)`` to ``atomic_write_text``."""
+    edits: list[tuple[int, int, str]] = []
+    starts = _line_starts(source)
+    allows = _allows(source)
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if not (isinstance(func, ast.Attribute) and func.attr == "write_text"):
+            continue
+        if len(node.args) != 1 or node.keywords:
+            continue  # encoding/newline handling is not mechanical
+        if _is_allowed(allows, node.lineno, "RL003"):
+            continue  # an allow comment documents intent; leave it alone
+        receiver = ast.get_source_segment(source, func.value)
+        arg = ast.get_source_segment(source, node.args[0])
+        if receiver is None or arg is None:
+            continue
+        begin, end = _span(starts, node)
+        edits.append((begin, end, f"atomic_write_text({receiver}, {arg})"))
+    if not edits:
+        return source, 0
+    for begin, end, text in sorted(edits, reverse=True):
+        source = source[:begin] + text + source[end:]
+    source = _ensure_import(
+        source, "from repro.ioutil import atomic_write_text",
+        marker="atomic_write_text",
+    )
+    return source, len(edits)
+
+
+def _fix_rl006(source: str, tree: ast.Module) -> tuple[str, int]:
+    """Give ``except E: pass`` handlers a logged body (and an ``as exc``)."""
+    lines = source.splitlines(keepends=True)
+    count = 0
+    allows = _allows(source)
+    # bottom-up so earlier handlers' line numbers stay valid
+    handlers = [
+        node
+        for node in ast.walk(tree)
+        if isinstance(node, ast.ExceptHandler) and node.type is not None
+    ]
+    for node in sorted(handlers, key=lambda n: n.lineno, reverse=True):
+        body = [s for s in node.body if not _is_docstring(s)]
+        if not body or not all(_is_silent(s) for s in body):
+            continue
+        if _is_allowed(allows, node.lineno, "RL006") or any(
+            _is_allowed(allows, s.lineno, "RL006") for s in body
+        ):
+            continue  # an allow comment documents intent; leave it alone
+        header = lines[node.lineno - 1]
+        name = node.name
+        if name is None:
+            name = "exc"
+            type_seg = ast.get_source_segment(source, node.type)
+            if type_seg is None:
+                continue
+            new_header = header.replace(
+                f"except {type_seg}:", f"except {type_seg} as exc:", 1
+            )
+            if new_header == header:
+                continue  # unusual formatting; not mechanical
+            lines[node.lineno - 1] = new_header
+        first = body[0]
+        indent = " " * first.col_offset
+        log_line = (
+            f"{indent}logging.getLogger(__name__).warning("
+            f'"suppressed %r", {name})\n'
+        )
+        begin = body[0].lineno - 1
+        end = body[-1].end_lineno
+        lines[begin:end] = [log_line]
+        count += 1
+    if not count:
+        return source, 0
+    source = "".join(lines)
+    source = _ensure_import(source, "import logging", marker="import logging")
+    return source, count
+
+
+def _is_docstring(stmt: ast.stmt) -> bool:
+    return (
+        isinstance(stmt, ast.Expr)
+        and isinstance(stmt.value, ast.Constant)
+        and isinstance(stmt.value.value, str)
+    )
+
+
+def _is_silent(stmt: ast.stmt) -> bool:
+    return isinstance(stmt, ast.Pass) or (
+        isinstance(stmt, ast.Expr)
+        and isinstance(stmt.value, ast.Constant)
+        and stmt.value.value is Ellipsis
+    )
+
+
+def _ensure_import(source: str, import_line: str, *, marker: str) -> str:
+    """Insert ``import_line`` after the last top-level import, once."""
+    tree = ast.parse(source)
+    for node in tree.body:
+        if isinstance(node, (ast.Import, ast.ImportFrom)):
+            text = ast.get_source_segment(source, node) or ""
+            if marker in text:
+                return source
+    last_import_end = 0
+    for node in tree.body:
+        if isinstance(node, (ast.Import, ast.ImportFrom)):
+            last_import_end = node.end_lineno
+    lines = source.splitlines(keepends=True)
+    lines.insert(last_import_end, import_line + "\n")
+    return "".join(lines)
+
+
+def apply_fixes(
+    paths: Sequence[str | Path],
+    *,
+    root: str | Path | None = None,
+    rules: Sequence[str] | None = None,
+    dry_run: bool = False,
+) -> list[dict]:
+    """Apply the mechanical fixers under ``paths``; return per-file results.
+
+    ``rules`` restricts by rule-id prefix (default: all fixable rules).
+    Each result is ``{"path", "display", "fixes": {rule: count}}`` for
+    files that changed.
+    """
+    wants = lambda rule_id: rules is None or any(rule_id.startswith(p) for p in rules)
+    results: list[dict] = []
+    for path, top in _iter_py_files(paths):
+        pkg_rel = path.resolve().relative_to(top.resolve()).as_posix()
+        display = str(path)
+        if root is not None:
+            try:
+                display = path.resolve().relative_to(Path(root).resolve()).as_posix()
+            except ValueError:
+                display = str(path)
+        source = path.read_text()
+        try:
+            tree = ast.parse(source)
+        except SyntaxError:
+            continue
+        fixed = source
+        counts: dict[str, int] = {}
+        in_whitelist = any(
+            pkg_rel == p or pkg_rel.startswith(p) or f"/{p}" in f"/{pkg_rel}"
+            for p in RAW_WRITE_WHITELIST
+        )
+        if wants("RL003") and not in_whitelist:
+            fixed, n = _fix_rl003(fixed, ast.parse(fixed))
+            if n:
+                counts["RL003"] = n
+        if wants("RL006"):
+            fixed, n = _fix_rl006(fixed, ast.parse(fixed))
+            if n:
+                counts["RL006"] = n
+        if counts and fixed != source:
+            if not dry_run:
+                atomic_write_text(path, fixed)
+            results.append({"path": str(path), "display": display, "fixes": counts})
+    return results

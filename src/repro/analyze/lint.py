@@ -491,14 +491,33 @@ def _check_unlocked_shared_write(ctx: FileContext) -> Iterator[tuple[int, str]]:
 # --------------------------------------------------------------------- #
 
 
+#: directory names that never hold source (caches, VCS, envs, build output)
+_NON_SOURCE_DIRS = {
+    "__pycache__", ".git", ".hg", ".venv", "venv", "build", "dist",
+    ".eggs", "node_modules", ".mypy_cache", ".pytest_cache", ".ruff_cache",
+}
+
+
 def _iter_py_files(paths: Sequence[str | Path]) -> Iterator[tuple[Path, Path]]:
-    """Yield (file, scanned_top) pairs for every python file under paths."""
+    """Yield (file, scanned_top) pairs for every python file under paths.
+
+    Skips ``__pycache__``/VCS/virtualenv/build directories and hidden
+    files — bytecode caches and vendored envs are not our source.
+    """
     for top in paths:
         top = Path(top)
         if top.is_file():
             yield top, top.parent
         else:
             for path in sorted(top.rglob("*.py")):
+                rel = path.relative_to(top)
+                if any(
+                    part in _NON_SOURCE_DIRS or part.startswith(".")
+                    for part in rel.parts[:-1]
+                ):
+                    continue
+                if path.name.startswith("."):
+                    continue
                 yield path, top
 
 

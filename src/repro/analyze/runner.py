@@ -13,6 +13,7 @@ from pathlib import Path
 from typing import Sequence
 
 from ..obs.metrics import MetricsRegistry
+from .concurrency import analyze_concurrency
 from .engine_support import check_engine_support
 from .findings import Baseline, Finding
 from .gradflow import lint_gradient_flow
@@ -93,6 +94,7 @@ def run_analysis(
     if paths is None:
         paths = [root / "src" / "repro"]
     findings = lint_paths(paths, root=root, rules=rules)
+    findings.extend(analyze_concurrency(paths, root=root, rules=rules))
     if include_models:
         findings.extend(analyze_models(rules=rules, seed=seed))
 

@@ -745,8 +745,25 @@ def cmd_serve_fleet(args) -> int:
 
     console = _console(args)
     task = _load(args)
+    sanitizer = None
+    if getattr(args, "lockorder", None):
+        # install before any server/fleet construction: only locks
+        # created while patched are tracked
+        from .analyze.lockorder import LockOrderSanitizer
+
+        sanitizer = LockOrderSanitizer().install()
     if getattr(args, "procs", False):
-        return _serve_fleet_procs(args, console, task)
+        rc = _serve_fleet_procs(args, console, task)
+        if sanitizer is not None:
+            report = _finish_lockorder(sanitizer, args.lockorder, console)
+            ok = report["ok"]
+            console.print(f"  {'ok  ' if ok else 'FAIL'} lock-order sanitizer: "
+                          f"{len(report['cycles'])} cycle(s), "
+                          f"{len(report['checkpoint_violations'])} "
+                          f"checkpoint violation(s)")
+            if not ok and rc == 0:
+                rc = 1
+        return rc
 
     def tgcrn_for(sub_task, name):
         return TGCRN(**default_tgcrn_kwargs(sub_task, hidden_dim=args.hidden,
@@ -950,6 +967,14 @@ def cmd_serve_fleet(args) -> int:
               f"unfinished span(s))")
         console.print(f"  spans written to {args.spans_jsonl} "
                       f"({len(collector.records)} spans)")
+    if sanitizer is not None:
+        # 8. no interleaving of the observed critical sections can
+        #    deadlock, and no fault fired inside one
+        report = _finish_lockorder(sanitizer, args.lockorder, console)
+        check(report["ok"],
+              f"lock-order sanitizer: {report['edges']} edge(s), "
+              f"{len(report['cycles'])} cycle(s), "
+              f"{len(report['checkpoint_violations'])} checkpoint violation(s)")
     if logger is not None:
         logger.close()
     health = fleet.health()
@@ -961,6 +986,16 @@ def cmd_serve_fleet(args) -> int:
     console.print(f"counters: { {k: int(v) for k, v in health['counters'].items()} }")
     console.print(f"\nserve-fleet: {'FAILED' if failures else 'PASSED'}")
     return 1 if failures else 0
+
+
+def _finish_lockorder(sanitizer, path, console) -> dict:
+    """Uninstall the sanitizer, export the witness graph, return the report."""
+    sanitizer.uninstall()
+    report = sanitizer.report()
+    sanitizer.export_jsonl(path)
+    console.print(f"  lock-order graph: {path} "
+                  f"({report['locks']} lock(s), {report['edges']} edge(s))")
+    return report
 
 
 def _serve_fleet_procs(args, console, task) -> int:
@@ -1516,11 +1551,47 @@ def cmd_analyze(args) -> int:
     console = _console(args)
     baseline_path = Path(args.baseline)
     rules = [r.strip() for r in args.rules.split(",") if r.strip()] if args.rules else None
+    paths = args.paths or None
+    include_models = not args.no_models
+
+    if args.changed_only:
+        # fast pre-commit mode: lint exactly the python files git says
+        # changed (staged, unstaged, or untracked); model checks are
+        # whole-catalog and don't scope to files, so they are skipped
+        import subprocess
+
+        def _git_lines(*cmd: str) -> list[str]:
+            proc = subprocess.run(
+                ["git", *cmd], cwd=args.root, capture_output=True, text=True
+            )
+            if proc.returncode != 0:
+                return []
+            return [line.strip() for line in proc.stdout.splitlines() if line.strip()]
+
+        changed = set(_git_lines("diff", "--name-only", "HEAD", "--", "*.py"))
+        changed |= set(_git_lines("ls-files", "--others", "--exclude-standard", "--", "*.py"))
+        root_dir = Path(args.root)
+        paths = sorted(str(root_dir / name) for name in changed if (root_dir / name).is_file())
+        include_models = False
+        if not paths:
+            console.print("analyze: no changed python files")
+            return 0
+
+    if args.fix:
+        from .analyze import apply_fixes
+
+        fix_paths = paths if paths is not None else [Path(args.root) / "src" / "repro"]
+        fixed = apply_fixes(fix_paths, root=args.root, rules=rules)
+        for entry in fixed:
+            detail = ", ".join(f"{rule} x{n}" for rule, n in sorted(entry["fixes"].items()))
+            console.print(f"fixed {entry['display']}: {detail}")
+        console.print(f"--fix rewrote {len(fixed)} file(s)")
+
     report = run_analysis(
         root=args.root,
-        paths=args.paths or None,
+        paths=paths,
         rules=rules,
-        include_models=not args.no_models,
+        include_models=include_models,
         baseline=Baseline.load(baseline_path),
         seed=args.seed,
     )
@@ -1843,6 +1914,11 @@ def build_parser() -> argparse.ArgumentParser:
                                   "transport, real SIGKILL mid-batch, a wedged "
                                   "child ignoring SIGTERM, crash-loop parking, "
                                   "and corrupt wire frames (docs/serving.md)")
+    serve_fleet.add_argument("--lockorder", default=None, metavar="PATH",
+                             help="install the runtime lock-order sanitizer and "
+                                  "export the witness graph (JSONL) to PATH; any "
+                                  "acquisition-order cycle or lock held across a "
+                                  "chaos/fault checkpoint fails the smoke")
     serve_fleet.set_defaults(fn=cmd_serve_fleet, nodes=8, days=5,
                              hidden=8, node_dim=4, time_dim=4, layers=1)
 
@@ -1902,6 +1978,13 @@ def build_parser() -> argparse.ArgumentParser:
                               "exists (default: error)")
     analyze.add_argument("--no-models", action="store_true",
                          help="skip the symbolic model checks (lint only)")
+    analyze.add_argument("--fix", action="store_true",
+                         help="apply the mechanical autofixes (RL003 "
+                              "write_text->atomic_write_text, RL006 silent "
+                              "except->logged handler) before linting")
+    analyze.add_argument("--changed-only", action="store_true",
+                         help="lint only files changed vs git HEAD "
+                              "(fast pre-commit mode; skips model checks)")
     analyze.add_argument("--seed", type=int, default=0)
     analyze.add_argument("--quiet", action="store_true",
                          help="suppress console output (exit code still gates)")

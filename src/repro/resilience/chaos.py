@@ -51,6 +51,14 @@ class ChaosSchedule:
         self.injectors = list(injectors)
 
     def __call__(self, point: str, **context) -> None:
+        # Lock-order sanitizer seam: a fault injected while the caller
+        # holds a lock can deadlock recovery, so sanitized runs record
+        # it.  No-op (getattr miss) outside sanitized runs.
+        import threading
+
+        hook = getattr(threading, "_repro_lockorder_checkpoint", None)
+        if hook is not None:
+            hook(f"fault_hook:{point}")
         for injector in self.injectors:
             injector(point, **context)
 

@@ -68,6 +68,20 @@ from .server import ForecastServer
 from .validation import InvalidRequestError, RequestSpec, validate_request
 
 
+def _lockorder_checkpoint(label: str) -> None:
+    """Fault-injection seam for the lock-order sanitizer.
+
+    :class:`repro.analyze.lockorder.LockOrderSanitizer` hangs its
+    ``checkpoint`` on the :mod:`threading` module when installed; chaos
+    entry points call it so "lock held across an injection point" is a
+    recorded violation.  ``getattr`` keeps serve/ free of any analyze/
+    import — this is a no-op outside sanitized runs.
+    """
+    hook = getattr(threading, "_repro_lockorder_checkpoint", None)
+    if hook is not None:
+        hook(label)
+
+
 class FleetOverloadedError(ServiceOverloadedError):
     """Admission shed by fleet backpressure: a shard's pipeline is full.
 
@@ -194,6 +208,7 @@ class Replica:
         requests the replica dies holding are closed as ``canceled`` —
         the router's sweep owns the failover for those sub-requests.
         """
+        _lockorder_checkpoint(f"replica.kill:{self.id}")
         self.killed = True
         kill_process = getattr(self.server, "kill_process", None)
         if kill_process is not None:
@@ -214,6 +229,7 @@ class Replica:
         heartbeating too, so the supervisor's watchdog (not just router
         timeouts) sees it.
         """
+        _lockorder_checkpoint(f"replica.pause:{self.id}")
         self.paused = True
         wedge = getattr(self.server, "inject_wedge", None)
         if wedge is not None:
@@ -582,7 +598,9 @@ class ForecastFleet:
         :class:`FleetOverloadedError` (backpressure / draining).
         """
         now = self._now(now)
-        if self._draining or self._stop_event.is_set():
+        with self._lock:  # paired with the start/stop writes
+            draining = self._draining
+        if draining or self._stop_event.is_set():
             self.metrics.counter("fleet.rejected").inc()
             self._log("fleet_rejected", code="draining")
             raise FleetOverloadedError(0, 0, detail="fleet is draining")
@@ -1107,7 +1125,9 @@ class ForecastFleet:
         With ``slo_ready_gate=True`` a firing fast-burn alert also
         reports not-ready, mirroring :meth:`ForecastServer.ready`.
         """
-        if self._draining or self._stop_event.is_set():
+        with self._lock:  # paired with the start/stop writes
+            draining = self._draining
+        if draining or self._stop_event.is_set():
             return False
         if any(not shard.available_replicas for shard in self.shards):
             return False

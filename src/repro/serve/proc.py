@@ -583,24 +583,33 @@ class ProcReplicaClient:
             self.restarts += 1
         self.spawn()
 
+    # The snapshot properties take the (reentrant) lock: respawn/close
+    # rebind _process and _handle_frame mutates the rest, so lock-free
+    # reads would race the router against the atexit/supervisor paths.
+
     @property
     def pid(self) -> int | None:
-        return self._process.pid if self._process is not None else None
+        with self._lock:
+            return self._process.pid if self._process is not None else None
 
     def is_alive(self) -> bool:
-        return self._process is not None and self._process.is_alive()
+        with self._lock:
+            return self._process is not None and self._process.is_alive()
 
     @property
     def ready(self) -> bool:
-        return self._ready and self.is_alive()
+        with self._lock:
+            return self._ready and self.is_alive()
 
     @property
     def last_heartbeat(self) -> float | None:
-        return self._last_heartbeat
+        with self._lock:
+            return self._last_heartbeat
 
     @property
     def outstanding(self) -> int:
-        return len(self._inflight)
+        with self._lock:
+            return len(self._inflight)
 
     def wait_ready(self, timeout: float = 10.0) -> None:
         # Startup of a real fork is bounded in real seconds; an injected
@@ -654,6 +663,7 @@ class ProcReplicaClient:
                 deadline = time.monotonic() + timeout  # analyze: allow[RL004]
                 while (time.monotonic() < deadline and not self._bye  # analyze: allow[RL004]
                        and self.is_alive()):
+                    # analyze: allow[CC003] shutdown handshake: 20ms bounded polls; the lock must fence out submits
                     self._drain_socket(wait=0.02)
             if self._process is not None and self._process.is_alive():
                 self.terminate_process()
@@ -663,15 +673,17 @@ class ProcReplicaClient:
                 conn.close()
                 self._conn = None
             self._ready = False
+            got_bye = self._bye
         _unregister(self)
         self._log("replica_closed", replica_id=self.replica_id,
-                  got_bye=self._bye)
+                  got_bye=got_bye)
 
     # -- router contract ------------------------------------------------- #
 
     @property
     def model_version(self) -> str:
-        return self._model_version or "unknown"
+        with self._lock:
+            return self._model_version or "unknown"
 
     def submit(self, payload, now: float | None = None, *,
                parent_span=None) -> str:
@@ -689,6 +701,7 @@ class ProcReplicaClient:
                 self._conn.send_frame(FRAME_SUBMIT, frame)
             except OSError:
                 raise ReplicaDownError(self.replica_id) from None
+            # analyze: allow[CC003] SUBMIT->ACK is a deliberate synchronous RPC bounded by ack_timeout; the lock serializes the wire
             ack = self._await(FRAME_ACK,
                               lambda p: p.get("id") == frame["id"],
                               self.ack_timeout)
@@ -704,6 +717,7 @@ class ProcReplicaClient:
         """Drain the socket; returns responses that arrived this round."""
         with self._lock:
             before = len(self._responses)
+            # analyze: allow[CC003] wait=0.0 makes this a non-blocking poll; recv fires only after select says readable
             self._drain_socket(wait=0.0)
             return self._responses[before:]
 
@@ -736,6 +750,7 @@ class ProcReplicaClient:
 
     def health(self) -> dict:
         with self._lock:
+            # analyze: allow[CC003] wait=0.0 makes this a non-blocking poll; recv fires only after select says readable
             self._drain_socket(wait=0.0)
             if not self.is_alive():
                 return {"status": "down",
@@ -756,7 +771,8 @@ class ProcReplicaClient:
         if result is None:
             return False
         if result.get("model_version"):
-            self._model_version = result["model_version"]
+            with self._lock:
+                self._model_version = result["model_version"]
         return bool(result.get("ok"))
 
     # -- chaos injection -------------------------------------------------- #
@@ -814,6 +830,7 @@ class ProcReplicaClient:
                 self._conn.send_frame(ftype, payload)
             except OSError:
                 return None
+            # analyze: allow[CC003] control-plane RPC is a deliberate bounded synchronous round trip; the lock serializes the wire
             return self._await(reply_type,
                                lambda p: p.get("rpc") == rpc_id, timeout)
 

@@ -415,7 +415,7 @@ class ForecastServer:
             reason=reason,
             latency_ms=max(0.0, (now - request.received_at) * 1000.0),
             deadline_missed=request.expired(now),
-            model_version=self._model_version if source == "model" else None,
+            model_version=self.model_version if source == "model" else None,
             metadata=request.metadata,
         )
         self.metrics.counter(f"serve.{'fallback' if degraded else 'model'}").inc()
@@ -511,7 +511,7 @@ class ForecastServer:
             "status": "degraded" if degraded else "ok",
             "breaker": self.breaker.state,
             "queue_depth": len(self.queue),
-            "model_version": self._model_version,
+            "model_version": self.model_version,
             "uptime_s": self._now(None) - self._started_at,
             "slo": [s.to_dict() for s in statuses],
             "counters": snap["counters"],
@@ -537,7 +537,8 @@ class ForecastServer:
 
     @property
     def model_version(self) -> str:
-        return self._model_version
+        with self._model_lock:  # paired with the reload swap; RLock, so
+            return self._model_version  # callers already holding it are fine
 
     def reload_checkpoint(self, path) -> bool:
         """Atomically swap in a checkpoint; never disturb the live model.
@@ -559,14 +560,14 @@ class ForecastServer:
             self.metrics.counter("serve.reload_rejected").inc()
             self._log("checkpoint_rejected", path=str(path), reason=exc.reason,
                       expected_hash=exc.expected, actual_hash=exc.actual,
-                      live_model_version=self._model_version)
+                      live_model_version=self.model_version)
             finish_span(reload_span, status="rejected", reason=exc.reason)
             return False
         except Exception as exc:
             self.metrics.counter("serve.reload_rejected").inc()
             self._log("checkpoint_rejected", path=str(path),
                       reason=f"{type(exc).__name__}: {exc}",
-                      live_model_version=self._model_version)
+                      live_model_version=self.model_version)
             finish_span(reload_span, status="rejected",
                         reason=f"{type(exc).__name__}")
             return False
@@ -576,7 +577,7 @@ class ForecastServer:
             self._log("checkpoint_rejected", path=str(path),
                       reason="static shape check failed",
                       findings=[f.to_dict() for f in shape_errors],
-                      live_model_version=self._model_version)
+                      live_model_version=self.model_version)
             finish_span(reload_span, status="rejected",
                         reason="static shape check failed")
             return False

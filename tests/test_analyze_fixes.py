@@ -1,0 +1,150 @@
+"""Tests for the mechanical autofixers behind ``repro.cli analyze --fix``.
+
+Each fixable rule gets a before/after pair: the fixed source must parse,
+must no longer trip the originating lint rule, and a second ``--fix``
+run must be a no-op (idempotence).  Allow comments and whitelists keep
+their veto over the fixer exactly as they do over the rule.
+"""
+
+import ast
+
+from repro.analyze import FIXABLE_RULES, apply_fixes, lint_paths
+
+
+def _fix(tmp_path, source, name="victim.py", **kwargs):
+    path = tmp_path / name
+    path.write_text(source)
+    results = apply_fixes([path], **kwargs)
+    return path, results
+
+
+def _rule_ids(findings):
+    return {f.rule_id for f in findings}
+
+
+RL003_RAW = """\
+from pathlib import Path
+
+
+def save(payload):
+    target = Path("out.json")
+    target.write_text(payload)
+"""
+
+RL006_SILENT = """\
+def load(path):
+    try:
+        return open(path).read()
+    except OSError:
+        pass
+    return None
+"""
+
+
+class TestRL003Fix:
+    def test_rewrites_to_atomic_write(self, tmp_path):
+        path, results = _fix(tmp_path, RL003_RAW)
+        fixed = path.read_text()
+        assert "atomic_write_text(target, payload)" in fixed
+        assert "from repro.ioutil import atomic_write_text" in fixed
+        assert ".write_text(" not in fixed
+        assert results and results[0]["fixes"] == {"RL003": 1}
+        ast.parse(fixed)  # still valid python
+        assert "RL003" not in _rule_ids(lint_paths([path], rules=["RL003"]))
+
+    def test_idempotent(self, tmp_path):
+        path, _ = _fix(tmp_path, RL003_RAW)
+        once = path.read_text()
+        assert apply_fixes([path]) == []
+        assert path.read_text() == once
+
+    def test_keyword_call_left_for_a_human(self, tmp_path):
+        source = RL003_RAW.replace(
+            "target.write_text(payload)",
+            "target.write_text(payload, encoding='utf-8')",
+        )
+        path, results = _fix(tmp_path, source)
+        assert results == []
+        assert path.read_text() == source
+
+    def test_allow_comment_blocks_the_fix(self, tmp_path):
+        source = RL003_RAW.replace(
+            "    target.write_text(payload)",
+            "    # analyze: allow[RL003] scratch file, atomicity not needed\n"
+            "    target.write_text(payload)",
+        )
+        path, results = _fix(tmp_path, source)
+        assert results == []
+        assert path.read_text() == source
+
+    def test_dry_run_reports_without_writing(self, tmp_path):
+        path, results = _fix(tmp_path, RL003_RAW, dry_run=True)
+        assert results and results[0]["fixes"] == {"RL003": 1}
+        assert path.read_text() == RL003_RAW
+
+
+class TestRL006Fix:
+    def test_gives_silent_handler_a_logged_body(self, tmp_path):
+        path, results = _fix(tmp_path, RL006_SILENT)
+        fixed = path.read_text()
+        assert "except OSError as exc:" in fixed
+        assert 'logging.getLogger(__name__).warning("suppressed %r", exc)' in fixed
+        assert "import logging" in fixed
+        assert results and results[0]["fixes"] == {"RL006": 1}
+        ast.parse(fixed)
+        assert "RL006" not in _rule_ids(lint_paths([path], rules=["RL006"]))
+
+    def test_keeps_existing_exception_name(self, tmp_path):
+        source = RL006_SILENT.replace("except OSError:", "except OSError as err:")
+        path, _ = _fix(tmp_path, source)
+        fixed = path.read_text()
+        assert "except OSError as err:" in fixed
+        assert '"suppressed %r", err)' in fixed
+
+    def test_idempotent(self, tmp_path):
+        path, _ = _fix(tmp_path, RL006_SILENT)
+        once = path.read_text()
+        assert apply_fixes([path]) == []
+        assert path.read_text() == once
+
+    def test_bare_except_is_not_touched(self, tmp_path):
+        source = RL006_SILENT.replace("except OSError:", "except:")
+        path, results = _fix(tmp_path, source)
+        assert results == []  # RL005's business, not a mechanical fix
+        assert path.read_text() == source
+
+    def test_handler_that_does_something_is_not_touched(self, tmp_path):
+        source = RL006_SILENT.replace("        pass", "        return ''")
+        path, results = _fix(tmp_path, source)
+        assert results == []
+        assert path.read_text() == source
+
+    def test_allow_comment_blocks_the_fix(self, tmp_path):
+        source = RL006_SILENT.replace(
+            "    except OSError:",
+            "    # analyze: allow[RL006] probe failure is expected on cold start\n"
+            "    except OSError:",
+        )
+        path, results = _fix(tmp_path, source)
+        assert results == []
+        assert path.read_text() == source
+
+
+class TestApplyFixes:
+    def test_fixable_rules_catalog(self):
+        assert FIXABLE_RULES == ("RL003", "RL006")
+
+    def test_rules_filter(self, tmp_path):
+        path, results = _fix(tmp_path, RL003_RAW + "\n" + RL006_SILENT,
+                             rules=["RL006"])
+        assert results[0]["fixes"] == {"RL006": 1}
+        assert ".write_text(" in path.read_text()  # RL003 untouched
+
+    def test_both_rules_in_one_file(self, tmp_path):
+        path, results = _fix(tmp_path, RL003_RAW + "\n" + RL006_SILENT)
+        assert results[0]["fixes"] == {"RL003": 1, "RL006": 1}
+        ast.parse(path.read_text())
+
+    def test_syntax_error_file_is_skipped(self, tmp_path):
+        path, results = _fix(tmp_path, "def broken(:\n")
+        assert results == []

@@ -322,6 +322,31 @@ class TestRepoIsClean:
             assert r.description and r.fix_hint
 
 
+class TestDiscovery:
+    def test_pycache_and_hidden_files_are_skipped(self, tmp_path):
+        bad = "import numpy as np\nx = np.random.rand(3)\n"
+        (tmp_path / "real.py").write_text(bad)
+        cache = tmp_path / "__pycache__"
+        cache.mkdir()
+        (cache / "real.cpython-311.py").write_text(bad)
+        hidden_dir = tmp_path / ".venv" / "lib"
+        hidden_dir.mkdir(parents=True)
+        (hidden_dir / "vendored.py").write_text(bad)
+        (tmp_path / ".hidden.py").write_text(bad)
+        findings = lint_paths([tmp_path], rules=["RL001"])
+        assert [f.location.split(":")[0] for f in findings] == [
+            str(tmp_path / "real.py")
+        ]
+
+    def test_explicit_file_path_always_scans(self, tmp_path):
+        # pointing at a file directly bypasses directory filtering
+        cache = tmp_path / "__pycache__"
+        cache.mkdir()
+        victim = cache / "odd.py"
+        victim.write_text("import numpy as np\nx = np.random.rand(3)\n")
+        assert lint_paths([victim], rules=["RL001"])
+
+
 class TestCli:
     def test_analyze_cli_gates_and_reports(self, tmp_path, capsys):
         from repro.cli import main
@@ -348,3 +373,47 @@ class TestCli:
             "analyze", "--no-models", "--paths", str(victim),
             "--baseline", str(tmp_path / "baseline.json"), "--quiet",
         ]) == 0
+
+    def test_analyze_cli_fix_rewrites_and_passes(self, tmp_path):
+        from repro.cli import main
+
+        victim = tmp_path / "raw_write.py"
+        victim.write_text(
+            "from pathlib import Path\n\n\n"
+            "def save(payload):\n"
+            "    Path('out.json').write_text(payload)\n"
+        )
+        assert main([
+            "analyze", "--no-models", "--paths", str(victim),
+            "--baseline", str(tmp_path / "baseline.json"),
+            "--rules", "RL003", "--fix", "--quiet",
+        ]) == 0  # fixed in the same run, so the gate passes
+        assert "atomic_write_text" in victim.read_text()
+
+    def test_analyze_cli_changed_only_in_clean_tree(self, tmp_path):
+        """--changed-only with no changed files exits 0 without scanning."""
+        import subprocess
+
+        from repro.cli import main
+
+        subprocess.run(["git", "init", "-q"], cwd=tmp_path, check=True)
+        (tmp_path / "ok.py").write_text("x = 1\n")
+        subprocess.run(["git", "add", "-A"], cwd=tmp_path, check=True)
+        subprocess.run(
+            ["git", "-c", "user.email=t@t", "-c", "user.name=t",
+             "commit", "-qm", "seed"],
+            cwd=tmp_path, check=True,
+        )
+        assert main([
+            "analyze", "--root", str(tmp_path), "--changed-only", "--quiet",
+            "--baseline", str(tmp_path / "baseline.json"),
+        ]) == 0
+
+        # a new un-committed file is picked up and gated
+        (tmp_path / "bad.py").write_text(
+            "import numpy as np\nx = np.random.rand(3)\n"
+        )
+        assert main([
+            "analyze", "--root", str(tmp_path), "--changed-only", "--quiet",
+            "--baseline", str(tmp_path / "baseline.json"),
+        ]) == 1

@@ -29,6 +29,24 @@ from repro.training import default_tgcrn_kwargs
 from repro.verify import named_rng
 
 
+@pytest.fixture(autouse=True)
+def lockorder_sanitizer():
+    """Run every fleet test under the lock-order sanitizer.
+
+    Any two tests' threads taking fleet/server locks in opposite orders
+    — or a replica kill/pause seam firing while a lock is held — fails
+    the test at teardown, whether or not the schedule deadlocked here.
+    """
+    from repro.analyze import LockOrderSanitizer
+
+    sanitizer = LockOrderSanitizer().install()
+    try:
+        yield sanitizer
+    finally:
+        sanitizer.uninstall()
+    sanitizer.check()
+
+
 class FakeClock:
     def __init__(self, t=0.0):
         self.t = t

@@ -19,6 +19,21 @@ from repro.training import default_tgcrn_kwargs
 from repro.verify import named_rng
 
 
+@pytest.fixture(autouse=True)
+def lockorder_sanitizer():
+    """Run every server test under the lock-order sanitizer: the tests
+    pass only if no observed pair of locks was ever taken in opposite
+    orders (and no lock was held across a fault-injection seam)."""
+    from repro.analyze import LockOrderSanitizer
+
+    sanitizer = LockOrderSanitizer().install()
+    try:
+        yield sanitizer
+    finally:
+        sanitizer.uninstall()
+    sanitizer.check()
+
+
 class FakeClock:
     def __init__(self, t=0.0):
         self.t = t
